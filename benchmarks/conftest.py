@@ -1,0 +1,64 @@
+"""Shared benchmark fixtures: the paper-scale corpus and its analyses.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (§6): it times the analysis over the 942-operation corpus,
+prints the same rows/series the paper reports, writes them under
+``benchmarks/results/``, and asserts the *shape* against the targets in
+:mod:`repro.corpus.paper_data` (see EXPERIMENTS.md for the comparison
+philosophy).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import CorpusStats, analyze_expressiveness
+from repro.corpus import load_corpus
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """(context, dialect_defs) for the paper-scale corpus."""
+    return load_corpus()
+
+
+@pytest.fixture(scope="session")
+def corpus_defs(corpus):
+    return corpus[1]
+
+
+@pytest.fixture(scope="session")
+def corpus_stats(corpus_defs):
+    return CorpusStats.of(corpus_defs)
+
+
+@pytest.fixture(scope="session")
+def expressiveness(corpus_defs):
+    return analyze_expressiveness(corpus_defs)
+
+
+@pytest.fixture
+def record_figure():
+    """Print a rendered figure and save it under benchmarks/results/."""
+
+    def record(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(text)
+        print()
+        print(text)
+
+    return record
+
+
+def assert_close(measured: float, paper: float, tolerance: float = 0.04):
+    """Shape check: a measured fraction tracks the paper's within ±tol."""
+    assert abs(measured - paper) <= tolerance, (
+        f"measured {measured:.3f} vs paper {paper:.3f} "
+        f"(tolerance {tolerance})"
+    )

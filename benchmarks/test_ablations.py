@@ -1,0 +1,245 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not paper tables — these quantify the cost/benefit of specific design
+decisions in this implementation:
+
+* declarative assembly formats (§4.7) vs. the generic syntax, on both
+  the parse and the print side;
+* constraint-variable unification (§4.6) vs. structurally equivalent
+  constraints without variables;
+* verifier derivation cost: registering a dialect with vs. without
+  IRDL-Py predicates to compile.
+"""
+
+import pytest
+
+from repro.builtin import default_context, f32
+from repro.corpus import cmath_source
+from repro.ir import Block
+from repro.irdl import register_irdl
+from repro.textir import parse_module
+from repro.textir.printer import print_op
+
+GENERIC_FN = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %m = "cmath.mul"(%p, %q) : (!cmath.complex<f32>, !cmath.complex<f32>)
+       -> (!cmath.complex<f32>)
+  %n = "cmath.norm"(%m) : (!cmath.complex<f32>) -> (f32)
+  "func.return"(%n) : (f32) -> ()
+}) {sym_name = "f", function_type = (!cmath.complex<f32>,
+    !cmath.complex<f32>) -> f32} : () -> ()
+"""
+
+CUSTOM_FN = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %m = cmath.mul %p, %q : f32
+  %n = cmath.norm %m : f32
+  "func.return"(%n) : (f32) -> ()
+}) {sym_name = "f", function_type = (!cmath.complex<f32>,
+    !cmath.complex<f32>) -> f32} : () -> ()
+"""
+
+
+@pytest.fixture(scope="module")
+def cmath():
+    ctx = default_context()
+    register_irdl(ctx, cmath_source())
+    return ctx
+
+
+class TestFormatAblation:
+    def test_parse_generic_form(self, benchmark, cmath):
+        module = benchmark(lambda: parse_module(cmath.clone(), GENERIC_FN))
+        module.verify()
+
+    def test_parse_custom_form(self, benchmark, cmath):
+        # The declarative format reads fewer tokens and reconstructs the
+        # types from `$T.elementType` (type-inference cost vs. I/O cost).
+        module = benchmark(lambda: parse_module(cmath.clone(), CUSTOM_FN))
+        module.verify()
+
+    def test_print_generic_vs_custom(self, benchmark, cmath):
+        module = parse_module(cmath, CUSTOM_FN)
+        text = benchmark(print_op, module)
+        assert "cmath.mul %p, %q : f32" in text
+
+    def test_custom_and_generic_parse_to_identical_ir(self, cmath):
+        one = parse_module(cmath.clone(), GENERIC_FN)
+        two = parse_module(cmath.clone(), CUSTOM_FN)
+        names = lambda m: [
+            (op.name, [r.type for r in op.results])
+            for op in m.walk(include_self=False)
+        ]
+        assert names(one) == names(two)  # semantics identical
+        # ... and the printer normalizes both to the custom surface form.
+        assert print_op(one) == print_op(two)
+        assert "cmath.mul %p, %q : f32" in print_op(one)
+
+
+UNIFIED = """
+Dialect uni {
+  Operation same {
+    ConstraintVar (!T: !AnyOf<!f32, !f64>)
+    Operands (a: !T, b: !T, c: !T)
+    Results (r: !T)
+  }
+}
+"""
+
+FIXED = """
+Dialect fixed {
+  Operation same {
+    Operands (a: !f32, b: !f32, c: !f32)
+    Results (r: !f32)
+  }
+}
+"""
+
+
+class TestConstraintVariableAblation:
+    @pytest.fixture(scope="class")
+    def ctxs(self):
+        unified_ctx = default_context()
+        register_irdl(unified_ctx, UNIFIED)
+        fixed_ctx = default_context()
+        register_irdl(fixed_ctx, FIXED)
+        return unified_ctx, fixed_ctx
+
+    def _op(self, ctx, name):
+        block = Block([f32, f32, f32])
+        op = ctx.create_operation(name, operands=list(block.args),
+                                  result_types=[f32])
+        block.add_op(op)
+        return op
+
+    def test_verify_with_unification(self, benchmark, ctxs):
+        unified_ctx, _ = ctxs
+        op = self._op(unified_ctx, "uni.same")
+        benchmark(op.verify)
+
+    def test_verify_without_unification(self, benchmark, ctxs):
+        _, fixed_ctx = ctxs
+        op = self._op(fixed_ctx, "fixed.same")
+        benchmark(op.verify)
+
+
+PLAIN_DIALECT = "\n".join(
+    ["Dialect plain {"]
+    + [f"  Operation op{i} {{ Operands (a: !f32) Results (r: !f32) }}"
+       for i in range(20)]
+    + ["}"]
+)
+
+PREDICATE_DIALECT = "\n".join(
+    ["Dialect heavy {"]
+    + [
+        f'  Operation op{i} {{ Operands (a: !f32) Results (r: !f32) '
+        f'PyConstraint "len($_self.op.operands) == 1" }}'
+        for i in range(20)
+    ]
+    + ["}"]
+)
+
+
+class TestRegistrationAblation:
+    def test_register_declarative_only(self, benchmark):
+        def register():
+            return register_irdl(default_context(), PLAIN_DIALECT)
+
+        (dialect,) = benchmark(register)
+        assert len(dialect.operations) == 20
+
+    def test_register_with_py_predicates(self, benchmark):
+        # Compiling 20 embedded predicates is the marginal cost of the
+        # IRDL-Py escape hatch at registration time.
+        def register():
+            return register_irdl(default_context(), PREDICATE_DIALECT)
+
+        (dialect,) = benchmark(register)
+        assert all(op.has_py_verifier for op in dialect.operations)
+
+
+CONORM_PATTERN = """
+Pattern norm_of_product {
+  Match {
+    %na = cmath.norm(%a)
+    %nb = cmath.norm(%b)
+    %r = arith.mulf(%na, %nb)
+  }
+  Rewrite {
+    %m = cmath.mul(%a, %b)
+    %r = cmath.norm(%m)
+  }
+}
+"""
+
+
+class TestPatternAblation:
+    """Interpreted declarative patterns vs. hand-written Python patterns."""
+
+    def _programmatic(self):
+        from repro.ir import Operation
+        from repro.rewriting import pattern
+
+        @pattern(op_name="arith.mulf")
+        def mul_of_norms(op, rewriter):
+            lhs, rhs = (operand.owner for operand in op.operands)
+            if not (isinstance(lhs, Operation) and lhs.name == "cmath.norm"):
+                return False
+            if not (isinstance(rhs, Operation) and rhs.name == "cmath.norm"):
+                return False
+            p, q = lhs.operands[0], rhs.operands[0]
+            mul = rewriter.create("cmath.mul", operands=[p, q],
+                                  result_types=[p.type], before=op)
+            norm = rewriter.create("cmath.norm", operands=[mul.results[0]],
+                                   result_types=[op.results[0].type],
+                                   before=op)
+            rewriter.replace_op(op, norm)
+            return True
+
+        return [mul_of_norms]
+
+    def _run(self, cmath, patterns):
+        from repro.rewriting import DeadCodeElimination, apply_patterns_greedily
+
+        # The Listing 1 shape: two norms feeding a mulf.
+        module = parse_module(cmath.clone(), """
+        "func.func"() ({
+        ^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+          %np = cmath.norm %p : f32
+          %nq = cmath.norm %q : f32
+          %pq = "arith.mulf"(%np, %nq) : (f32, f32) -> (f32)
+          "func.return"(%pq) : (f32) -> ()
+        }) {sym_name = "f", function_type = (!cmath.complex<f32>,
+            !cmath.complex<f32>) -> f32} : () -> ()
+        """)
+        changed = apply_patterns_greedily(cmath, module, patterns)
+        DeadCodeElimination().run(module)
+        return changed
+
+    def test_programmatic_pattern(self, benchmark, cmath):
+        patterns = self._programmatic()
+        assert benchmark(lambda: self._run(cmath, patterns))
+
+    def test_declarative_pattern(self, benchmark, cmath):
+        from repro.rewriting import parse_patterns
+
+        patterns = parse_patterns(cmath, CONORM_PATTERN)
+        assert benchmark(lambda: self._run(cmath, patterns))
+
+
+class TestGenerationThroughput:
+    def test_bench_ir_generation(self, benchmark):
+        from repro.irdl.irgen import IRGenerator, seed_values_dialect
+
+        ctx = default_context()
+        defs = register_irdl(ctx, cmath_source())
+        defs += register_irdl(ctx, seed_values_dialect())
+
+        def generate():
+            return IRGenerator(ctx, defs, seed=11).generate_module(20)
+
+        module = benchmark(generate)
+        module.verify()

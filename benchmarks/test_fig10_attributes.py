@@ -1,0 +1,43 @@
+"""Figure 10: how many attribute definitions stay within pure IRDL."""
+
+from conftest import assert_close
+
+from repro.corpus import paper_data as P
+
+
+def test_fig10_attribute_expressiveness(benchmark, expressiveness):
+    report = expressiveness
+
+    def fractions():
+        return (
+            report.attrs_pure_irdl_params_fraction(),
+            report.attrs_py_verifier_fraction(),
+        )
+
+    pure, verifier = benchmark(fractions)
+    assert report.total_attrs == P.TOTAL_ATTRS
+    # "77% of all attribute definitions exclusively use parameters defined
+    # in IRDL" (Fig. 10a).
+    assert_close(pure, P.ATTRS_PURE_IRDL_PARAMS, tolerance=0.04)
+    # "Only a few attributes (20%) require an additional C++ verifier".
+    assert_close(verifier, P.ATTRS_PY_VERIFIER, tolerance=0.04)
+
+
+def test_fig10_py_param_attrs_only_in_expected_dialects(expressiveness):
+    offenders = {r.dialect for r in expressiveness.attr_rows if r.py_params}
+    assert offenders <= set(P.PY_PARAM_DIALECTS)
+
+
+def test_fig9_10_combined_dialect_count(expressiveness):
+    # §6.3: 14 of the 28 dialects define a type or an attribute; only 5
+    # of them need IRDL-C++ for at least one type or attribute verifier.
+    dialects = {r.dialect for r in expressiveness.type_rows} | {
+        r.dialect for r in expressiveness.attr_rows
+    }
+    assert len(dialects) == P.DIALECTS_WITH_TYPES_OR_ATTRS
+    with_verifier = {
+        r.dialect
+        for r in (*expressiveness.type_rows, *expressiveness.attr_rows)
+        if r.py_verifier
+    }
+    assert 4 <= len(with_verifier) <= 6  # paper: 5

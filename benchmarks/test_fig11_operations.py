@@ -1,0 +1,34 @@
+"""Figure 11: operation expressiveness — local constraints and verifiers."""
+
+from conftest import assert_close
+
+from repro.analysis.report import render_fig11
+from repro.corpus import paper_data as P
+
+
+def test_fig11a_local_constraints(benchmark, expressiveness, record_figure):
+    record_figure("fig11", render_fig11(expressiveness))
+    fraction = benchmark(expressiveness.ops_pure_irdl_local_fraction)
+    # "The vast majority of operations (97%) can define their local
+    # constraints in IRDL".
+    assert_close(fraction, P.OPS_PURE_IRDL_LOCAL, tolerance=0.01)
+    # "20 out of the 28 dialects can represent all of their operation
+    # local constraints in IRDL".
+    assert expressiveness.dialects_fully_irdl_local() == P.DIALECTS_FULLY_IRDL_LOCAL
+
+
+def test_fig11b_global_verifiers(expressiveness):
+    # "only 30% of all operations require an additional C++ verifier".
+    assert_close(expressiveness.ops_py_verifier_fraction(),
+                 P.OPS_PY_VERIFIER, tolerance=0.02)
+
+
+def test_fig11b_ranking_shape(expressiveness):
+    # The verifier-heavy end of the ranking should be verifier-heavier
+    # than the light end (the figure's qualitative shape).
+    rows = {r.dialect: r for r in expressiveness.op_rows}
+    heavy = [rows[d] for d in P.VERIFIER_RANK_ORDER[:5]]
+    light = [rows[d] for d in P.VERIFIER_RANK_ORDER[-5:]]
+    heavy_avg = sum(r.py_verifier / r.total for r in heavy) / len(heavy)
+    light_avg = sum(r.py_verifier / r.total for r in light) / len(light)
+    assert heavy_avg > light_avg + 0.2

@@ -1,0 +1,28 @@
+"""Figure 12: the three kinds of non-IRDL local constraints."""
+
+from repro.analysis.report import render_fig12
+from repro.corpus import paper_data as P
+
+
+def test_fig12_constraint_kinds(benchmark, expressiveness, record_figure):
+    record_figure("fig12", render_fig12(expressiveness))
+    kinds = benchmark(lambda: dict(expressiveness.local_constraint_kinds))
+    # Exactly the paper's three categories, no "other".
+    assert set(kinds) == set(P.LOCAL_CONSTRAINT_KINDS)
+    # Shape: integer inequalities dominate, then strides, then opacity.
+    assert kinds["integer inequality"] > kinds["stride check"] > kinds[
+        "struct opacity"
+    ]
+    for kind, paper_count in P.LOCAL_CONSTRAINT_KINDS.items():
+        assert abs(kinds[kind] - paper_count) <= 3, kind
+
+
+def test_fig12_constraints_live_in_planned_dialects(corpus_defs):
+    planned = set(P.PY_LOCAL_PLAN)
+    actual = {
+        dialect.name
+        for dialect in corpus_defs
+        for op in dialect.operations
+        if op.has_py_local_constraint
+    }
+    assert actual == planned

@@ -1,0 +1,25 @@
+"""Figure 3: operation growth in MLIR, 444 → 942 over 20 months (2.1×)."""
+
+from repro.analysis.history import MLIR_HISTORY, summarize_history
+from repro.analysis.report import render_fig3
+from repro.corpus import paper_data as P
+
+
+def test_fig3_growth_headline(benchmark, record_figure):
+    summary = benchmark(summarize_history, MLIR_HISTORY)
+    record_figure("fig3", render_fig3(MLIR_HISTORY))
+    assert summary.months == P.GROWTH_MONTHS
+    assert summary.initial_ops == P.GROWTH_INITIAL_OPS
+    assert summary.final_ops == P.GROWTH_FINAL_OPS
+    assert round(summary.growth_factor, 1) == P.GROWTH_FACTOR
+    assert summary.final_dialects == P.TOTAL_DIALECTS
+
+
+def test_fig3_series_is_monotone(benchmark):
+    def check():
+        return all(
+            later.num_ops >= earlier.num_ops
+            for earlier, later in zip(MLIR_HISTORY, MLIR_HISTORY[1:])
+        )
+
+    assert benchmark(check)

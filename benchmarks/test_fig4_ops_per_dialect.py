@@ -1,0 +1,20 @@
+"""Figure 4: operations per dialect, from 3 to over a hundred."""
+
+from repro.analysis import CorpusStats
+from repro.analysis.report import render_fig4
+from repro.corpus import paper_data as P
+
+
+def test_fig4_ops_per_dialect(benchmark, corpus_defs, record_figure):
+    stats = benchmark(CorpusStats.of, corpus_defs)
+    record_figure("fig4", render_fig4(stats))
+    rows = dict(stats.ops_per_dialect())
+    assert rows == P.OPS_PER_DIALECT
+    assert stats.total_ops == P.TOTAL_OPS
+    # The extremes the paper calls out.
+    assert rows["arm_neon"] == 3 and rows["builtin"] == 3
+    assert rows["llvm"] > 100 and rows["spv"] > 100
+    # Ascending order (the figure's y-axis) ends with llvm and spv.
+    ordered = [name for name, _ in stats.ops_per_dialect()]
+    assert ordered[-2:] == ["llvm", "spv"]
+    assert set(ordered[:2]) == {"builtin", "arm_neon"}

@@ -1,0 +1,43 @@
+"""Figure 5: operand-count and variadic-operand distributions."""
+
+from conftest import assert_close
+
+from repro.analysis import CorpusStats
+from repro.analysis.report import render_fig5
+from repro.corpus import paper_data as P
+
+
+def test_fig5a_operand_distribution(benchmark, corpus_defs, record_figure):
+    stats = benchmark(CorpusStats.of, corpus_defs)
+    record_figure("fig5", render_fig5(stats))
+    hist = stats.overall_operands
+    for bucket, paper in P.OPERAND_DISTRIBUTION.items():
+        assert_close(hist.fraction(bucket), paper)
+    # SIMD dialects are the 3+-operand-heavy ones (§6.2).
+    for name in P.SIMD_DIALECTS:
+        dialect = next(d for d in stats.dialects if d.name == name)
+        assert dialect.operands.fraction_at_least(3) > 0.5, name
+
+
+def test_fig5b_variadic_operands(corpus_stats):
+    stats = corpus_stats
+    assert_close(
+        stats.overall_variadic_operands.fraction_at_least(1),
+        P.VARIADIC_OPERAND_OP_FRACTION,
+        tolerance=0.03,
+    )
+    assert_close(
+        stats.dialects_with_variadic_operands(),
+        P.DIALECTS_WITH_VARIADIC_OPERANDS,
+        tolerance=0.05,
+    )
+    assert_close(
+        stats.dialects_with_quarter_variadic_operands(),
+        P.DIALECTS_QUARTER_VARIADIC_OPERANDS,
+        tolerance=0.08,
+    )
+
+
+def test_fig5b_most_ops_are_non_variadic(corpus_stats):
+    # "The majority of operations are non-variadic (83%)".
+    assert corpus_stats.overall_variadic_operands.fraction(0) > 0.75

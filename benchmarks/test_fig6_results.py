@@ -1,0 +1,40 @@
+"""Figure 6: result-count and variadic-result distributions."""
+
+from conftest import assert_close
+
+from repro.analysis.report import render_fig6
+from repro.corpus import paper_data as P
+
+
+def test_fig6a_result_distribution(benchmark, corpus_stats, record_figure):
+    record_figure("fig6", render_fig6(corpus_stats))
+    hist = benchmark(lambda: corpus_stats.overall_results)
+    for bucket, paper in P.RESULT_DISTRIBUTION.items():
+        assert_close(hist.fraction(bucket), paper, tolerance=0.03)
+
+
+def test_fig6a_multi_result_dialects(corpus_stats):
+    # §6.2: ops with more than one result live in exactly four dialects.
+    assert sorted(corpus_stats.dialects_with_multi_result_ops()) == sorted(
+        P.MULTI_RESULT_DIALECTS
+    )
+
+
+def test_fig6b_variadic_results(corpus_stats):
+    assert_close(
+        corpus_stats.overall_variadic_results.fraction_at_least(1),
+        P.VARIADIC_RESULT_OP_FRACTION,
+        tolerance=0.02,
+    )
+    assert_close(
+        corpus_stats.dialects_with_variadic_results(),
+        P.DIALECTS_WITH_VARIADIC_RESULTS,
+        tolerance=0.12,
+    )
+
+
+def test_fig6b_no_op_defines_two_variadic_results(corpus_defs):
+    # "no operations in MLIR define multiple variadic results" (§6.2).
+    for dialect in corpus_defs:
+        for op in dialect.operations:
+            assert op.num_variadic_results <= 1, op.qualified_name

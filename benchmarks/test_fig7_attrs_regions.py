@@ -1,0 +1,45 @@
+"""Figure 7: attribute and region usage across operations."""
+
+from conftest import assert_close
+
+from repro.analysis.report import render_fig7
+from repro.corpus import paper_data as P
+
+
+def test_fig7a_attribute_distribution(benchmark, corpus_stats, record_figure):
+    record_figure("fig7", render_fig7(corpus_stats))
+    hist = benchmark(lambda: corpus_stats.overall_attributes)
+    for bucket, paper in P.ATTRIBUTE_DISTRIBUTION.items():
+        assert_close(hist.fraction(bucket), paper)
+    assert_close(
+        corpus_stats.dialects_with_attributes(),
+        P.DIALECTS_WITH_ATTRIBUTES,
+        tolerance=0.05,
+    )
+    assert_close(
+        corpus_stats.dialects_with_quarter_attributes(),
+        P.DIALECTS_QUARTER_ATTRIBUTES,
+        tolerance=0.08,
+    )
+
+
+def test_fig7b_region_distribution(corpus_stats):
+    hist = corpus_stats.overall_regions
+    for bucket, paper in P.REGION_DISTRIBUTION.items():
+        assert_close(hist.fraction(bucket), paper, tolerance=0.02)
+    assert_close(
+        corpus_stats.dialects_with_regions(),
+        P.DIALECTS_WITH_REGIONS,
+        tolerance=0.05,
+    )
+
+
+def test_fig7b_region_heavy_dialects(corpus_stats):
+    # "the two dialects with more than half the operations defining a
+    # region are builtin and scf" (§6.2).
+    heavy = {
+        d.name
+        for d in corpus_stats.dialects
+        if d.regions.fraction_at_least(1) > 0.5
+    }
+    assert heavy == set(P.REGION_HEAVY_DIALECTS)

@@ -1,0 +1,40 @@
+"""Figure 8: type/attribute parameter kinds; domain-specific ones are rare."""
+
+from conftest import assert_close
+
+from repro.analysis import analyze_expressiveness
+from repro.analysis.report import render_fig8
+from repro.corpus import paper_data as P
+
+BUILTIN_KINDS = {"attr/type", "integer", "enum", "float", "string",
+                 "location", "type id"}
+
+
+def test_fig8_parameter_kinds(benchmark, corpus_defs, record_figure):
+    report = benchmark(analyze_expressiveness, corpus_defs)
+    record_figure("fig8", render_fig8(report))
+
+    # Figure 8a: attr/type parameters dominate type definitions; the
+    # builtin kind inventory appears; domain-specific ones are llvm/affine.
+    type_kinds = report.type_param_kinds
+    assert type_kinds.most_common(1)[0][0] == "attr/type"
+    assert type_kinds["integer"] > 0
+    assert type_kinds["enum"] > 0
+    domain_type_kinds = set(type_kinds) - BUILTIN_KINDS
+    assert domain_type_kinds <= {"llvm", "affine"}
+
+    # Figure 8b: attribute parameters show the same builtin kinds plus
+    # location/type-id style builtins.
+    attr_kinds = report.attr_param_kinds
+    assert attr_kinds["string"] > 0 and attr_kinds["integer"] > 0
+    domain_attr_kinds = set(attr_kinds) - BUILTIN_KINDS
+    assert domain_attr_kinds <= {"llvm", "affine", "sparse_tensor"}
+
+
+def test_fig8_domain_specific_fraction(expressiveness):
+    # "Only a few type and attribute parameters are domain-specific (3%)".
+    assert_close(
+        expressiveness.domain_specific_param_fraction(),
+        P.DOMAIN_SPECIFIC_PARAM_FRACTION,
+        tolerance=0.03,
+    )

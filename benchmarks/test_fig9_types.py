@@ -1,0 +1,26 @@
+"""Figure 9: how many type definitions stay within pure IRDL."""
+
+from conftest import assert_close
+
+from repro.analysis import analyze_expressiveness
+from repro.analysis.report import render_fig9_10
+from repro.corpus import paper_data as P
+
+
+def test_fig9_type_expressiveness(benchmark, corpus_defs, record_figure):
+    report = benchmark(analyze_expressiveness, corpus_defs)
+    record_figure("fig9_10", render_fig9_10(report))
+
+    assert report.total_types == P.TOTAL_TYPES
+    # "97% of all type definitions exclusively use parameters defined in
+    # IRDL" (Fig. 9a).
+    assert_close(report.types_pure_irdl_params_fraction(),
+                 P.TYPES_PURE_IRDL_PARAMS, tolerance=0.02)
+    # "Only a few types (16%) require an additional C++ verifier" (Fig. 9b).
+    assert_close(report.types_py_verifier_fraction(),
+                 P.TYPES_PY_VERIFIER, tolerance=0.03)
+
+
+def test_fig9_py_param_types_only_in_expected_dialects(expressiveness):
+    offenders = {r.dialect for r in expressiveness.type_rows if r.py_params}
+    assert offenders <= set(P.PY_PARAM_DIALECTS)

@@ -1,0 +1,75 @@
+"""End-to-end pipeline benchmarks: the §3 workflow at corpus scale.
+
+Not a paper table — these time the implementation itself: registering
+all 28 dialects at runtime, parsing/printing IR, and running verifiers,
+so regressions in the IRDL pipeline show up as benchmark regressions.
+"""
+
+from repro.builtin import default_context, f32
+from repro.corpus import cmath_source, load_corpus, load_hand_corpus
+from repro.ir import Block
+from repro.irdl import register_irdl
+from repro.textir import parse_module, print_op
+
+CONORM = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %norm_p = cmath.norm %p : f32
+  %norm_q = cmath.norm %q : f32
+  %pq = "arith.mulf"(%norm_p, %norm_q) : (f32, f32) -> (f32)
+  "func.return"(%pq) : (f32) -> ()
+}) {sym_name = "conorm",
+    function_type = (!cmath.complex<f32>, !cmath.complex<f32>) -> f32}
+   : () -> ()
+"""
+
+
+def test_bench_register_cmath_dialect(benchmark):
+    source = cmath_source()
+
+    def register():
+        return register_irdl(default_context(), source)
+
+    (dialect,) = benchmark(register)
+    assert dialect.name == "cmath"
+
+
+def test_bench_register_hand_corpus(benchmark):
+    _, defs = benchmark(load_hand_corpus)
+    assert len(defs) == 28
+
+
+def test_bench_register_full_corpus(benchmark):
+    benchmark.pedantic(load_corpus, rounds=3, iterations=1)
+
+
+def test_bench_parse_and_verify(benchmark):
+    ctx = default_context()
+    register_irdl(ctx, cmath_source())
+
+    def parse_and_verify():
+        module = parse_module(ctx.clone(), CONORM)
+        module.verify()
+        return module
+
+    module = benchmark(parse_and_verify)
+    assert module.name == "builtin.module"
+
+
+def test_bench_print_module(benchmark):
+    ctx = default_context()
+    register_irdl(ctx, cmath_source())
+    module = parse_module(ctx, CONORM)
+    text = benchmark(print_op, module)
+    assert "cmath.norm" in text
+
+
+def test_bench_derived_verifier_throughput(benchmark):
+    ctx = default_context()
+    register_irdl(ctx, cmath_source())
+    ty = ctx.make_type("cmath.complex", [f32])
+    block = Block([ty, ty])
+    op = ctx.create_operation("cmath.mul", operands=list(block.args),
+                              result_types=[ty])
+    block.add_op(op)
+    benchmark(op.verify)

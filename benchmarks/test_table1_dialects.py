@@ -1,0 +1,20 @@
+"""Table 1: the 28 dialects of the corpus and their domains."""
+
+from repro.analysis.report import render_table1
+from repro.corpus import paper_data as P
+
+
+def test_table1_dialect_inventory(benchmark, corpus_defs, record_figure):
+    def build_rows():
+        return sorted(
+            (d.name, P.TABLE1[d.name]) for d in corpus_defs
+        )
+
+    rows = benchmark(build_rows)
+    record_figure("table1", render_table1(rows))
+    assert len(rows) == P.TOTAL_DIALECTS
+    assert {name for name, _ in rows} == set(P.TABLE1)
+    # Spot-check the descriptions the paper prints.
+    table = dict(rows)
+    assert table["amx"] == "Intel's advanced matrix instruction set"
+    assert table["pdl_interp"] == "The IR for a PDL interpreter"

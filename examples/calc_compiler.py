@@ -1,0 +1,227 @@
+"""A complete domain-specific compiler on the IRDL stack (Figure 1).
+
+Pipeline:  source text → AST → high-level ``calc`` dialect (defined in
+IRDL at runtime) → declarative lowering to ``arith`` → constant-folding
+canonicalization → the numeric answer, read off the folded IR.
+
+Everything dialect-specific is data: the dialect is an IRDL string, the
+lowering is two declarative patterns, and only the tiny expression
+frontend and the fold pattern are host code.
+
+Run:  python examples/calc_compiler.py "2 * (3 + 4) - 5"
+"""
+
+import sys
+
+from repro.builtin import FloatAttr, default_context, f64
+from repro.ir import Block, Builder, InsertPoint, Operation, Region
+from repro.irdl import register_irdl
+from repro.rewriting import (
+    Canonicalizer,
+    DeadCodeElimination,
+    PassManager,
+    parse_patterns,
+    pattern,
+)
+from repro.textir import print_op
+
+CALC_DIALECT = """
+Dialect calc {
+  Operation num {
+    Results (value: !f64)
+    Attributes (literal: f64_attr)
+    Summary "A numeric literal"
+  }
+  Operation add {
+    Operands (lhs: !f64, rhs: !f64)
+    Results (sum: !f64)
+    Summary "Addition at the calculator abstraction level"
+  }
+  Operation sub {
+    Operands (lhs: !f64, rhs: !f64)
+    Results (difference: !f64)
+    Summary "Subtraction"
+  }
+  Operation mul {
+    Operands (lhs: !f64, rhs: !f64)
+    Results (product: !f64)
+    Summary "Multiplication"
+  }
+}
+"""
+
+LOWERING_PATTERNS = """
+Pattern lower_add {
+  Match { %r = calc.add(%a, %b) }
+  Rewrite { %r = arith.addf(%a, %b) }
+}
+Pattern lower_sub {
+  Match { %r = calc.sub(%a, %b) }
+  Rewrite { %r = arith.subf(%a, %b) }
+}
+Pattern lower_mul {
+  Match { %r = calc.mul(%a, %b) }
+  Rewrite { %r = arith.mulf(%a, %b) }
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Frontend: a recursive-descent parser emitting calc IR
+# ---------------------------------------------------------------------------
+
+class Frontend:
+    """expr := term (('+'|'-') term)* ; term := factor ('*' factor)* ;
+    factor := NUMBER | '(' expr ')' | '-' factor"""
+
+    def __init__(self, text: str, builder: Builder):
+        self.tokens = self._lex(text)
+        self.position = 0
+        self.builder = builder
+
+    @staticmethod
+    def _lex(text: str):
+        tokens, number = [], ""
+        for char in text + " ":
+            if char.isdigit() or char == ".":
+                number += char
+                continue
+            if number:
+                tokens.append(number)
+                number = ""
+            if char in "+-*()":
+                tokens.append(char)
+            elif not char.isspace():
+                raise SyntaxError(f"unexpected character {char!r}")
+        return tokens
+
+    def peek(self):
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def eat(self, expected=None):
+        token = self.peek()
+        if token is None or (expected is not None and token != expected):
+            raise SyntaxError(f"expected {expected!r}, found {token!r}")
+        self.position += 1
+        return token
+
+    def emit_num(self, value: float):
+        op = self.builder.create(
+            "calc.num", result_types=[f64],
+            attributes={"literal": FloatAttr(value, f64)},
+        )
+        return op.results[0]
+
+    def binary(self, name, lhs, rhs):
+        op = self.builder.create(f"calc.{name}", operands=[lhs, rhs],
+                                 result_types=[f64])
+        return op.results[0]
+
+    def expr(self):
+        value = self.term()
+        while self.peek() in ("+", "-"):
+            operator = self.eat()
+            value = self.binary("add" if operator == "+" else "sub",
+                                value, self.term())
+        return value
+
+    def term(self):
+        value = self.factor()
+        while self.peek() == "*":
+            self.eat("*")
+            value = self.binary("mul", value, self.factor())
+        return value
+
+    def factor(self):
+        token = self.peek()
+        if token == "(":
+            self.eat("(")
+            value = self.expr()
+            self.eat(")")
+            return value
+        if token == "-":
+            self.eat("-")
+            return self.binary("sub", self.emit_num(0.0), self.factor())
+        return self.emit_num(float(self.eat()))
+
+
+# ---------------------------------------------------------------------------
+# Backend: constant folding over arith
+# ---------------------------------------------------------------------------
+
+FOLDERS = {"arith.addf": lambda a, b: a + b,
+           "arith.subf": lambda a, b: a - b,
+           "arith.mulf": lambda a, b: a * b}
+
+
+@pattern()
+def fold_arith(op: Operation, rewriter) -> bool:
+    fold = FOLDERS.get(op.name)
+    if fold is None:
+        return False
+    constants = []
+    for operand in op.operands:
+        producer = operand.owner
+        if not isinstance(producer, Operation) or producer.name != "arith.constant":
+            return False
+        constants.append(producer.attributes["value"].value)
+    folded = rewriter.create(
+        "arith.constant", result_types=[f64],
+        attributes={"value": FloatAttr(fold(*constants), f64)}, before=op,
+    )
+    rewriter.replace_op(op, folded)
+    return True
+
+
+@pattern(op_name="calc.num")
+def lower_num(op: Operation, rewriter) -> bool:
+    constant = rewriter.create(
+        "arith.constant", result_types=[f64],
+        attributes={"value": op.attributes["literal"]}, before=op,
+    )
+    rewriter.replace_op(op, constant)
+    return True
+
+
+def compile_and_run(text: str, verbose: bool = True) -> float:
+    ctx = default_context()
+    register_irdl(ctx, CALC_DIALECT)
+    register_irdl(ctx, "Dialect io { Operation print { Operands (v: !f64) } }")
+
+    # Frontend: source → calc IR.
+    block = Block()
+    builder = Builder(ctx, InsertPoint.at_end(block))
+    result = Frontend(text, builder).expr()
+    builder.create("io.print", operands=[result])
+    module = ctx.create_operation("builtin.module",
+                                  regions=[Region([block])])
+    module.verify()
+    if verbose:
+        print("calc-level IR:")
+        print(print_op(module))
+
+    # Midend: declarative lowering + programmatic num lowering + folding.
+    pipeline = PassManager(verify_each=True)
+    pipeline.add(Canonicalizer(ctx, parse_patterns(ctx, LOWERING_PATTERNS)
+                               + [lower_num]))
+    pipeline.add(Canonicalizer(ctx, [fold_arith]))
+    pipeline.add(DeadCodeElimination())
+    pipeline.run(module)
+    if verbose:
+        print("\nafter lowering and folding:")
+        print(print_op(module))
+
+    # The answer is the single remaining constant.
+    constants = [op for op in module.walk() if op.name == "arith.constant"]
+    assert len(constants) == 1, "folding should leave one constant"
+    return constants[0].attributes["value"].value
+
+
+def main() -> None:
+    text = sys.argv[1] if len(sys.argv) > 1 else "2 * (3 + 4) - 5"
+    value = compile_and_run(text)
+    print(f"\n{text} = {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""IR meta-tooling: analyze the 28-dialect MLIR corpus (§6).
+
+Loads every corpus dialect through the full IRDL pipeline and prints the
+paper's evaluation analyses — the dialect inventory (Table 1), growth
+history (Fig. 3), per-dialect sizes (Fig. 4), structural statistics
+(Figs. 5–7), and expressiveness results (Figs. 8–12).  This is the
+"statistic and analysis tools" story of §3: because IR definitions are
+self-contained data, analyses like these are a few lines each.
+
+Run:  python examples/dialect_statistics.py [--hand-written]
+"""
+
+import sys
+
+from repro.analysis import CorpusStats, analyze_expressiveness
+from repro.analysis.history import MLIR_HISTORY
+from repro.analysis.report import (
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9_10,
+    render_fig11,
+    render_fig12,
+    render_table1,
+)
+from repro.corpus import load_corpus, load_hand_corpus, paper_data
+
+
+def main() -> None:
+    hand_only = "--hand-written" in sys.argv
+    loader = load_hand_corpus if hand_only else load_corpus
+    flavour = "hand-written" if hand_only else "full (paper-scale)"
+    print(f"loading the {flavour} corpus ...\n")
+    _, defs = loader()
+
+    stats = CorpusStats.of(defs)
+    report = analyze_expressiveness(defs)
+
+    print(render_table1(sorted(paper_data.TABLE1.items())))
+    print(render_fig3(MLIR_HISTORY))
+    print(render_fig4(stats))
+    print(render_fig5(stats))
+    print(render_fig6(stats))
+    print(render_fig7(stats))
+    print(render_fig8(report))
+    print(render_fig9_10(report))
+    print(render_fig11(report))
+    print(render_fig12(report))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Generate Markdown reference documentation from IRDL definitions.
+
+Because dialects are self-contained, documented data ("Summary" fields,
+typed signatures, region/terminator declarations), reference docs are a
+pure traversal — one of the §3 tooling dividends.  Renders the cmath
+dialect and a couple of corpus dialects to ``docs/``.
+
+Run:  python examples/generate_docs.py
+"""
+
+import os
+
+from repro.analysis.docgen import render_dialect_doc
+from repro.builtin import default_context
+from repro.corpus import cmath_source, load_hand_corpus
+from repro.irdl import register_irdl
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "..", "docs")
+
+
+def main() -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    ctx = default_context()
+    (cmath,) = register_irdl(ctx, cmath_source())
+    _, corpus = load_hand_corpus()
+
+    to_render = [cmath] + [
+        d for d in corpus if d.name in ("scf", "llvm", "builtin")
+    ]
+    for dialect in to_render:
+        path = os.path.join(OUT_DIR, f"{dialect.name}.md")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(render_dialect_doc(dialect))
+        print(f"wrote {os.path.relpath(path)}")
+
+    print("\npreview of docs/cmath.md:\n")
+    print(render_dialect_doc(cmath))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Generating IR from IRDL definitions (§3's introspection/generation story).
+
+Registers the cmath dialect, then *generates* random modules that are
+valid by construction: operand/result types are sampled from the
+declared constraints (with constraint variables unified), attributes are
+sampled from their constraints, and every module verifies and
+round-trips through the textual syntax.  This is differential testing of
+the three derived artefacts — data structures, verifiers, and
+parsers/printers — against each other.
+
+Run:  python examples/ir_fuzzing.py [num_modules]
+"""
+
+import sys
+
+from repro.builtin import default_context
+from repro.corpus import cmath_source
+from repro.irdl import register_irdl
+from repro.irdl.irgen import IRGenerator, seed_values_dialect
+from repro.textir import parse_module, print_op
+
+
+def main() -> None:
+    rounds = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+
+    ctx = default_context()
+    defs = register_irdl(ctx, cmath_source())
+    defs += register_irdl(ctx, seed_values_dialect())
+
+    total_ops = 0
+    for seed in range(rounds):
+        generator = IRGenerator(ctx, defs, seed=seed)
+        module = generator.generate_module(num_ops=12)
+
+        # Derived verifiers accept the generated IR ...
+        module.verify()
+        # ... and the derived printer/parser round-trip it exactly.
+        text = print_op(module)
+        reparsed = parse_module(ctx, text)
+        reparsed.verify()
+        assert print_op(reparsed) == text, "round-trip mismatch"
+        total_ops += sum(1 for _ in module.walk(include_self=False))
+
+    print(f"generated {rounds} modules ({total_ops} ops): all verified "
+          "and round-tripped")
+
+    print("\nsample module (seed 4):")
+    module = IRGenerator(ctx, defs, seed=4).generate_module(num_ops=10)
+    print(print_op(module))
+
+
+if __name__ == "__main__":
+    main()

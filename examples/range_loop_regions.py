@@ -1,0 +1,101 @@
+"""Regions, terminators, and successors (Listings 7 and 8).
+
+Defines the paper's ``range_loop`` operation — a loop carrying a nested
+single-block region with a declared terminator — plus the
+``conditional_branch`` terminator with two successors, then shows the
+derived verifiers enforcing every structural rule.
+
+Run:  python examples/range_loop_regions.py
+"""
+
+from repro.builtin import default_context, i1, i32
+from repro.ir import Block, Region, VerifyError
+from repro.irdl import register_irdl
+from repro.textir import print_op
+
+LOOPS = """
+Dialect loops {
+  Operation range_loop_terminator {
+    Successors ()
+    Summary "Terminates a range_loop body"
+  }
+
+  Operation range_loop {
+    Operands (lower_bound: !i32, upper_bound: !i32, step: !i32)
+    Region body {
+      Arguments (induction_variable: !i32)
+      Terminator range_loop_terminator
+    }
+    Summary "A loop iterating over an integer range (Listing 7)"
+  }
+
+  Operation conditional_branch {
+    Operands (condition: !i1)
+    Successors (next_bb_true, next_bb_false)
+    Summary "Passes control to one of two blocks (Listing 8)"
+  }
+}
+"""
+
+
+def build_loop(ctx, bounds, with_terminator=True, arg_types=(i32,)):
+    body = Block(list(arg_types))
+    if with_terminator:
+        body.add_op(ctx.create_operation("loops.range_loop_terminator"))
+    return ctx.create_operation(
+        "loops.range_loop", operands=list(bounds), regions=[Region([body])]
+    )
+
+
+def main() -> None:
+    ctx = default_context()
+    (loops,) = register_irdl(ctx, LOOPS)
+    terminators = [op.name for op in loops.operations if op.is_terminator]
+    print("terminator ops:", terminators)
+
+    entry = Block([i32, i32, i32, i1])
+    lower, upper, step, cond = entry.args
+
+    # A well-formed loop verifies.
+    loop = build_loop(ctx, (lower, upper, step))
+    entry.add_op(loop)
+    loop.verify()
+    print("\nwell-formed range_loop:")
+    print(print_op(loop))
+
+    # Missing terminator: rejected.
+    try:
+        build_loop(ctx, (lower, upper, step), with_terminator=False).verify()
+    except VerifyError as err:
+        print(f"\nmissing terminator rejected:\n  {err}")
+
+    # Wrong entry-argument type: rejected.
+    try:
+        build_loop(ctx, (lower, upper, step), arg_types=(i1,)).verify()
+    except VerifyError as err:
+        print(f"\nwrong region argument rejected:\n  {err}")
+
+    # Successors: conditional_branch needs exactly two, and must be last
+    # in its block.
+    region = Region([Block(), Block()])
+    then_block, else_block = region.blocks
+    branch = ctx.create_operation(
+        "loops.conditional_branch",
+        operands=[cond],
+        successors=[then_block, else_block],
+    )
+    print("\nconditional_branch with two successors verifies:")
+    print(print_op(branch))
+    branch.verify()
+
+    bad_branch = ctx.create_operation(
+        "loops.conditional_branch", operands=[cond], successors=[then_block]
+    )
+    try:
+        bad_branch.verify()
+    except VerifyError as err:
+        print(f"one-successor branch rejected:\n  {err}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""IRDL: an IR definition language for SSA compilers — Python reproduction.
+
+A from-scratch implementation of the PLDI 2022 paper's system:
+
+* :mod:`repro.ir` — the SSA+regions IR substrate (values, operations,
+  blocks, regions, dialect registry);
+* :mod:`repro.builtin` — natively implemented builtin/func/arith/cf
+  dialects;
+* :mod:`repro.textir` — the MLIR-like textual syntax (parser/printer);
+* :mod:`repro.irdl` — the IRDL language itself: parsing, constraint
+  resolution, verifier generation, declarative formats, runtime dialect
+  instantiation, and the IRDL-Py escape hatch (≙ IRDL-C++);
+* :mod:`repro.rewriting` — pattern rewriting for dynamic compilation flows;
+* :mod:`repro.analysis` — the §6 meta-analyses over dialect definitions;
+* :mod:`repro.corpus` — the 28-dialect MLIR corpus expressed in IRDL.
+
+Quickstart::
+
+    from repro.builtin import default_context
+    from repro.irdl import register_irdl
+    from repro.textir import parse_module, print_op
+
+    ctx = default_context()
+    register_irdl(ctx, open("cmath.irdl").read())
+    module = parse_module(ctx, "...textual IR...")
+    module.verify()
+    print(print_op(module))
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,41 @@
+"""IR statistics and expressiveness analyses (§6's evaluation tooling)."""
+
+from repro.analysis.expressiveness import (
+    ExpressivenessReport,
+    OpExpressiveness,
+    TypeAttrExpressiveness,
+    analyze_expressiveness,
+    classify_py_constraint,
+)
+from repro.analysis.feature_matrix import (
+    FEATURE_MATRIX,
+    FEATURES,
+    check_irdl_feature_claims,
+    check_irdl_py_feature_claims,
+)
+from repro.analysis.history import (
+    MLIR_HISTORY,
+    GrowthSummary,
+    HistoryPoint,
+    summarize_history,
+)
+from repro.analysis.stats import CorpusStats, DialectStats, Histogram
+
+__all__ = [
+    "ExpressivenessReport",
+    "OpExpressiveness",
+    "TypeAttrExpressiveness",
+    "analyze_expressiveness",
+    "classify_py_constraint",
+    "FEATURE_MATRIX",
+    "FEATURES",
+    "check_irdl_feature_claims",
+    "check_irdl_py_feature_claims",
+    "MLIR_HISTORY",
+    "GrowthSummary",
+    "HistoryPoint",
+    "summarize_history",
+    "CorpusStats",
+    "DialectStats",
+    "Histogram",
+]

@@ -1,0 +1,122 @@
+"""Documentation generation from IRDL definitions.
+
+Because IRDL definitions are structured data, reference documentation is
+a traversal (§3: "the concise, well-defined, and well-documented
+interface that IRDL provides").  This module renders a dialect's
+operations, types, and attributes — including their ``Summary`` fields
+and constraint signatures — as Markdown, in the style of MLIR's
+generated dialect docs.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.irdl.ast import Variadicity
+from repro.irdl.defs import ArgDef, DialectDef, OpDef, TypeDef
+
+
+def _constraint_text(constraint) -> str:
+    return repr(constraint)
+
+
+def _arg_line(arg: ArgDef) -> str:
+    marker = {
+        Variadicity.SINGLE: "",
+        Variadicity.OPTIONAL: " *(optional)*",
+        Variadicity.VARIADIC: " *(variadic)*",
+    }[arg.variadicity]
+    return f"| `{arg.name}` | `{_constraint_text(arg.constraint)}`{marker} |"
+
+
+def render_op_doc(op: OpDef) -> str:
+    out = io.StringIO()
+    out.write(f"### `{op.qualified_name}`\n\n")
+    if op.summary:
+        out.write(f"_{op.summary}_\n\n")
+    if op.is_terminator:
+        out.write("This operation is a **terminator**")
+        if op.successors:
+            out.write(f" with successors: {', '.join(op.successors)}")
+        out.write(".\n\n")
+    for title, args in (("Operands", op.operands), ("Results", op.results),
+                        ("Attributes", op.attributes)):
+        if args:
+            out.write(f"**{title}:**\n\n")
+            out.write("| name | constraint |\n|---|---|\n")
+            for arg in args:
+                out.write(_arg_line(arg) + "\n")
+            out.write("\n")
+    for region in op.regions:
+        out.write(f"**Region `{region.name}`**")
+        details = []
+        if region.arguments:
+            details.append(
+                "arguments: "
+                + ", ".join(f"`{a.name}`" for a in region.arguments)
+            )
+        if region.terminator:
+            details.append(f"terminated by `{region.terminator}`")
+        if details:
+            out.write(" — " + "; ".join(details))
+        out.write("\n\n")
+    if op.format is not None:
+        out.write(f"**Assembly format:** `{op.format}`\n\n")
+    if op.py_constraints:
+        out.write("**Additional invariants (IRDL-Py):**\n\n")
+        for code in op.py_constraints:
+            out.write(f"```python\n{code}\n```\n\n")
+    return out.getvalue()
+
+
+def render_type_doc(type_def: TypeDef) -> str:
+    out = io.StringIO()
+    kind = "type" if type_def.is_type else "attribute"
+    out.write(f"### `{type_def.qualified_name}` ({kind})\n\n")
+    if type_def.summary:
+        out.write(f"_{type_def.summary}_\n\n")
+    if type_def.parameters:
+        out.write("| parameter | kind | constraint |\n|---|---|---|\n")
+        for param in type_def.parameters:
+            out.write(
+                f"| `{param.name}` | {param.kind} | "
+                f"`{_constraint_text(param.constraint)}` |\n"
+            )
+        out.write("\n")
+    if type_def.py_constraints:
+        out.write("**Additional invariants (IRDL-Py):**\n\n")
+        for code in type_def.py_constraints:
+            out.write(f"```python\n{code}\n```\n\n")
+    return out.getvalue()
+
+
+def render_dialect_doc(dialect: DialectDef) -> str:
+    """Markdown reference documentation for one dialect."""
+    out = io.StringIO()
+    out.write(f"# Dialect `{dialect.name}`\n\n")
+    out.write(
+        f"{len(dialect.operations)} operations, {len(dialect.types)} types, "
+        f"{len(dialect.attributes)} attributes"
+    )
+    if dialect.enums:
+        out.write(f", {len(dialect.enums)} enums")
+    out.write(".\n\n")
+    for enum in dialect.enums:
+        out.write(
+            f"**Enum `{enum.qualified_name}`**: "
+            + ", ".join(f"`{c}`" for c in enum.constructors)
+            + "\n\n"
+        )
+    if dialect.types:
+        out.write("## Types\n\n")
+        for type_def in dialect.types:
+            out.write(render_type_doc(type_def))
+    if dialect.attributes:
+        out.write("## Attributes\n\n")
+        for attr_def in dialect.attributes:
+            out.write(render_type_doc(attr_def))
+    if dialect.operations:
+        out.write("## Operations\n\n")
+        for op in dialect.operations:
+            out.write(render_op_doc(op))
+    return out.getvalue()

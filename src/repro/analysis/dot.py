@@ -1,0 +1,82 @@
+"""Graphviz (DOT) export of IR structure — visual IR tooling.
+
+Two views, both plain-text DOT so they render anywhere:
+
+* :func:`cfg_to_dot` — the control-flow graph of a region: one node per
+  block (labelled with its ops), edges along terminator successors;
+* :func:`use_def_to_dot` — the dataflow graph of a block or operation
+  tree: one node per operation, edges from producers to consumers.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.ir.block import Block
+from repro.ir.operation import Operation
+from repro.ir.region import Region
+from repro.ir.value import OpResult
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(region: Region, name: str = "cfg") -> str:
+    """The region's CFG as a DOT digraph."""
+    out = io.StringIO()
+    out.write(f'digraph "{_escape(name)}" {{\n')
+    out.write("  node [shape=box, fontname=monospace];\n")
+    ids = {id(block): f"bb{i}" for i, block in enumerate(region.blocks)}
+    for block in region.blocks:
+        label_lines = [f"^{ids[id(block)]}"]
+        if block.args:
+            args = ", ".join(f"arg{i}: {arg.type}" for i, arg in enumerate(block.args))
+            label_lines[0] += f"({args})"
+        label_lines.extend(op.name for op in block.ops)
+        label = _escape("\\l".join(label_lines) + "\\l")
+        out.write(f'  {ids[id(block)]} [label="{label}"];\n')
+    for block in region.blocks:
+        last = block.last_op
+        if last is None:
+            continue
+        for successor in last.successors:
+            if id(successor) in ids:
+                out.write(f"  {ids[id(block)]} -> {ids[id(successor)]};\n")
+    out.write("}\n")
+    return out.getvalue()
+
+
+def use_def_to_dot(root: Operation, name: str = "dataflow") -> str:
+    """The use-def graph under ``root`` as a DOT digraph.
+
+    Nodes are operations; an edge ``a -> b`` means an operand of ``b`` is
+    a result of ``a``.  Block arguments appear as ellipse nodes.
+    """
+    out = io.StringIO()
+    out.write(f'digraph "{_escape(name)}" {{\n')
+    out.write("  node [shape=box, fontname=monospace];\n")
+    op_ids: dict[int, str] = {}
+    ops = [op for op in root.walk(include_self=False)] or [root]
+    for index, op in enumerate(ops):
+        op_ids[id(op)] = f"op{index}"
+        out.write(f'  op{index} [label="{_escape(op.name)}"];\n')
+    arg_ids: dict[int, str] = {}
+    for index, op in enumerate(ops):
+        for operand_index, operand in enumerate(op.operands):
+            if isinstance(operand, OpResult) and id(operand.op) in op_ids:
+                out.write(
+                    f"  {op_ids[id(operand.op)]} -> {op_ids[id(op)]} "
+                    f'[label="{operand.index}->{operand_index}"];\n'
+                )
+            elif not isinstance(operand, OpResult):
+                key = id(operand)
+                if key not in arg_ids:
+                    arg_ids[key] = f"arg{len(arg_ids)}"
+                    out.write(
+                        f'  {arg_ids[key]} [shape=ellipse, '
+                        f'label="{_escape(str(operand.type))}"];\n'
+                    )
+                out.write(f"  {arg_ids[key]} -> {op_ids[id(op)]};\n")
+    out.write("}\n")
+    return out.getvalue()

@@ -1,0 +1,246 @@
+"""Expressiveness analysis: what needs IRDL-Py and what stays in IRDL.
+
+Implements the classification behind §6.3 and §6.4:
+
+* Figure 8 — which parameter kinds types and attributes use;
+* Figures 9/10 — how many type/attribute definitions need IRDL-Py for
+  their parameters, and how many need an IRDL-Py verifier;
+* Figure 11 — how many operations can express their local constraints
+  purely in IRDL, and how many need an IRDL-Py (global) verifier;
+* Figure 12 — the kinds of local constraints that fall outside IRDL.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.irdl import constraints as C
+from repro.irdl.defs import DialectDef, OpDef, TypeDef
+from repro.irdl.resolver import constraint_uses_py
+
+#: The three categories of non-IRDL local constraints found in MLIR
+#: (Figure 12), plus a catch-all.
+CONSTRAINT_KINDS = ("integer inequality", "stride check", "struct opacity", "other")
+
+_COMPARISON_RE = re.compile(r"<=|>=|<|>")
+
+
+def classify_py_constraint(name: str, code: str) -> str:
+    """Classify a non-IRDL local constraint into a Figure 12 category.
+
+    The classification inspects the constraint's name and embedded code:
+    stride checks mention strides, struct-opacity checks mention opacity,
+    and the remaining comparisons over integers are integer inequalities.
+    """
+    haystack = f"{name} {code}".lower()
+    if "stride" in haystack:
+        return "stride check"
+    if "opaque" in haystack or "opacity" in haystack:
+        return "struct opacity"
+    if _COMPARISON_RE.search(code):
+        return "integer inequality"
+    return "other"
+
+
+def _collect_py_constraints(constraint: C.Constraint) -> list[C.PyConstraint]:
+    """All PyConstraint nodes inside a resolved constraint."""
+    found: list[C.PyConstraint] = []
+    stack = [constraint]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, C.PyConstraint):
+            found.append(current)
+            stack.append(current.base)
+        elif isinstance(current, C.AnyOfConstraint):
+            stack.extend(current.alternatives)
+        elif isinstance(current, C.AndConstraint):
+            stack.extend(current.conjuncts)
+        elif isinstance(current, C.NotConstraint):
+            stack.append(current.inner)
+        elif isinstance(current, C.VarConstraint):
+            stack.append(current.base)
+        elif isinstance(current, C.ParametricConstraint):
+            stack.extend(current.param_constraints)
+        elif isinstance(current, (C.ArrayAnyConstraint,)):
+            stack.append(current.element)
+        elif isinstance(current, C.ArrayExactConstraint):
+            stack.extend(current.elements)
+    return found
+
+
+@dataclass
+class TypeAttrExpressiveness:
+    """Figure 9 (types) or Figure 10 (attributes), one dialect row."""
+
+    dialect: str
+    total: int = 0
+    py_params: int = 0     # definitions whose parameters need IRDL-Py
+    py_verifier: int = 0   # definitions with an IRDL-Py verifier
+
+    @property
+    def irdl_params(self) -> int:
+        return self.total - self.py_params
+
+    @property
+    def irdl_verifier(self) -> int:
+        return self.total - self.py_verifier
+
+
+@dataclass
+class OpExpressiveness:
+    """Figure 11, one dialect row."""
+
+    dialect: str
+    total: int = 0
+    py_local: int = 0      # ops with a non-IRDL local constraint (Fig 11a)
+    py_verifier: int = 0   # ops with an IRDL-Py global verifier (Fig 11b)
+
+    @property
+    def irdl_local(self) -> int:
+        return self.total - self.py_local
+
+    @property
+    def irdl_verifier(self) -> int:
+        return self.total - self.py_verifier
+
+
+@dataclass
+class ExpressivenessReport:
+    """The complete §6.3/§6.4 analysis over a corpus."""
+
+    type_rows: list[TypeAttrExpressiveness] = field(default_factory=list)
+    attr_rows: list[TypeAttrExpressiveness] = field(default_factory=list)
+    op_rows: list[OpExpressiveness] = field(default_factory=list)
+    type_param_kinds: Counter = field(default_factory=Counter)
+    attr_param_kinds: Counter = field(default_factory=Counter)
+    local_constraint_kinds: Counter = field(default_factory=Counter)
+
+    # -- totals ----------------------------------------------------------
+
+    @property
+    def total_types(self) -> int:
+        return sum(r.total for r in self.type_rows)
+
+    @property
+    def total_attrs(self) -> int:
+        return sum(r.total for r in self.attr_rows)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(r.total for r in self.op_rows)
+
+    # -- headline fractions (the numbers quoted in the paper) -------------
+
+    def types_pure_irdl_params_fraction(self) -> float:
+        """Fig. 9a caption: 97% of type defs use only IRDL parameters."""
+        if not self.total_types:
+            return 1.0
+        return sum(r.irdl_params for r in self.type_rows) / self.total_types
+
+    def types_py_verifier_fraction(self) -> float:
+        """Fig. 9b caption: 16% of types need an extra verifier."""
+        if not self.total_types:
+            return 0.0
+        return sum(r.py_verifier for r in self.type_rows) / self.total_types
+
+    def attrs_pure_irdl_params_fraction(self) -> float:
+        """Fig. 10a caption: 77% of attr defs use only IRDL parameters."""
+        if not self.total_attrs:
+            return 1.0
+        return sum(r.irdl_params for r in self.attr_rows) / self.total_attrs
+
+    def attrs_py_verifier_fraction(self) -> float:
+        """Fig. 10b caption: 20% of attributes need an extra verifier."""
+        if not self.total_attrs:
+            return 0.0
+        return sum(r.py_verifier for r in self.attr_rows) / self.total_attrs
+
+    def ops_pure_irdl_local_fraction(self) -> float:
+        """Fig. 11a: 97% of ops express local constraints in IRDL."""
+        if not self.total_ops:
+            return 1.0
+        return sum(r.irdl_local for r in self.op_rows) / self.total_ops
+
+    def ops_py_verifier_fraction(self) -> float:
+        """Fig. 11b: 30% of ops need an IRDL-Py global verifier."""
+        if not self.total_ops:
+            return 0.0
+        return sum(r.py_verifier for r in self.op_rows) / self.total_ops
+
+    def dialects_fully_irdl_local(self) -> int:
+        """§6.4: 20 of 28 dialects express all local constraints in IRDL."""
+        return sum(1 for r in self.op_rows if r.py_local == 0)
+
+    def domain_specific_param_fraction(self) -> float:
+        """Fig. 8 caption: only ~3% of parameters are domain-specific."""
+        builtin_kinds = {
+            "attr/type", "integer", "enum", "float", "string",
+            "location", "type id", "array",
+        }
+        total = sum(self.type_param_kinds.values()) + sum(
+            self.attr_param_kinds.values()
+        )
+        if not total:
+            return 0.0
+        domain = sum(
+            count
+            for kind, count in (self.type_param_kinds + self.attr_param_kinds).items()
+            if kind not in builtin_kinds
+        )
+        return domain / total
+
+
+def analyze_expressiveness(
+    dialect_defs: Iterable[DialectDef],
+) -> ExpressivenessReport:
+    """Run the full §6.3/§6.4 analysis over resolved dialect definitions."""
+    report = ExpressivenessReport()
+    for dialect in dialect_defs:
+        _analyze_type_attrs(dialect, dialect.types, report.type_rows,
+                            report.type_param_kinds, report)
+        _analyze_type_attrs(dialect, dialect.attributes, report.attr_rows,
+                            report.attr_param_kinds, report)
+        _analyze_ops(dialect, report)
+    return report
+
+
+def _analyze_type_attrs(
+    dialect: DialectDef,
+    defs: list[TypeDef],
+    rows: list[TypeAttrExpressiveness],
+    kind_counter: Counter,
+    report: ExpressivenessReport,
+) -> None:
+    if not defs:
+        return
+    row = TypeAttrExpressiveness(dialect.name, total=len(defs))
+    for type_def in defs:
+        if type_def.needs_py_for_parameters:
+            row.py_params += 1
+        if type_def.needs_py_verifier:
+            row.py_verifier += 1
+        for param in type_def.parameters:
+            kind_counter[param.kind] += 1
+    rows.append(row)
+
+
+def _analyze_ops(dialect: DialectDef, report: ExpressivenessReport) -> None:
+    if not dialect.operations:
+        return
+    row = OpExpressiveness(dialect.name, total=len(dialect.operations))
+    for op in dialect.operations:
+        if op.has_py_local_constraint:
+            row.py_local += 1
+            for arg in (*op.operands, *op.results, *op.attributes):
+                for py_constraint in _collect_py_constraints(arg.constraint):
+                    report.local_constraint_kinds[
+                        classify_py_constraint(
+                            py_constraint.name, py_constraint.code
+                        )
+                    ] += 1
+        if op.has_py_verifier:
+            row.py_verifier += 1
+    report.op_rows.append(row)

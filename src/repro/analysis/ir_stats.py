@@ -1,0 +1,98 @@
+"""Statistics over IR *modules* (the "IR Statistics" box of Figure 1).
+
+Where :mod:`repro.analysis.stats` measures dialect *definitions*, this
+module measures concrete programs: operation frequencies, dialect mix,
+region nesting depth, SSA value fan-out, and block/CFG shape.  Useful
+for corpus characterization, compiler-pipeline dashboards, and deciding
+which abstractions a new dialect should provide.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.ir.operation import Operation
+
+
+@dataclass
+class ModuleStats:
+    """Aggregate statistics for one operation tree."""
+
+    num_ops: int = 0
+    num_blocks: int = 0
+    num_regions: int = 0
+    num_values: int = 0          # op results + block arguments
+    num_uses: int = 0            # operand slots
+    max_region_depth: int = 0
+    op_frequency: Counter = field(default_factory=Counter)
+    dialect_frequency: Counter = field(default_factory=Counter)
+    value_fanout: Counter = field(default_factory=Counter)
+
+    @property
+    def average_fanout(self) -> float:
+        """Mean number of uses per SSA value."""
+        if not self.num_values:
+            return 0.0
+        return self.num_uses / self.num_values
+
+    def most_common_ops(self, count: int = 5) -> list[tuple[str, int]]:
+        return self.op_frequency.most_common(count)
+
+    def dialect_mix(self) -> dict[str, float]:
+        """Fraction of operations per dialect."""
+        if not self.num_ops:
+            return {}
+        return {
+            name: occurrences / self.num_ops
+            for name, occurrences in self.dialect_frequency.items()
+        }
+
+
+def analyze_module(root: Operation) -> ModuleStats:
+    """Compute :class:`ModuleStats` for an operation tree."""
+    stats = ModuleStats()
+    _walk(root, stats, depth=0)
+    return stats
+
+
+def _walk(op: Operation, stats: ModuleStats, depth: int) -> None:
+    stats.num_ops += 1
+    stats.op_frequency[op.name] += 1
+    stats.dialect_frequency[op.dialect_name] += 1
+    stats.num_uses += len(op.operands)
+    for result in op.results:
+        stats.num_values += 1
+        stats.value_fanout[len(result.uses)] += 1
+    for region in op.regions:
+        stats.num_regions += 1
+        stats.max_region_depth = max(stats.max_region_depth, depth + 1)
+        for block in region.blocks:
+            stats.num_blocks += 1
+            for argument in block.args:
+                stats.num_values += 1
+                stats.value_fanout[len(argument.uses)] += 1
+            for nested in block.ops:
+                _walk(nested, stats, depth + 1)
+
+
+def render_module_stats(stats: ModuleStats, title: str = "module") -> str:
+    """A compact text report for dashboards and CLI output."""
+    lines = [f"IR statistics for {title}:"]
+    lines.append(
+        f"  {stats.num_ops} ops, {stats.num_blocks} blocks, "
+        f"{stats.num_regions} regions (max depth {stats.max_region_depth})"
+    )
+    lines.append(
+        f"  {stats.num_values} SSA values, {stats.num_uses} uses "
+        f"(avg fan-out {stats.average_fanout:.2f})"
+    )
+    mix = ", ".join(
+        f"{name} {100 * share:.0f}%"
+        for name, share in sorted(stats.dialect_mix().items(),
+                                  key=lambda kv: -kv[1])
+    )
+    lines.append(f"  dialect mix: {mix}")
+    for name, occurrences in stats.most_common_ops():
+        lines.append(f"    {name:<32} {occurrences}")
+    return "\n".join(lines) + "\n"

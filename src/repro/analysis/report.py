@@ -1,0 +1,235 @@
+"""Text renderers producing the paper's tables and figures as rows/series.
+
+The benchmark harness prints these; EXPERIMENTS.md records them against
+the paper's numbers.  Bars are rendered as simple ASCII so the "figures"
+read directly in a terminal.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Sequence
+
+from repro.analysis.expressiveness import ExpressivenessReport
+from repro.analysis.history import HistoryPoint, summarize_history
+from repro.analysis.stats import CorpusStats, Histogram
+
+
+def _pct(value: float) -> str:
+    return f"{100 * value:5.1f}%"
+
+
+def render_table1(rows: Sequence[tuple[str, str]]) -> str:
+    """Table 1: the dialect inventory."""
+    out = io.StringIO()
+    out.write("Table 1: dialects in the corpus\n")
+    width = max(len(name) for name, _ in rows)
+    for name, description in sorted(rows):
+        out.write(f"  {name:<{width}}  {description}\n")
+    return out.getvalue()
+
+
+def render_fig3(history: Sequence[HistoryPoint]) -> str:
+    """Figure 3: operation growth over time."""
+    out = io.StringIO()
+    summary = summarize_history(tuple(history))
+    out.write(
+        f"Figure 3: {summary.initial_ops} -> {summary.final_ops} operations "
+        f"over {summary.months} months "
+        f"({summary.growth_factor:.1f}x), "
+        f"{summary.initial_dialects} -> {summary.final_dialects} dialects\n"
+    )
+    peak = max(p.num_ops for p in history)
+    for point in history:
+        bar = "#" * round(40 * point.num_ops / peak)
+        out.write(f"  {point.month}  {point.num_ops:4d}  {bar}\n")
+    return out.getvalue()
+
+
+def render_fig4(stats: CorpusStats) -> str:
+    """Figure 4: operations per dialect (ascending)."""
+    out = io.StringIO()
+    out.write(f"Figure 4: ops per dialect (total {stats.total_ops})\n")
+    rows = stats.ops_per_dialect()
+    width = max(len(name) for name, _ in rows)
+    peak = max(count for _, count in rows)
+    for name, count in rows:
+        bar = "#" * max(1, round(40 * count / peak))
+        out.write(f"  {name:<{width}}  {count:4d}  {bar}\n")
+    return out.getvalue()
+
+
+def _render_histogram_row(title: str, histogram: Histogram,
+                          buckets: Sequence[tuple[object, str]]) -> str:
+    parts = [
+        f"{label}: {_pct(histogram.fraction(bucket))}"
+        for bucket, label in buckets
+    ]
+    return f"  {title:<16} {'  '.join(parts)}\n"
+
+
+def render_fig5(stats: CorpusStats) -> str:
+    """Figure 5: operand-count and variadic-operand distributions."""
+    out = io.StringIO()
+    out.write("Figure 5a: operands per operation (overall)\n")
+    out.write(
+        _render_histogram_row(
+            "overall",
+            stats.overall_operands,
+            [(0, "0"), (1, "1"), (2, "2"), (3, "3+")],
+        )
+    )
+    for dialect in sorted(stats.dialects, key=lambda d: -d.operands.fraction_at_least(3)):
+        out.write(
+            _render_histogram_row(
+                dialect.name,
+                dialect.operands,
+                [(0, "0"), (1, "1"), (2, "2"), (3, "3+")],
+            )
+        )
+    out.write("Figure 5b: variadic operand definitions per operation\n")
+    out.write(
+        _render_histogram_row(
+            "overall",
+            stats.overall_variadic_operands,
+            [(0, "0"), (1, "1"), (2, "2+")],
+        )
+    )
+    out.write(
+        f"  dialects with a variadic-operand op: "
+        f"{_pct(stats.dialects_with_variadic_operands())}\n"
+    )
+    out.write(
+        f"  dialects with >25% variadic-operand ops: "
+        f"{_pct(stats.dialects_with_quarter_variadic_operands())}\n"
+    )
+    return out.getvalue()
+
+
+def render_fig6(stats: CorpusStats) -> str:
+    """Figure 6: result-count and variadic-result distributions."""
+    out = io.StringIO()
+    out.write("Figure 6a: results per operation (overall)\n")
+    out.write(
+        _render_histogram_row(
+            "overall", stats.overall_results, [(0, "0"), (1, "1"), (2, "2")]
+        )
+    )
+    out.write(
+        f"  dialects with multi-result ops: "
+        f"{', '.join(stats.dialects_with_multi_result_ops())}\n"
+    )
+    out.write("Figure 6b: variadic result definitions per operation\n")
+    out.write(
+        _render_histogram_row(
+            "overall", stats.overall_variadic_results, [(0, "0"), (1, "1")]
+        )
+    )
+    out.write(
+        f"  dialects with a variadic-result op: "
+        f"{_pct(stats.dialects_with_variadic_results())}\n"
+    )
+    return out.getvalue()
+
+
+def render_fig7(stats: CorpusStats) -> str:
+    """Figure 7: attribute and region usage."""
+    out = io.StringIO()
+    out.write("Figure 7a: attributes per operation (overall)\n")
+    out.write(
+        _render_histogram_row(
+            "overall", stats.overall_attributes, [(0, "0"), (1, "1"), (2, "2+")]
+        )
+    )
+    out.write(
+        f"  dialects with an attribute-bearing op: "
+        f"{_pct(stats.dialects_with_attributes())}\n"
+    )
+    out.write(
+        f"  dialects with >=25% attribute-bearing ops: "
+        f"{_pct(stats.dialects_with_quarter_attributes())}\n"
+    )
+    out.write("Figure 7b: regions per operation (overall)\n")
+    out.write(
+        _render_histogram_row(
+            "overall", stats.overall_regions, [(0, "0"), (1, "1"), (2, "2")]
+        )
+    )
+    out.write(
+        f"  dialects with a region-bearing op: "
+        f"{_pct(stats.dialects_with_regions())}\n"
+    )
+    return out.getvalue()
+
+
+def render_fig8(report: ExpressivenessReport) -> str:
+    """Figure 8: type and attribute parameter kinds."""
+    out = io.StringIO()
+    for title, counter in (
+        ("Figure 8a: type parameter kinds", report.type_param_kinds),
+        ("Figure 8b: attribute parameter kinds", report.attr_param_kinds),
+    ):
+        out.write(title + "\n")
+        peak = max(counter.values()) if counter else 1
+        for kind, count in counter.most_common():
+            bar = "#" * max(1, round(30 * count / peak))
+            out.write(f"  {kind:<12} {count:3d}  {bar}\n")
+    out.write(
+        f"  domain-specific parameter fraction: "
+        f"{_pct(report.domain_specific_param_fraction())}\n"
+    )
+    return out.getvalue()
+
+
+def render_fig9_10(report: ExpressivenessReport) -> str:
+    """Figures 9 and 10: type/attribute expressiveness per dialect."""
+    out = io.StringIO()
+    for title, rows, pure, verifier in (
+        ("Figure 9: types", report.type_rows,
+         report.types_pure_irdl_params_fraction(),
+         report.types_py_verifier_fraction()),
+        ("Figure 10: attributes", report.attr_rows,
+         report.attrs_pure_irdl_params_fraction(),
+         report.attrs_py_verifier_fraction()),
+    ):
+        out.write(f"{title}: {_pct(pure)} pure-IRDL parameters, "
+                  f"{_pct(verifier)} need an IRDL-Py verifier\n")
+        for row in sorted(rows, key=lambda r: -r.total):
+            out.write(
+                f"  {row.dialect:<14} total {row.total:3d}  "
+                f"py-params {row.py_params:2d}  py-verifier {row.py_verifier:2d}\n"
+            )
+    return out.getvalue()
+
+
+def render_fig11(report: ExpressivenessReport) -> str:
+    """Figure 11: operation expressiveness per dialect."""
+    out = io.StringIO()
+    out.write(
+        f"Figure 11: {_pct(report.ops_pure_irdl_local_fraction())} of ops "
+        f"express local constraints in IRDL; "
+        f"{_pct(report.ops_py_verifier_fraction())} need an IRDL-Py "
+        f"global verifier\n"
+    )
+    out.write(
+        f"  dialects fully IRDL-local: {report.dialects_fully_irdl_local()} "
+        f"of {len(report.op_rows)}\n"
+    )
+    for row in sorted(report.op_rows, key=lambda r: -(r.py_local / max(r.total, 1))):
+        out.write(
+            f"  {row.dialect:<14} ops {row.total:4d}  "
+            f"py-local {row.py_local:3d}  py-verifier {row.py_verifier:4d}\n"
+        )
+    return out.getvalue()
+
+
+def render_fig12(report: ExpressivenessReport) -> str:
+    """Figure 12: kinds of non-IRDL local constraints."""
+    out = io.StringIO()
+    out.write("Figure 12: non-IRDL local constraint kinds\n")
+    counter = report.local_constraint_kinds
+    peak = max(counter.values()) if counter else 1
+    for kind, count in counter.most_common():
+        bar = "#" * max(1, round(30 * count / peak))
+        out.write(f"  {kind:<20} {count:3d}  {bar}\n")
+    return out.getvalue()

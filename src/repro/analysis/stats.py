@@ -1,0 +1,202 @@
+"""Structural statistics over IR dialect definitions (§6.2).
+
+Everything here consumes resolved :class:`~repro.irdl.defs.DialectDef`
+records, so the same analyses run over any dialect expressed in IRDL —
+this is the "meta-tooling for IR design" the paper's evaluation is built
+on.  Each function corresponds to one panel of Figures 4–7.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.irdl.ast import Variadicity
+from repro.irdl.defs import DialectDef, OpDef
+
+
+@dataclass
+class Histogram:
+    """Counts of operations per bucket, with percentage helpers."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def add(self, bucket: int | str) -> None:
+        self.counts[bucket] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, *buckets: int | str) -> float:
+        if self.total == 0:
+            return 0.0
+        return sum(self.counts[b] for b in buckets) / self.total
+
+    def fraction_at_least(self, threshold: int) -> float:
+        if self.total == 0:
+            return 0.0
+        matching = sum(
+            count
+            for bucket, count in self.counts.items()
+            if isinstance(bucket, int) and bucket >= threshold
+        )
+        return matching / self.total
+
+    def merge(self, other: "Histogram") -> None:
+        self.counts.update(other.counts)
+
+
+def _clamp_bucket(value: int, top: int) -> int:
+    """Bucket values above ``top`` into ``top`` (rendered as "top+")."""
+    return min(value, top)
+
+
+@dataclass
+class DialectStats:
+    """Per-dialect operand/result/attribute/region statistics (§6.2)."""
+
+    name: str
+    num_ops: int = 0
+    num_types: int = 0
+    num_attrs: int = 0
+    operands: Histogram = field(default_factory=Histogram)
+    variadic_operands: Histogram = field(default_factory=Histogram)
+    results: Histogram = field(default_factory=Histogram)
+    variadic_results: Histogram = field(default_factory=Histogram)
+    attributes: Histogram = field(default_factory=Histogram)
+    regions: Histogram = field(default_factory=Histogram)
+
+    @classmethod
+    def of(cls, dialect: DialectDef) -> "DialectStats":
+        stats = cls(dialect.name)
+        stats.num_ops = len(dialect.operations)
+        stats.num_types = len(dialect.types)
+        stats.num_attrs = len(dialect.attributes)
+        for op in dialect.operations:
+            stats.operands.add(_clamp_bucket(len(op.operands), 3))
+            stats.variadic_operands.add(
+                _clamp_bucket(op.num_variadic_operands, 2)
+            )
+            stats.results.add(_clamp_bucket(len(op.results), 2))
+            stats.variadic_results.add(_clamp_bucket(op.num_variadic_results, 1))
+            stats.attributes.add(_clamp_bucket(len(op.attributes), 2))
+            stats.regions.add(_clamp_bucket(len(op.regions), 2))
+        return stats
+
+    def has_variadic_operand_op(self) -> bool:
+        return self.variadic_operands.fraction_at_least(1) > 0
+
+    def has_variadic_result_op(self) -> bool:
+        return self.variadic_results.fraction_at_least(1) > 0
+
+
+@dataclass
+class CorpusStats:
+    """Aggregated statistics across a whole dialect corpus."""
+
+    dialects: list[DialectStats] = field(default_factory=list)
+
+    @classmethod
+    def of(cls, dialect_defs: Iterable[DialectDef]) -> "CorpusStats":
+        return cls([DialectStats.of(d) for d in dialect_defs])
+
+    # -- Figure 4 ------------------------------------------------------
+
+    @property
+    def total_ops(self) -> int:
+        return sum(d.num_ops for d in self.dialects)
+
+    @property
+    def total_types(self) -> int:
+        return sum(d.num_types for d in self.dialects)
+
+    @property
+    def total_attrs(self) -> int:
+        return sum(d.num_attrs for d in self.dialects)
+
+    def ops_per_dialect(self) -> list[tuple[str, int]]:
+        """(dialect, op count) sorted ascending — the Figure 4 series."""
+        return sorted(
+            ((d.name, d.num_ops) for d in self.dialects), key=lambda x: x[1]
+        )
+
+    # -- overall histograms (Figures 5–7, "overall" rows) ---------------
+
+    def _overall(self, attribute: str) -> Histogram:
+        merged = Histogram()
+        for dialect in self.dialects:
+            merged.merge(getattr(dialect, attribute))
+        return merged
+
+    @property
+    def overall_operands(self) -> Histogram:
+        return self._overall("operands")
+
+    @property
+    def overall_variadic_operands(self) -> Histogram:
+        return self._overall("variadic_operands")
+
+    @property
+    def overall_results(self) -> Histogram:
+        return self._overall("results")
+
+    @property
+    def overall_variadic_results(self) -> Histogram:
+        return self._overall("variadic_results")
+
+    @property
+    def overall_attributes(self) -> Histogram:
+        return self._overall("attributes")
+
+    @property
+    def overall_regions(self) -> Histogram:
+        return self._overall("regions")
+
+    # -- dialect-level fractions quoted in the captions ------------------
+
+    def fraction_of_dialects(self, predicate) -> float:
+        if not self.dialects:
+            return 0.0
+        return sum(1 for d in self.dialects if predicate(d)) / len(self.dialects)
+
+    def dialects_with_variadic_operands(self) -> float:
+        """Fig. 5b caption: 79% of dialects have ≥1 variadic-operand op."""
+        return self.fraction_of_dialects(DialectStats.has_variadic_operand_op)
+
+    def dialects_with_quarter_variadic_operands(self) -> float:
+        """Fig. 5b caption: 46% of dialects have >25% variadic-operand ops."""
+        return self.fraction_of_dialects(
+            lambda d: d.variadic_operands.fraction_at_least(1) > 0.25
+        )
+
+    def dialects_with_variadic_results(self) -> float:
+        """Fig. 6b caption: half of the dialects have ≥1 variadic result."""
+        return self.fraction_of_dialects(DialectStats.has_variadic_result_op)
+
+    def dialects_with_attributes(self) -> float:
+        """Fig. 7a caption: 76% of dialects define an op with an attribute."""
+        return self.fraction_of_dialects(
+            lambda d: d.attributes.fraction_at_least(1) > 0
+        )
+
+    def dialects_with_quarter_attributes(self) -> float:
+        """§6.2: 46% of dialects have ≥25% of ops defining an attribute."""
+        return self.fraction_of_dialects(
+            lambda d: d.attributes.fraction_at_least(1) >= 0.25
+        )
+
+    def dialects_with_regions(self) -> float:
+        """Fig. 7b caption: 54% of dialects have ≥1 op with a region."""
+        return self.fraction_of_dialects(
+            lambda d: d.regions.fraction_at_least(1) > 0
+        )
+
+    def dialects_with_multi_result_ops(self) -> list[str]:
+        """§6.2: ops with >1 result appear in only four dialects."""
+        return [
+            d.name
+            for d in self.dialects
+            if d.results.fraction_at_least(2) > 0
+        ]

@@ -1,0 +1,77 @@
+"""Natively implemented dialects: builtin, func, arith, cf.
+
+The builtin dialect provides the types (``i32``, ``f32``, ``tensor``, …)
+and attributes IRDL treats as always in scope (§4.2).  The func/arith/cf
+dialects supply the scaffolding operations the paper's examples use
+around IRDL-defined dialects.
+"""
+
+from repro.builtin.attributes import (
+    ArrayAttr,
+    DictionaryAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    UnitAttr,
+    f32_attr,
+)
+from repro.builtin.registry import (
+    default_context,
+    make_builtin_dialect,
+    register_builtin_dialects,
+)
+from repro.builtin.types import (
+    DYNAMIC,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    Signedness,
+    TensorType,
+    VectorType,
+    f16,
+    f32,
+    f64,
+    i1,
+    i8,
+    i16,
+    i32,
+    i64,
+    index,
+)
+
+__all__ = [
+    "ArrayAttr",
+    "DictionaryAttr",
+    "f32_attr",
+    "FloatAttr",
+    "IntegerAttr",
+    "StringAttr",
+    "SymbolRefAttr",
+    "TypeAttr",
+    "UnitAttr",
+    "default_context",
+    "make_builtin_dialect",
+    "register_builtin_dialects",
+    "DYNAMIC",
+    "FloatType",
+    "FunctionType",
+    "IndexType",
+    "IntegerType",
+    "MemRefType",
+    "Signedness",
+    "TensorType",
+    "VectorType",
+    "f16",
+    "f32",
+    "f64",
+    "i1",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "index",
+]

@@ -1,0 +1,229 @@
+"""Registration of the builtin, func, arith, and cf dialects."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.builtin import attributes as battrs
+from repro.builtin import types as btypes
+from repro.builtin.ops import (
+    make_arith_dialect,
+    make_builtin_op_bindings,
+    make_cf_dialect,
+    make_func_dialect,
+    make_math_dialect,
+)
+from repro.ir.attributes import Attribute
+from repro.ir.context import Context
+from repro.ir.dialect import AttrDefBinding, DialectBinding, EnumBinding
+from repro.ir.exceptions import VerifyError
+from repro.ir.params import ArrayParam, EnumParam, FloatParam, IntegerParam, StringParam
+
+
+def _singleton_type(name: str, instance: Attribute) -> AttrDefBinding:
+    """A zero-parameter type binding returning an interned instance."""
+
+    def construct(params: tuple[Any, ...]) -> Attribute:
+        if params:
+            raise VerifyError(f"builtin.{name} takes no parameters")
+        return instance
+
+    return AttrDefBinding(
+        f"builtin.{name}",
+        is_type=True,
+        constructor=construct,
+        summary=f"The builtin {name} type",
+    )
+
+
+def _construct_integer(params: tuple[Any, ...]) -> Attribute:
+    bitwidth, signedness = params
+    width = bitwidth.value if isinstance(bitwidth, IntegerParam) else int(bitwidth)
+    if isinstance(signedness, EnumParam):
+        sign = btypes.Signedness[signedness.constructor.upper()]
+    else:
+        sign = signedness
+    return btypes.IntegerType(width, sign)
+
+
+def _construct_float(params: tuple[Any, ...]) -> Attribute:
+    (bitwidth,) = params
+    width = bitwidth.value if isinstance(bitwidth, IntegerParam) else int(bitwidth)
+    return btypes.FloatType(width)
+
+
+def _construct_function(params: tuple[Any, ...]) -> Attribute:
+    inputs, results = params
+    return btypes.FunctionType(tuple(inputs), tuple(results))
+
+
+def _shaped_constructor(cls: type) -> Any:
+    def construct(params: tuple[Any, ...]) -> Attribute:
+        shape_param, element = params
+        shape = [
+            d.value if isinstance(d, IntegerParam) else int(d)
+            for d in (shape_param.elements if isinstance(shape_param, ArrayParam) else shape_param)
+        ]
+        return cls(shape, element)
+
+    return construct
+
+
+def make_builtin_dialect() -> DialectBinding:
+    """Build the full builtin dialect binding (types, attrs, enums, ops)."""
+    dialect = DialectBinding("builtin")
+
+    dialect.register_enum(
+        EnumBinding("builtin.signedness", ("Signless", "Signed", "Unsigned"))
+    )
+
+    # Parametric types.
+    dialect.register_type(
+        AttrDefBinding(
+            "builtin.integer",
+            is_type=True,
+            parameter_names=("bitwidth", "signedness"),
+            constructor=_construct_integer,
+            summary="Arbitrary-bitwidth integers",
+        )
+    )
+    dialect.register_type(
+        AttrDefBinding(
+            "builtin.float",
+            is_type=True,
+            parameter_names=("bitwidth",),
+            constructor=_construct_float,
+            summary="IEEE floating point",
+        )
+    )
+    dialect.register_type(
+        AttrDefBinding(
+            "builtin.function",
+            is_type=True,
+            parameter_names=("inputs", "results"),
+            constructor=_construct_function,
+            summary="Function types",
+        )
+    )
+    for name, cls in (
+        ("tensor", btypes.TensorType),
+        ("vector", btypes.VectorType),
+        ("memref", btypes.MemRefType),
+    ):
+        dialect.register_type(
+            AttrDefBinding(
+                f"builtin.{name}",
+                is_type=True,
+                parameter_names=("shape", "element_type"),
+                constructor=_shaped_constructor(cls),
+                summary=f"The builtin {name} shaped type",
+            )
+        )
+
+    # Singleton shorthands (``!f32`` resolves here, §4.2).
+    for name, instance in (
+        ("i1", btypes.i1),
+        ("i8", btypes.i8),
+        ("i16", btypes.i16),
+        ("i32", btypes.i32),
+        ("i64", btypes.i64),
+        ("f16", btypes.f16),
+        ("f32", btypes.f32),
+        ("f64", btypes.f64),
+        ("index", btypes.index),
+    ):
+        dialect.register_type(_singleton_type(name, instance))
+
+    # Attributes.
+    def string_ctor(params: tuple[Any, ...]) -> Attribute:
+        (value,) = params
+        return battrs.StringAttr(value.value if isinstance(value, StringParam) else value)
+
+    def integer_attr_ctor(params: tuple[Any, ...]) -> Attribute:
+        value, value_type = params
+        raw = value.value if isinstance(value, IntegerParam) else int(value)
+        return battrs.IntegerAttr(raw, value_type)
+
+    def float_attr_ctor(params: tuple[Any, ...]) -> Attribute:
+        value, value_type = params
+        raw = value.value if isinstance(value, FloatParam) else float(value)
+        return battrs.FloatAttr(raw, value_type)
+
+    def f32_attr_ctor(params: tuple[Any, ...]) -> Attribute:
+        (value,) = params
+        raw = value.value if isinstance(value, FloatParam) else float(value)
+        return battrs.f32_attr(raw)
+
+    def unit_ctor(params: tuple[Any, ...]) -> Attribute:
+        return battrs.UnitAttr()
+
+    def type_attr_ctor(params: tuple[Any, ...]) -> Attribute:
+        (wrapped,) = params
+        return battrs.TypeAttr(wrapped)
+
+    def array_ctor(params: tuple[Any, ...]) -> Attribute:
+        (elements,) = params
+        items = elements.elements if isinstance(elements, ArrayParam) else tuple(elements)
+        return battrs.ArrayAttr(items)
+
+    def symbol_ref_ctor(params: tuple[Any, ...]) -> Attribute:
+        (value,) = params
+        return battrs.SymbolRefAttr(
+            value.value if isinstance(value, StringParam) else value
+        )
+
+    def dictionary_ctor(params: tuple[Any, ...]) -> Attribute:
+        (entries,) = params
+        return battrs.DictionaryAttr(dict(entries))
+
+    for name, names, ctor, summary, canonical in (
+        ("string", ("value",), string_ctor, "A string attribute", None),
+        # "string_attr" is the spelling the IRDL corpus uses; both resolve
+        # to the same constructor (and the same canonical attribute name).
+        ("string_attr", ("value",), string_ctor, "A string attribute",
+         "builtin.string"),
+        ("integer_attr", ("value", "type"), integer_attr_ctor,
+         "A typed integer", None),
+        ("float_attr", ("value", "type"), float_attr_ctor,
+         "A typed float", None),
+        ("f32_attr", ("value",), f32_attr_ctor,
+         "A single-precision float", "builtin.float_attr"),
+        ("unit", (), unit_ctor, "A presence-only attribute", None),
+        ("type_attr", ("type",), type_attr_ctor, "A type as an attribute",
+         None),
+        ("array", ("elements",), array_ctor, "An array of attributes", None),
+        ("dictionary", ("entries",), dictionary_ctor,
+         "A name-attribute map", None),
+        ("symbol_ref", ("symbol",), symbol_ref_ctor,
+         "A symbol reference", None),
+        ("flat_symbol_ref", ("symbol",), symbol_ref_ctor,
+         "A non-nested symbol reference", "builtin.symbol_ref"),
+    ):
+        dialect.register_attr(
+            AttrDefBinding(
+                f"builtin.{name}",
+                is_type=False,
+                parameter_names=names,
+                constructor=ctor,
+                summary=summary,
+                canonical_name=canonical,
+            )
+        )
+
+    make_builtin_op_bindings(dialect)
+    return dialect
+
+
+def register_builtin_dialects(ctx: Context) -> Context:
+    """Register builtin, func, arith, math, and cf into a context."""
+    ctx.register_dialect(make_builtin_dialect())
+    ctx.register_dialect(make_func_dialect())
+    ctx.register_dialect(make_arith_dialect())
+    ctx.register_dialect(make_math_dialect())
+    ctx.register_dialect(make_cf_dialect())
+    return ctx
+
+
+def default_context(allow_unregistered: bool = False) -> Context:
+    """A fresh context with all native dialects pre-registered."""
+    return register_builtin_dialects(Context(allow_unregistered=allow_unregistered))

@@ -1,0 +1,237 @@
+"""Builtin types: integers, floats, index, function, and shaped types.
+
+These mirror MLIR's builtin type system, which IRDL treats as always in
+scope — ``f32`` is shorthand for ``builtin.f32`` even outside the builtin
+dialect (§4.2).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+from repro.ir.attributes import Attribute, ParametrizedAttribute, TypeAttribute
+from repro.ir.exceptions import VerifyError
+from repro.ir.params import EnumParam, IntegerParam
+
+
+class Signedness(Enum):
+    """Integer signedness semantics, as in MLIR's builtin integer type."""
+
+    SIGNLESS = "signless"
+    SIGNED = "signed"
+    UNSIGNED = "unsigned"
+
+    def to_param(self) -> EnumParam:
+        return EnumParam("builtin.signedness", self.name.capitalize())
+
+
+class IntegerType(ParametrizedAttribute, TypeAttribute):
+    """An arbitrary-bitwidth integer type: ``i32``, ``si8``, ``ui16``, …"""
+
+    name = "builtin.integer"
+    parameter_names = ("bitwidth", "signedness")
+
+    def __init__(self, bitwidth: int, signedness: Signedness = Signedness.SIGNLESS):
+        super().__init__(
+            (IntegerParam(bitwidth, 32, False), signedness.to_param())
+        )
+
+    @property
+    def bitwidth(self) -> int:
+        return self.parameters[0].value
+
+    @property
+    def signedness(self) -> Signedness:
+        constructor = self.parameters[1].constructor
+        return Signedness[constructor.upper()]
+
+    def verify(self) -> None:
+        if self.bitwidth <= 0:
+            raise VerifyError(
+                f"integer type bitwidth must be positive, got {self.bitwidth}"
+            )
+
+    def __str__(self) -> str:
+        prefix = {
+            Signedness.SIGNLESS: "i",
+            Signedness.SIGNED: "si",
+            Signedness.UNSIGNED: "ui",
+        }[self.signedness]
+        return f"{prefix}{self.bitwidth}"
+
+
+class IndexType(ParametrizedAttribute, TypeAttribute):
+    """The platform-sized index type used for loop bounds and subscripts."""
+
+    name = "builtin.index"
+
+    def __init__(self) -> None:
+        super().__init__(())
+
+    def __str__(self) -> str:
+        return "index"
+
+
+class FloatType(ParametrizedAttribute, TypeAttribute):
+    """An IEEE floating-point type: ``f16``, ``f32``, ``f64``."""
+
+    name = "builtin.float"
+    parameter_names = ("bitwidth",)
+
+    SUPPORTED_WIDTHS = (16, 32, 64)
+
+    def __init__(self, bitwidth: int):
+        super().__init__((IntegerParam(bitwidth, 32, False),))
+
+    @property
+    def bitwidth(self) -> int:
+        return self.parameters[0].value
+
+    def verify(self) -> None:
+        if self.bitwidth not in self.SUPPORTED_WIDTHS:
+            raise VerifyError(
+                f"unsupported float bitwidth {self.bitwidth}; "
+                f"expected one of {self.SUPPORTED_WIDTHS}"
+            )
+
+    def __str__(self) -> str:
+        return f"f{self.bitwidth}"
+
+
+class FunctionType(ParametrizedAttribute, TypeAttribute):
+    """A function type ``(inputs...) -> (results...)``."""
+
+    name = "builtin.function"
+    parameter_names = ("inputs", "results")
+
+    def __init__(self, inputs: Sequence[Attribute], results: Sequence[Attribute]):
+        from repro.ir.params import ArrayParam
+
+        super().__init__((ArrayParam(tuple(inputs)), ArrayParam(tuple(results))))
+
+    @property
+    def inputs(self) -> tuple[Attribute, ...]:
+        return self.parameters[0].elements
+
+    @property
+    def result_types(self) -> tuple[Attribute, ...]:
+        return self.parameters[1].elements
+
+    def verify(self) -> None:
+        for t in (*self.inputs, *self.result_types):
+            if not isinstance(t, TypeAttribute):
+                raise VerifyError(f"function type component {t!r} is not a type")
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(t) for t in self.inputs)
+        outs = ", ".join(str(t) for t in self.result_types)
+        single = len(self.result_types) == 1
+        if single and not isinstance(self.result_types[0], FunctionType):
+            return f"({ins}) -> {outs}"
+        # Zero, several, or a nested function result: parenthesize so the
+        # arrow nesting stays unambiguous when parsed back.
+        return f"({ins}) -> ({outs})"
+
+
+#: Sentinel dimension size for dynamic dimensions in shaped types.
+DYNAMIC = -1
+
+
+class _ShapedType(ParametrizedAttribute, TypeAttribute):
+    """Shared implementation of tensor/vector/memref shaped types."""
+
+    parameter_names = ("shape", "element_type")
+
+    def __init__(self, shape: Sequence[int], element_type: Attribute):
+        from repro.ir.params import ArrayParam
+
+        shape_param = ArrayParam(
+            tuple(IntegerParam(d, 64, True) for d in shape)
+        )
+        super().__init__((shape_param, element_type))
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(p.value for p in self.parameters[0].elements)
+
+    @property
+    def element_type(self) -> Attribute:
+        return self.parameters[1]
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def has_static_shape(self) -> bool:
+        return all(d != DYNAMIC for d in self.shape)
+
+    def num_elements(self) -> int:
+        if not self.has_static_shape():
+            raise VerifyError("cannot count elements of a dynamic shape")
+        total = 1
+        for d in self.shape:
+            total *= d
+        return total
+
+    def verify(self) -> None:
+        if not isinstance(self.element_type, TypeAttribute):
+            raise VerifyError(
+                f"shaped type element {self.element_type!r} is not a type"
+            )
+        for d in self.shape:
+            if d < 0 and d != DYNAMIC:
+                raise VerifyError(f"invalid dimension size {d}")
+
+    def _shape_str(self) -> str:
+        dims = "x".join("?" if d == DYNAMIC else str(d) for d in self.shape)
+        return f"{dims}x" if dims else ""
+
+
+class TensorType(_ShapedType):
+    """A dense tensor type ``tensor<4x?xf32>``."""
+
+    name = "builtin.tensor"
+
+    def __str__(self) -> str:
+        return f"tensor<{self._shape_str()}{self.element_type}>"
+
+
+class VectorType(_ShapedType):
+    """A fixed-shape vector type ``vector<4xf32>``."""
+
+    name = "builtin.vector"
+
+    def verify(self) -> None:
+        super().verify()
+        if not self.has_static_shape():
+            raise VerifyError("vector types require a static shape")
+        if self.rank == 0:
+            raise VerifyError("vector types must have at least one dimension")
+
+    def __str__(self) -> str:
+        return f"vector<{self._shape_str()}{self.element_type}>"
+
+
+class MemRefType(_ShapedType):
+    """A buffer reference type ``memref<4x4xf32>``."""
+
+    name = "builtin.memref"
+
+    def __str__(self) -> str:
+        return f"memref<{self._shape_str()}{self.element_type}>"
+
+
+# ---------------------------------------------------------------------------
+# Interned shorthands (the paper's f32, i32, … abbreviations)
+# ---------------------------------------------------------------------------
+
+i1 = IntegerType(1)
+i8 = IntegerType(8)
+i16 = IntegerType(16)
+i32 = IntegerType(32)
+i64 = IntegerType(64)
+f16 = FloatType(16)
+f32 = FloatType(32)
+f64 = FloatType(64)
+index = IndexType()

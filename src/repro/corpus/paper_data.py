@@ -1,0 +1,240 @@
+"""Ground-truth numbers from the paper's evaluation (§6, Figures 3–12).
+
+Everything the corpus generator aims at, and everything the benchmark
+harness compares against, lives here — a single source of truth for
+"what the paper reports".  Exact numbers come from captions and body
+text; per-dialect figures without printed values are reconstructed from
+the bar charts (see DESIGN.md, substitution 3).
+"""
+
+from __future__ import annotations
+
+#: Table 1 — the 28 dialects and their domains, verbatim.
+TABLE1: dict[str, str] = {
+    "affine": "Affine loops and memory operations",
+    "amx": "Intel's advanced matrix instruction set",
+    "arith": "Arithmetic operations on integers and floats",
+    "arm_sve": "ARM's scalable vector instruction set",
+    "arm_neon": "ARM's SIMD architecture extension",
+    "async": "Asynchronous execution",
+    "builtin": "MLIR's builtin intermediate representation",
+    "complex": "Complex arithmetic",
+    "emitc": "Printable C code",
+    "gpu": "GPU abstraction",
+    "linalg": "High-level linear algebra operations",
+    "llvm": "LLVM's intermediate representation in MLIR",
+    "math": "Scalar arithmetic beyond simple operations",
+    "memref": "Multi-dimensional memory references",
+    "nvvm": "LLVM's IR for GPU compute kernels",
+    "pdl": "Rewrite pattern description language",
+    "pdl_interp": "The IR for a PDL interpreter",
+    "quant": "Quantization",
+    "rocdl": "AMD's IR for GPU compute kernels",
+    "scf": "Structured control flow, e.g. 'for' and 'if'",
+    "shape": "Shape inference",
+    "sparse_tensor": "Sparse tensor computations",
+    "spv": "Graphics shaders and compute kernels",
+    "std": "Non domain-specific operations",
+    "tensor": "Dense tensors computations",
+    "tosa": "Tensor operator set architecture",
+    "vector": "A generic vector abstraction",
+    "x86vector": "The Intel x86 vector instruction set",
+}
+
+#: Figure 4 — operations per dialect.  The paper prints only the total
+#: (942), the extremes (3 for arm_neon/builtin, >100 for llvm/spv), and
+#: the ascending dialect order; the individual counts are reconstructed
+#: from the log-scale bars, preserving order and total.
+OPS_PER_DIALECT: dict[str, int] = {
+    "builtin": 3,
+    "arm_neon": 3,
+    "emitc": 10,
+    "sparse_tensor": 12,
+    "linalg": 14,
+    "scf": 16,
+    "quant": 17,
+    "tensor": 18,
+    "affine": 19,
+    "amx": 20,
+    "pdl": 21,
+    "x86vector": 22,
+    "complex": 24,
+    "math": 26,
+    "async": 27,
+    "nvvm": 29,
+    "memref": 31,
+    "gpu": 33,
+    "pdl_interp": 36,
+    "vector": 40,
+    "arith": 42,
+    "rocdl": 45,
+    "shape": 48,
+    "arm_sve": 50,
+    "std": 55,
+    "tosa": 60,
+    "llvm": 110,
+    "spv": 111,
+}
+
+TOTAL_OPS = 942          # §6.1
+TOTAL_TYPES = 62         # §6.3
+TOTAL_ATTRS = 30         # §6.3
+TOTAL_DIALECTS = 28      # §6.1
+
+#: Overall operand-count distribution (Figure 5a caption): zero 12%,
+#: one 41%, two 32%, three-or-more 16%.  (The caption's rounded
+#: percentages sum to 101; the two-operand share is trimmed to 31%.)
+OPERAND_DISTRIBUTION = {0: 0.12, 1: 0.41, 2: 0.31, 3: 0.16}
+
+#: Fig. 5b caption: 17% of ops define a variadic operand; 79% of dialects
+#: have at least one such op; 46% have more than a quarter.
+VARIADIC_OPERAND_OP_FRACTION = 0.17
+DIALECTS_WITH_VARIADIC_OPERANDS = 0.79
+DIALECTS_QUARTER_VARIADIC_OPERANDS = 0.46
+
+#: Fig. 6a caption: zero 16%, one 84%, two rare (1%).  (The 16/84 split in
+#: the caption is rounded; we target 15/84/1.)
+RESULT_DISTRIBUTION = {0: 0.15, 1: 0.84, 2: 0.01}
+
+#: §6.2: multi-result ops appear in exactly these four dialects.
+MULTI_RESULT_DIALECTS = ("gpu", "x86vector", "async", "shape")
+
+#: Fig. 6b caption: 3% of ops define a variadic result; no op defines two;
+#: exactly half of the dialects define at least one.
+VARIADIC_RESULT_OP_FRACTION = 0.03
+DIALECTS_WITH_VARIADIC_RESULTS = 0.50
+VARIADIC_RESULT_DIALECTS = (
+    "scf", "builtin", "affine", "emitc", "linalg", "quant", "pdl",
+    "shape", "tosa", "async", "memref", "std", "pdl_interp", "llvm",
+)
+
+#: Fig. 7a caption: zero 73%, one 16%, two-or-more 11%; 76% of dialects
+#: define at least one op with an attribute; 46% have >=25% such ops.
+ATTRIBUTE_DISTRIBUTION = {0: 0.73, 1: 0.16, 2: 0.11}
+DIALECTS_WITH_ATTRIBUTES = 0.76
+DIALECTS_QUARTER_ATTRIBUTES = 0.46
+
+#: Reconstructed dialect groups for attribute usage (Fig. 7a ordering).
+ATTR_HEAVY_DIALECTS = (
+    "builtin", "emitc", "quant", "pdl", "linalg", "vector", "tensor",
+    "spv", "pdl_interp", "affine", "tosa", "memref", "llvm",
+)
+ATTR_NONE_DIALECTS = (
+    "scf", "arm_neon", "math", "rocdl", "complex", "x86vector", "arm_sve",
+)
+
+#: Fig. 7b caption: zero 96%, one 4%, two 1% (rounded; we target
+#: 95.9/3.4/0.7); 54% of dialects have at least one region op; builtin
+#: and scf have regions on more than half of their operations.
+REGION_DISTRIBUTION = {0: 0.959, 1: 0.034, 2: 0.007}
+DIALECTS_WITH_REGIONS = 0.54
+REGION_DIALECTS = (
+    "scf", "affine", "tosa", "builtin", "linalg", "pdl", "gpu", "quant",
+    "tensor", "shape", "async", "memref", "spv", "llvm", "std",
+)
+REGION_HEAVY_DIALECTS = ("builtin", "scf")
+
+#: Dialects targeting SIMD/matrix hardware define mostly 3+-operand ops
+#: (§6.2: amx, arm_neon, arm_sve, x86vector).
+SIMD_DIALECTS = ("amx", "arm_neon", "arm_sve", "x86vector")
+SIMD_OPERAND_DISTRIBUTION = {0: 0.02, 1: 0.06, 2: 0.12, 3: 0.80}
+
+#: Fig. 5b reconstruction: dialects with many variadic-operand ops (top
+#: of the figure) and dialects with none (bottom).
+VARIADIC_OPERAND_HEAVY = (
+    "linalg", "tensor", "memref", "scf", "pdl", "gpu", "pdl_interp",
+    "async", "std", "vector", "llvm", "spv", "affine",
+)
+VARIADIC_OPERAND_NONE = (
+    "complex", "math", "arith", "arm_neon", "arm_sve", "rocdl",
+)
+VARIADIC_OPERAND_HEAVY_FRACTION = 0.30   # ~30% of ops in heavy dialects
+
+# ---------------------------------------------------------------------------
+# Expressiveness (§6.3, §6.4)
+# ---------------------------------------------------------------------------
+
+#: Fig. 9 captions: 97% of type definitions use only IRDL parameters, 16%
+#: define an extra (IRDL-C++) verifier.
+TYPES_PURE_IRDL_PARAMS = 0.97
+TYPES_PY_VERIFIER = 0.16
+
+#: Fig. 10 captions: 77% of attribute definitions use only IRDL
+#: parameters, 20% define an extra verifier.
+ATTRS_PURE_IRDL_PARAMS = 0.77
+ATTRS_PY_VERIFIER = 0.20
+
+#: §6.3: only these dialects need IRDL-C++ for type/attr parameters.
+PY_PARAM_DIALECTS = ("llvm", "builtin", "sparse_tensor")
+
+#: §6.3: 14 of the 28 dialects define a type or an attribute.
+DIALECTS_WITH_TYPES_OR_ATTRS = 14
+
+#: Fig. 11 captions: 97% of ops express local constraints in IRDL; 30%
+#: need an IRDL-C++ verifier for global constraints; 20 of 28 dialects
+#: are fully IRDL for local constraints.
+OPS_PURE_IRDL_LOCAL = 0.97
+OPS_PY_VERIFIER = 0.30
+DIALECTS_FULLY_IRDL_LOCAL = 20
+
+#: Fig. 12 — non-IRDL local constraints fall into exactly three kinds,
+#: with roughly these populations (read off the bars: ~20 / ~8 / ~4).
+LOCAL_CONSTRAINT_KINDS = {
+    "integer inequality": 19,
+    "stride check": 8,
+    "struct opacity": 4,
+}
+
+#: Per-dialect plan for non-IRDL local constraints: dialect →
+#: {named constraint: total ops carrying it}.  The names refer to
+#: ``Constraint`` declarations in the hand-written .irdl files.
+PY_LOCAL_PLAN: dict[str, dict[str, int]] = {
+    "memref": {"StaticStrides": 3, "ContiguousStride": 2, "SmallRank": 2},
+    "affine": {"TiledStride": 3, "BoundedMapCount": 2},
+    "sparse_tensor": {"SmallWidth": 3},
+    "pdl_interp": {
+        "BoundedOperandIndex": 2,
+        "BoundedResultIndex": 1,
+        "BoundedTypeCount": 1,
+        "PositiveCaseCount": 1,
+    },
+    "linalg": {"SmallPermutation": 3},
+    "async": {"SmallGroupSize": 2},
+    "pdl": {"SmallBenefit": 2},
+    "llvm": {"OpaqueStruct": 2, "NonOpaqueStruct": 2},
+}
+
+#: Fig. 11b reconstruction: dialects ordered by decreasing fraction of
+#: ops with an IRDL-C++ global verifier.
+VERIFIER_RANK_ORDER = (
+    "sparse_tensor", "affine", "vector", "linalg", "pdl", "scf", "memref",
+    "builtin", "tensor", "emitc", "spv", "nvvm", "amx", "shape", "gpu",
+    "quant", "std", "pdl_interp", "llvm", "arith", "async", "tosa",
+    "x86vector", "arm_neon", "math", "rocdl", "complex", "arm_sve",
+)
+
+#: Fig. 8 caption: only ~3% of type/attribute parameters are
+#: domain-specific (from the LLVM or affine "dialects").
+DOMAIN_SPECIFIC_PARAM_FRACTION = 0.03
+
+#: Figure 3 headline (§6.1): 444 → 942 operations in 20 months, 2.1x.
+GROWTH_INITIAL_OPS = 444
+GROWTH_FINAL_OPS = 942
+GROWTH_MONTHS = 20
+GROWTH_FACTOR = 2.1
+
+
+def validate() -> None:
+    """Internal consistency checks over the reconstruction tables."""
+    assert len(TABLE1) == TOTAL_DIALECTS
+    assert set(OPS_PER_DIALECT) == set(TABLE1)
+    assert sum(OPS_PER_DIALECT.values()) == TOTAL_OPS
+    assert abs(sum(OPERAND_DISTRIBUTION.values()) - 1.0) < 1e-9
+    assert abs(sum(RESULT_DISTRIBUTION.values()) - 1.0) < 1e-9
+    assert abs(sum(ATTRIBUTE_DISTRIBUTION.values()) - 1.0) < 1e-9
+    assert abs(sum(REGION_DISTRIBUTION.values()) - 1.0) < 1e-9
+    assert len(VARIADIC_RESULT_DIALECTS) == 14
+    assert len(REGION_DIALECTS) == 15
+    assert set(SIMD_DIALECTS) <= set(TABLE1)
+    assert set(PY_LOCAL_PLAN) <= set(TABLE1)
+    assert set(VERIFIER_RANK_ORDER) == set(TABLE1)

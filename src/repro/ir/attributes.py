@@ -1,0 +1,226 @@
+"""Attributes and types: the compile-time value domain of the IR.
+
+Following MLIR's design (§2 of the paper), *attributes* attach static
+information to operations, and *types* classify SSA values.  Types are
+modelled as attributes with the :class:`TypeAttribute` marker mixin, so a
+single constraint language (IRDL, Figure 2) ranges over both.
+
+Two families exist:
+
+* **Registered** attributes are Python classes (the builtin dialect, or any
+  natively implemented dialect).  They subclass :class:`Data` or
+  :class:`ParametrizedAttribute`.
+* **Dynamic** attributes are instantiated at runtime from an IRDL
+  definition (§3: "the compiler then instantiates all necessary data
+  structures at runtime, without recompilation").  They are instances of
+  :class:`DynamicParametrizedAttribute` / :class:`DynamicTypeAttribute`
+  holding a reference to their IRDL-derived definition.
+
+All attributes are immutable, structurally comparable, and hashable —
+the Python analogue of MLIR's uniqued attribute storage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Iterable
+
+from repro.ir.exceptions import VerifyError
+
+
+class Attribute:
+    """Base class of all attributes (and, via ``TypeAttribute``, types)."""
+
+    #: Fully qualified name, ``<dialect>.<name>``, e.g. ``builtin.integer``.
+    name: ClassVar[str] = ""
+
+    __slots__ = ()
+
+    @property
+    def dialect_name(self) -> str:
+        return type(self).name.split(".", 1)[0]
+
+    @property
+    def base_name(self) -> str:
+        """The attribute name without its dialect namespace."""
+        return type(self).name.split(".", 1)[-1]
+
+    def verify(self) -> None:
+        """Check this attribute's invariants; raise ``VerifyError`` if broken."""
+
+    def is_type(self) -> bool:
+        return isinstance(self, TypeAttribute)
+
+
+class TypeAttribute:
+    """Marker mixin: attributes that are types (classify SSA values)."""
+
+    __slots__ = ()
+
+
+class Data(Attribute):
+    """An attribute wrapping a single immutable Python value.
+
+    Subclasses set ``name`` and may override :meth:`verify` to validate
+    the wrapped value.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: Any):
+        object.__setattr__(self, "data", data)
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.data == other.data  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.data))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.data!r})"
+
+
+class ParametrizedAttribute(Attribute):
+    """An attribute parametrized by a tuple of parameter values.
+
+    Parameters are attributes (including types) or
+    :class:`~repro.ir.params.ParamValue` instances.  Equality and hashing
+    are structural over ``(class, parameters)``.
+    """
+
+    __slots__ = ("parameters",)
+
+    #: Names of the parameters, parallel to ``parameters``.
+    parameter_names: ClassVar[tuple[str, ...]] = ()
+
+    def __init__(self, parameters: Iterable[Any] = ()):
+        object.__setattr__(self, "parameters", tuple(parameters))
+        self._verify_arity()
+
+    def _verify_arity(self) -> None:
+        expected = type(self).parameter_names
+        if expected and len(self.parameters) != len(expected):
+            raise VerifyError(
+                f"{type(self).name} expects {len(expected)} parameters "
+                f"({', '.join(expected)}), got {len(self.parameters)}"
+            )
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.parameters == other.parameters  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.parameters))
+
+    def param(self, name: str) -> Any:
+        """Look up a parameter by its declared name."""
+        try:
+            index = type(self).parameter_names.index(name)
+        except ValueError:
+            raise AttributeError(
+                f"{type(self).name} has no parameter named {name!r}"
+            ) from None
+        return self.parameters[index]
+
+    def __repr__(self) -> str:
+        params = ", ".join(repr(p) for p in self.parameters)
+        return f"{type(self).__name__}({params})"
+
+
+class DynamicParametrizedAttribute(Attribute):
+    """An attribute instantiated at runtime from an IRDL definition.
+
+    Unlike registered attributes, all dynamic attributes share one Python
+    class; identity comes from the attached definition binding.  Two
+    dynamic attributes are equal iff they refer to the same definition and
+    carry structurally equal parameters.
+    """
+
+    __slots__ = ("definition", "parameters")
+
+    def __init__(self, definition: Any, parameters: Iterable[Any] = ()):
+        object.__setattr__(self, "definition", definition)
+        object.__setattr__(self, "parameters", tuple(parameters))
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    @property
+    def attr_name(self) -> str:
+        return self.definition.qualified_name
+
+    # ``name`` mirrors the ClassVar on registered attributes but is
+    # per-instance for dynamic ones.
+    @property  # type: ignore[override]
+    def name(self) -> str:  # type: ignore[override]
+        return self.definition.qualified_name
+
+    @property
+    def dialect_name(self) -> str:
+        return self.definition.qualified_name.split(".", 1)[0]
+
+    @property
+    def base_name(self) -> str:
+        return self.definition.qualified_name.split(".", 1)[-1]
+
+    def param(self, name: str) -> Any:
+        names = self.definition.parameter_names
+        try:
+            index = names.index(name)
+        except ValueError:
+            raise AttributeError(
+                f"{self.attr_name} has no parameter named {name!r}"
+            ) from None
+        return self.parameters[index]
+
+    def verify(self) -> None:
+        self.definition.verify_parameters(self.parameters)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.definition is other.definition  # type: ignore[attr-defined]
+            and self.parameters == other.parameters  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self), id(self.definition), self.parameters))
+
+    def __repr__(self) -> str:
+        params = ", ".join(repr(p) for p in self.parameters)
+        return f"<dynamic {self.attr_name}({params})>"
+
+    def __str__(self) -> str:
+        sigil = "!" if isinstance(self, TypeAttribute) else "#"
+        if not self.parameters:
+            return f"{sigil}{self.attr_name}"
+        program = getattr(self.definition, "param_format", None)
+        if program is not None:
+            inner = program.render(self.parameters)
+        else:
+            inner = ", ".join(str(p) for p in self.parameters)
+        return f"{sigil}{self.attr_name}<{inner}>"
+
+
+class DynamicTypeAttribute(DynamicParametrizedAttribute, TypeAttribute):
+    """A type instantiated at runtime from an IRDL ``Type`` definition."""
+
+    __slots__ = ()
+
+
+def attribute_name(attr: Attribute) -> str:
+    """The fully qualified name of a registered or dynamic attribute."""
+    if isinstance(attr, DynamicParametrizedAttribute):
+        return attr.attr_name
+    return type(attr).name
+
+
+def attribute_parameters(attr: Attribute) -> tuple[Any, ...]:
+    """The parameter tuple of an attribute (empty for data/singletons)."""
+    if isinstance(attr, (ParametrizedAttribute, DynamicParametrizedAttribute)):
+        return attr.parameters
+    return ()

@@ -1,0 +1,91 @@
+"""An insertion-point builder for constructing IR programmatically."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.ir.attributes import Attribute
+from repro.ir.block import Block
+from repro.ir.context import Context
+from repro.ir.operation import Operation
+from repro.ir.region import Region
+from repro.ir.value import SSAValue
+
+
+class InsertPoint:
+    """A position inside a block where new operations are inserted."""
+
+    __slots__ = ("block", "index")
+
+    def __init__(self, block: Block, index: int | None = None):
+        self.block = block
+        self.index = len(block.ops) if index is None else index
+
+    @classmethod
+    def at_end(cls, block: Block) -> "InsertPoint":
+        return cls(block)
+
+    @classmethod
+    def at_start(cls, block: Block) -> "InsertPoint":
+        return cls(block, 0)
+
+    @classmethod
+    def before(cls, op: Operation) -> "InsertPoint":
+        assert op.parent is not None
+        return cls(op.parent, op.parent.index_of(op))
+
+    @classmethod
+    def after(cls, op: Operation) -> "InsertPoint":
+        assert op.parent is not None
+        return cls(op.parent, op.parent.index_of(op) + 1)
+
+
+class Builder:
+    """Creates operations through a context at a movable insertion point.
+
+    Usage::
+
+        builder = Builder(ctx, InsertPoint.at_end(block))
+        mul = builder.create("cmath.mul", operands=[p, q], result_types=[t])
+    """
+
+    def __init__(self, context: Context, insert_point: InsertPoint | None = None):
+        self.context = context
+        self.insert_point = insert_point
+
+    def set_insertion_point(self, insert_point: InsertPoint) -> None:
+        self.insert_point = insert_point
+
+    def insert(self, op: Operation) -> Operation:
+        """Insert an already-built operation at the insertion point."""
+        if self.insert_point is None:
+            return op
+        self.insert_point.block.insert_op(op, self.insert_point.index)
+        self.insert_point.index += 1
+        return op
+
+    def create(
+        self,
+        name: str,
+        operands: Sequence[SSAValue] = (),
+        result_types: Sequence[Attribute] = (),
+        attributes: Mapping[str, Attribute] | None = None,
+        successors: Sequence[Block] = (),
+        regions: Sequence[Region] = (),
+    ) -> Operation:
+        """Create an operation via the context and insert it."""
+        op = self.context.create_operation(
+            name,
+            operands=operands,
+            result_types=result_types,
+            attributes=attributes,
+            successors=successors,
+            regions=regions,
+        )
+        return self.insert(op)
+
+    def type(self, qualified_name: str, parameters: Sequence[Any] = ()) -> Attribute:
+        return self.context.make_type(qualified_name, parameters)
+
+    def attr(self, qualified_name: str, parameters: Sequence[Any] = ()) -> Attribute:
+        return self.context.make_attr(qualified_name, parameters)

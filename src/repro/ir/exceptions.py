@@ -1,0 +1,31 @@
+"""Exception hierarchy for the IR core."""
+
+from __future__ import annotations
+
+
+class IRError(Exception):
+    """Base class for all IR-level errors."""
+
+
+class VerifyError(IRError):
+    """An IR object violates one of its invariants.
+
+    Raised by ``verify()`` on attributes, types, operations, blocks,
+    regions, and by constraint checks generated from IRDL definitions.
+    """
+
+    def __init__(self, message: str, *, obj: object | None = None):
+        self.obj = obj
+        super().__init__(message)
+
+
+class UnregisteredConstructError(IRError):
+    """An operation, type, or attribute name is not registered.
+
+    Raised when a context with ``allow_unregistered=False`` encounters a
+    construct from a dialect it does not know about.
+    """
+
+
+class InvalidIRStructureError(IRError):
+    """Structural misuse of the IR API (e.g. re-attaching an owned block)."""

@@ -1,0 +1,97 @@
+"""Regions: control-flow graphs nested inside operations.
+
+A region contains a CFG of basic blocks with a single entry block (§2).
+Regions are MLIR's extension to classical SSA that lets operations carry
+hierarchical control flow (``scf.if``, loops, functions, modules, …).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.ir.block import Block
+from repro.ir.exceptions import InvalidIRStructureError, VerifyError
+
+if TYPE_CHECKING:
+    from repro.ir.operation import Operation
+    from repro.ir.value import SSAValue
+
+
+class Region:
+    """An ordered list of basic blocks; the first block is the entry."""
+
+    __slots__ = ("blocks", "parent")
+
+    def __init__(self, blocks: Iterable[Block] = ()):
+        self.blocks: list[Block] = []
+        self.parent: Operation | None = None
+        for block in blocks:
+            self.add_block(block)
+
+    @property
+    def entry_block(self) -> Block | None:
+        return self.blocks[0] if self.blocks else None
+
+    def add_block(self, block: Block) -> Block:
+        if block.parent is not None:
+            raise InvalidIRStructureError("block is already attached to a region")
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    def insert_block(self, block: Block, index: int) -> Block:
+        if block.parent is not None:
+            raise InvalidIRStructureError("block is already attached to a region")
+        block.parent = self
+        self.blocks.insert(index, block)
+        return block
+
+    def detach_block(self, block: Block) -> Block:
+        for index, candidate in enumerate(self.blocks):
+            if candidate is block:
+                self.blocks.pop(index)
+                block.parent = None
+                return block
+        raise InvalidIRStructureError("block is not in this region")
+
+    def walk(self) -> Iterator["Operation"]:
+        for block in self.blocks:
+            yield from block.walk()
+
+    def clone_into(
+        self, target: "Region", value_map: dict["SSAValue", "SSAValue"]
+    ) -> None:
+        """Clone all blocks of this region into ``target``.
+
+        ``value_map`` maps original values to clones; it is extended with
+        block arguments and op results as they are created, and used to
+        remap operands and successors.
+        """
+        block_map: dict[Block, Block] = {}
+        for block in self.blocks:
+            new_block = Block(arg_types=[a.type for a in block.args])
+            for old_arg, new_arg in zip(block.args, new_block.args):
+                value_map[old_arg] = new_arg
+            block_map[block] = new_block
+            target.add_block(new_block)
+        for block in self.blocks:
+            new_block = block_map[block]
+            for op in block.ops:
+                new_op = op.clone(value_map)
+                new_op.successors = [
+                    block_map.get(succ, succ) for succ in new_op.successors
+                ]
+                new_block.add_op(new_op)
+
+    def verify(self) -> None:
+        for block in self.blocks:
+            if block.parent is not self:
+                raise VerifyError("block has a stale parent pointer", obj=self)
+            block.verify()
+
+    def drop_all_references(self) -> None:
+        for block in self.blocks:
+            block.drop_all_references()
+
+    def __repr__(self) -> str:
+        return f"<Region with {len(self.blocks)} blocks>"

@@ -1,0 +1,231 @@
+"""Abstract syntax tree for the IRDL definition language (§4).
+
+The parser produces these nodes; the resolver turns them into runtime
+definitions (:mod:`repro.irdl.defs`) with resolved constraint objects.
+
+Constraint expressions cover the full constructor inventory of Figure 2:
+type/attribute equality and base-name matches, parametrized matches,
+integer/string/enum/array parameter constraints, literals, and the
+generic ``AnyOf`` / ``And`` / ``Not`` combinators.  ``Variadic`` and
+``Optional`` are syntactically constraint applications but are legal only
+at the top level of operand/result/region-argument declarations (§4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.utils.source import Span
+
+
+# ---------------------------------------------------------------------------
+# Constraint expressions
+# ---------------------------------------------------------------------------
+
+class ConstraintExpr:
+    """Base class of unresolved constraint expressions."""
+
+    span: Span | None
+
+
+@dataclass
+class RefExpr(ConstraintExpr):
+    """A (possibly parametrized) named reference.
+
+    Covers ``!f32``, ``#f32_attr``, ``!complex<!f32>``, ``AnyOf<...>``,
+    ``int32_t``, ``string``, ``array<pc>``, alias references, constraint
+    variables, enum names, and enum constructors (``signedness.Signed``).
+    The sigil is ``'!'``, ``'#'``, or ``None`` — the paper frequently
+    omits sigils where context is unambiguous (e.g. Listing 10).
+    """
+
+    sigil: str | None
+    name: str
+    params: list[ConstraintExpr] | None = None
+    span: Span | None = None
+
+    @property
+    def is_parametrized(self) -> bool:
+        return self.params is not None
+
+
+@dataclass
+class IntLiteralExpr(ConstraintExpr):
+    """``3 : int32_t`` — match exactly this integer value."""
+
+    value: int
+    type_name: str | None = None
+    span: Span | None = None
+
+
+@dataclass
+class StringLiteralExpr(ConstraintExpr):
+    """``"foo"`` — match exactly this string."""
+
+    value: str
+    span: Span | None = None
+
+
+@dataclass
+class ListExpr(ConstraintExpr):
+    """``[pc1, ..., pcN]`` — an array of exactly N constrained elements."""
+
+    elements: list[ConstraintExpr]
+    span: Span | None = None
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+class Variadicity(Enum):
+    """How many consecutive operands/results a definition covers (§4.6)."""
+
+    SINGLE = "single"
+    OPTIONAL = "optional"
+    VARIADIC = "variadic"
+
+
+@dataclass
+class ParamDecl:
+    """One named, constrained parameter of a type or attribute."""
+
+    name: str
+    constraint: ConstraintExpr
+    span: Span | None = None
+
+
+@dataclass
+class ArgDecl:
+    """One named operand, result, attribute, or region-argument."""
+
+    name: str
+    constraint: ConstraintExpr
+    variadicity: Variadicity = Variadicity.SINGLE
+    span: Span | None = None
+
+
+@dataclass
+class ConstraintVarDecl:
+    """``ConstraintVar (!T: !FloatType)`` — a unification variable (§4.6)."""
+
+    name: str
+    sigil: str | None
+    constraint: ConstraintExpr
+    span: Span | None = None
+
+
+@dataclass
+class RegionDecl:
+    """A ``Region`` directive with entry arguments and optional terminator."""
+
+    name: str
+    arguments: list[ArgDecl] = field(default_factory=list)
+    terminator: str | None = None
+    span: Span | None = None
+
+
+@dataclass
+class TypeDecl:
+    """A ``Type`` or ``Attribute`` definition (§4.4)."""
+
+    name: str
+    is_type: bool
+    parameters: list[ParamDecl] = field(default_factory=list)
+    summary: str = ""
+    #: Declarative parameter format (§4.7), e.g. ``"$bitwidth x $lanes"``.
+    format: str | None = None
+    py_constraints: list[str] = field(default_factory=list)
+    span: Span | None = None
+
+
+@dataclass
+class OperationDecl:
+    """An ``Operation`` definition (§4.6)."""
+
+    name: str
+    constraint_vars: list[ConstraintVarDecl] = field(default_factory=list)
+    operands: list[ArgDecl] = field(default_factory=list)
+    results: list[ArgDecl] = field(default_factory=list)
+    attributes: list[ArgDecl] = field(default_factory=list)
+    regions: list[RegionDecl] = field(default_factory=list)
+    # ``None`` means no Successors directive; an empty list still marks the
+    # operation as a terminator (§4.6, Listing 8).
+    successors: list[str] | None = None
+    format: str | None = None
+    summary: str = ""
+    py_constraints: list[str] = field(default_factory=list)
+    span: Span | None = None
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.successors is not None
+
+
+@dataclass
+class AliasDecl:
+    """``Alias !Name<T...> = constraint`` (§4.5); possibly parametric."""
+
+    name: str
+    sigil: str | None
+    type_params: list[str]
+    body: ConstraintExpr
+    span: Span | None = None
+
+
+@dataclass
+class EnumDecl:
+    """``Enum name { Ctor1, Ctor2 }`` (§4.8)."""
+
+    name: str
+    constructors: list[str]
+    span: Span | None = None
+
+
+@dataclass
+class ConstraintDecl:
+    """An IRDL-Py ``Constraint`` with a base and inline code (§5.1)."""
+
+    name: str
+    base: ConstraintExpr
+    summary: str = ""
+    py_constraint: str | None = None
+    span: Span | None = None
+
+
+@dataclass
+class ParamWrapperDecl:
+    """An IRDL-Py ``TypeOrAttrParam`` wrapping a host-language class (§5.2)."""
+
+    name: str
+    summary: str = ""
+    py_class_name: str = ""
+    py_parser: str = ""
+    py_printer: str = ""
+    span: Span | None = None
+
+
+@dataclass
+class DialectDecl:
+    """A top-level ``Dialect`` block (§4.1)."""
+
+    name: str
+    types: list[TypeDecl] = field(default_factory=list)
+    attributes: list[TypeDecl] = field(default_factory=list)
+    operations: list[OperationDecl] = field(default_factory=list)
+    aliases: list[AliasDecl] = field(default_factory=list)
+    enums: list[EnumDecl] = field(default_factory=list)
+    constraints: list[ConstraintDecl] = field(default_factory=list)
+    param_wrappers: list[ParamWrapperDecl] = field(default_factory=list)
+    span: Span | None = None
+
+    def all_decl_names(self) -> list[str]:
+        names = [d.name for d in self.types]
+        names += [d.name for d in self.attributes]
+        names += [d.name for d in self.operations]
+        names += [d.name for d in self.aliases]
+        names += [d.name for d in self.enums]
+        names += [d.name for d in self.constraints]
+        names += [d.name for d in self.param_wrappers]
+        return names

@@ -1,0 +1,692 @@
+"""Runtime constraint objects generated from IRDL specifications.
+
+This implements the full constraint inventory of Figure 2:
+
+* type/attribute constraints — exact match, base-name match, parametrized
+  match (Fig. 2a);
+* parameter constraints — fixed-width integers, integer literals, strings,
+  string literals, enums and enum constructors, arrays (Fig. 2b);
+* generic constructors — ``!AnyType``, ``#AnyAttr``, ``AnyParam``,
+  ``AnyOf``, ``And``, ``Not`` (Fig. 2c);
+
+plus *constraint variables* (§4.6), which unify: every occurrence of a
+variable must be satisfied by the same value, and IRDL-Py constraints
+(§5.1), which run an embedded Python predicate after a base constraint.
+
+Constraints check values with :meth:`Constraint.verify`, raising
+:class:`~repro.ir.exceptions.VerifyError` with a descriptive message on
+mismatch.  Some constraints can also run "in reverse" via
+:meth:`Constraint.infer`, reconstructing the unique value they accept
+from constraint-variable bindings — this powers declarative assembly
+formats (§4.7), where parsing ``$T.elementType`` suffices to reconstruct
+all operand and result types.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.ir.attributes import (
+    Attribute,
+    DynamicParametrizedAttribute,
+    TypeAttribute,
+    attribute_name,
+    attribute_parameters,
+)
+from repro.ir.exceptions import VerifyError
+from repro.ir.params import (
+    ArrayParam,
+    EnumParam,
+    IntegerParam,
+    OpaqueParam,
+    ParamValue,
+    StringParam,
+)
+
+if TYPE_CHECKING:
+    from repro.ir.dialect import AttrDefBinding, EnumBinding
+
+
+class ConstraintContext:
+    """Bindings of constraint variables during one verification run."""
+
+    def __init__(self) -> None:
+        self.bindings: dict[str, Any] = {}
+
+    def copy(self) -> "ConstraintContext":
+        new = ConstraintContext()
+        new.bindings = dict(self.bindings)
+        return new
+
+
+class CannotInfer(Exception):
+    """Raised when a constraint cannot reconstruct its unique value."""
+
+
+class Constraint:
+    """Base class of all runtime constraints."""
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        """Check ``value``; raise :class:`VerifyError` when unsatisfied."""
+        raise NotImplementedError
+
+    def satisfied_by(self, value: Any, ctx: ConstraintContext | None = None) -> bool:
+        """Boolean convenience wrapper around :meth:`verify`."""
+        try:
+            self.verify(value, ctx if ctx is not None else ConstraintContext())
+            return True
+        except VerifyError:
+            return False
+
+    def infer(self, ctx: ConstraintContext) -> Any:
+        """Reconstruct the unique value satisfying this constraint."""
+        raise CannotInfer(f"cannot infer a value from {self}")
+
+    def variables(self) -> set[str]:
+        """Names of constraint variables occurring in this constraint."""
+        return set()
+
+
+def _describe(value: Any) -> str:
+    if isinstance(value, Attribute):
+        name = attribute_name(value)
+        params = attribute_parameters(value)
+        if params:
+            return f"{name}<{', '.join(_describe(p) for p in params)}>"
+        text = str(value)
+        return text if text else name
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Generic constructors (Fig. 2c)
+# ---------------------------------------------------------------------------
+
+class AnyTypeConstraint(Constraint):
+    """``!AnyType`` — satisfied by every type."""
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        if not isinstance(value, TypeAttribute):
+            raise VerifyError(f"expected a type, got {_describe(value)}")
+
+    def __repr__(self) -> str:
+        return "!AnyType"
+
+
+class AnyAttrConstraint(Constraint):
+    """``#AnyAttr`` — satisfied by every attribute (including types)."""
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        if not isinstance(value, Attribute):
+            raise VerifyError(f"expected an attribute, got {_describe(value)}")
+
+    def __repr__(self) -> str:
+        return "#AnyAttr"
+
+
+class AnyParamConstraint(Constraint):
+    """``AnyParam`` — satisfied by every parameter value."""
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        if not isinstance(value, (Attribute, ParamValue)):
+            raise VerifyError(f"expected a parameter, got {_describe(value)}")
+
+    def __repr__(self) -> str:
+        return "AnyParam"
+
+
+class AnyOfConstraint(Constraint):
+    """``AnyOf<c1, ..., cN>`` — at least one alternative must hold.
+
+    Constraint-variable bindings made by a failing alternative are rolled
+    back, so alternatives are tried independently.
+    """
+
+    def __init__(self, alternatives: Sequence[Constraint]):
+        self.alternatives = list(alternatives)
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        failures = []
+        for alternative in self.alternatives:
+            saved = dict(ctx.bindings)
+            try:
+                alternative.verify(value, ctx)
+                return
+            except VerifyError as err:
+                ctx.bindings.clear()
+                ctx.bindings.update(saved)
+                failures.append(str(err))
+        raise VerifyError(
+            f"{_describe(value)} satisfies none of the {len(self.alternatives)} "
+            f"alternatives: {'; '.join(failures)}"
+        )
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for alternative in self.alternatives:
+            names |= alternative.variables()
+        return names
+
+    def __repr__(self) -> str:
+        return f"AnyOf<{', '.join(map(repr, self.alternatives))}>"
+
+
+class AndConstraint(Constraint):
+    """``And<c1, ..., cN>`` — all conjuncts must hold."""
+
+    def __init__(self, conjuncts: Sequence[Constraint]):
+        self.conjuncts = list(conjuncts)
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        for conjunct in self.conjuncts:
+            conjunct.verify(value, ctx)
+
+    def infer(self, ctx: ConstraintContext) -> Any:
+        for conjunct in self.conjuncts:
+            try:
+                return conjunct.infer(ctx)
+            except CannotInfer:
+                continue
+        raise CannotInfer(f"cannot infer a value from {self}")
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for conjunct in self.conjuncts:
+            names |= conjunct.variables()
+        return names
+
+    def __repr__(self) -> str:
+        return f"And<{', '.join(map(repr, self.conjuncts))}>"
+
+
+class NotConstraint(Constraint):
+    """``Not<c>`` — the inner constraint must fail."""
+
+    def __init__(self, inner: Constraint):
+        self.inner = inner
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        saved = dict(ctx.bindings)
+        try:
+            self.inner.verify(value, ctx)
+        except VerifyError:
+            ctx.bindings.clear()
+            ctx.bindings.update(saved)
+            return
+        ctx.bindings.clear()
+        ctx.bindings.update(saved)
+        raise VerifyError(
+            f"{_describe(value)} matches {self.inner!r}, which is forbidden"
+        )
+
+    def variables(self) -> set[str]:
+        return self.inner.variables()
+
+    def __repr__(self) -> str:
+        return f"Not<{self.inner!r}>"
+
+
+class VarConstraint(Constraint):
+    """A constraint variable: all occurrences must bind to the same value.
+
+    The first occurrence checks the underlying constraint and records the
+    value; later occurrences require equality with the recorded value
+    (§4.6, "constraints that need to be satisfied by the same type at
+    each use").
+    """
+
+    def __init__(self, name: str, base: Constraint):
+        self.name = name
+        self.base = base
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        if self.name in ctx.bindings:
+            bound = ctx.bindings[self.name]
+            if bound != value:
+                raise VerifyError(
+                    f"constraint variable {self.name} already bound to "
+                    f"{_describe(bound)}, but {_describe(value)} was provided"
+                )
+            return
+        self.base.verify(value, ctx)
+        ctx.bindings[self.name] = value
+
+    def infer(self, ctx: ConstraintContext) -> Any:
+        if self.name in ctx.bindings:
+            return ctx.bindings[self.name]
+        raise CannotInfer(f"constraint variable {self.name} is unbound")
+
+    def variables(self) -> set[str]:
+        return {self.name} | self.base.variables()
+
+    def __repr__(self) -> str:
+        return f"Var({self.name}: {self.base!r})"
+
+
+# ---------------------------------------------------------------------------
+# Type and attribute constraints (Fig. 2a)
+# ---------------------------------------------------------------------------
+
+class EqConstraint(Constraint):
+    """Match exactly one type, attribute, or parameter value."""
+
+    def __init__(self, expected: Any):
+        self.expected = expected
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        if value != self.expected:
+            raise VerifyError(
+                f"expected {_describe(self.expected)}, got {_describe(value)}"
+            )
+
+    def infer(self, ctx: ConstraintContext) -> Any:
+        return self.expected
+
+    def __repr__(self) -> str:
+        return f"Eq({_describe(self.expected)})"
+
+
+class BaseConstraint(Constraint):
+    """Match any type/attribute with the given base name (Fig. 2a row 2)."""
+
+    def __init__(self, definition: "AttrDefBinding"):
+        self.definition = definition
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        if not isinstance(value, Attribute):
+            raise VerifyError(
+                f"expected a {self.definition.qualified_name}, got "
+                f"{_describe(value)}"
+            )
+        if attribute_name(value) != self.definition.canonical_name:
+            raise VerifyError(
+                f"expected a {self.definition.qualified_name}, got "
+                f"{_describe(value)}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Base({self.definition.qualified_name})"
+
+
+class ParametricConstraint(Constraint):
+    """Match a type/attribute by base name with constrained parameters."""
+
+    def __init__(
+        self,
+        definition: "AttrDefBinding",
+        param_constraints: Sequence[Constraint],
+    ):
+        self.definition = definition
+        self.param_constraints = list(param_constraints)
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        BaseConstraint(self.definition).verify(value, ctx)
+        params = attribute_parameters(value)
+        if len(params) != len(self.param_constraints):
+            raise VerifyError(
+                f"{self.definition.qualified_name} has {len(params)} "
+                f"parameters, constraint expects {len(self.param_constraints)}"
+            )
+        for index, (param, constraint) in enumerate(
+            zip(params, self.param_constraints)
+        ):
+            try:
+                constraint.verify(param, ctx)
+            except VerifyError as err:
+                raise VerifyError(
+                    f"parameter #{index} of {self.definition.qualified_name}: "
+                    f"{err}"
+                ) from err
+
+    def infer(self, ctx: ConstraintContext) -> Any:
+        params = [c.infer(ctx) for c in self.param_constraints]
+        return self.definition.instantiate(params)
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for constraint in self.param_constraints:
+            names |= constraint.variables()
+        return names
+
+    def __repr__(self) -> str:
+        inner = ", ".join(map(repr, self.param_constraints))
+        return f"{self.definition.qualified_name}<{inner}>"
+
+
+# ---------------------------------------------------------------------------
+# Parameter constraints (Fig. 2b)
+# ---------------------------------------------------------------------------
+
+class IntTypeConstraint(Constraint):
+    """``int8_t`` … ``uint64_t`` — any integer of a width and signedness."""
+
+    def __init__(self, bitwidth: int, signed: bool):
+        self.bitwidth = bitwidth
+        self.signed = signed
+
+    @property
+    def type_name(self) -> str:
+        return f"{'' if self.signed else 'u'}int{self.bitwidth}_t"
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        if not isinstance(value, IntegerParam):
+            raise VerifyError(
+                f"expected a {self.type_name} parameter, got {_describe(value)}"
+            )
+        if value.bitwidth != self.bitwidth or value.signed != self.signed:
+            raise VerifyError(
+                f"expected a {self.type_name} parameter, got {value.type_name}"
+            )
+
+    def __repr__(self) -> str:
+        return self.type_name
+
+
+class IntLiteralConstraint(Constraint):
+    """``3 : int32_t`` — exactly one integer value of a given width."""
+
+    def __init__(self, value: int, bitwidth: int = 32, signed: bool = True):
+        self.param = IntegerParam(value, bitwidth, signed)
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        if value != self.param:
+            raise VerifyError(
+                f"expected {self.param}, got {_describe(value)}"
+            )
+
+    def infer(self, ctx: ConstraintContext) -> Any:
+        return self.param
+
+    def __repr__(self) -> str:
+        return str(self.param)
+
+
+class AnyStringConstraint(Constraint):
+    """``string`` — any string parameter."""
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        if not isinstance(value, StringParam):
+            raise VerifyError(f"expected a string, got {_describe(value)}")
+
+    def __repr__(self) -> str:
+        return "string"
+
+
+class StringLiteralConstraint(Constraint):
+    """``"foo"`` — exactly this string."""
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        if not isinstance(value, StringParam) or value.value != self.value:
+            raise VerifyError(
+                f'expected the string "{self.value}", got {_describe(value)}'
+            )
+
+    def infer(self, ctx: ConstraintContext) -> Any:
+        return StringParam(self.value)
+
+    def __repr__(self) -> str:
+        return f'"{self.value}"'
+
+
+class FloatAttrConstraint(Constraint):
+    """``#f32_attr`` — a float attribute of a given width (Listing 5).
+
+    Matches any ``builtin.float_attr`` whose type is the ``f<width>``
+    float type, regardless of how the attribute was constructed.
+    """
+
+    def __init__(self, bitwidth: int):
+        self.bitwidth = bitwidth
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        from repro.builtin.attributes import FloatAttr
+        from repro.builtin.types import FloatType
+
+        if not isinstance(value, FloatAttr):
+            raise VerifyError(
+                f"expected an f{self.bitwidth} float attribute, got "
+                f"{_describe(value)}"
+            )
+        if not isinstance(value.type, FloatType) or value.type.bitwidth != self.bitwidth:
+            raise VerifyError(
+                f"expected an f{self.bitwidth} float attribute, got one of "
+                f"type {value.type}"
+            )
+
+    def __repr__(self) -> str:
+        return f"#f{self.bitwidth}_attr"
+
+
+class IntegerAttrConstraint(Constraint):
+    """``#i32_attr``/``#index_attr`` — a typed integer attribute."""
+
+    def __init__(self, bitwidth: int | None):
+        #: ``None`` means the index type.
+        self.bitwidth = bitwidth
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        from repro.builtin.attributes import IntegerAttr
+        from repro.builtin.types import IndexType, IntegerType
+
+        name = f"i{self.bitwidth}" if self.bitwidth is not None else "index"
+        if not isinstance(value, IntegerAttr):
+            raise VerifyError(
+                f"expected an {name} integer attribute, got {_describe(value)}"
+            )
+        if self.bitwidth is None:
+            if not isinstance(value.type, IndexType):
+                raise VerifyError(
+                    f"expected an index integer attribute, got one of type "
+                    f"{value.type}"
+                )
+        elif not isinstance(value.type, IntegerType) or value.type.bitwidth != self.bitwidth:
+            raise VerifyError(
+                f"expected an {name} integer attribute, got one of type "
+                f"{value.type}"
+            )
+
+    def __repr__(self) -> str:
+        name = f"i{self.bitwidth}" if self.bitwidth is not None else "index"
+        return f"#{name}_attr"
+
+
+class AnyFloatConstraint(Constraint):
+    """``float32_t``/``float64_t`` — a float parameter of a given width."""
+
+    def __init__(self, bitwidth: int = 64):
+        self.bitwidth = bitwidth
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        from repro.ir.params import FloatParam
+
+        if not isinstance(value, FloatParam) or value.bitwidth != self.bitwidth:
+            raise VerifyError(
+                f"expected a float{self.bitwidth}_t parameter, got "
+                f"{_describe(value)}"
+            )
+
+    def __repr__(self) -> str:
+        return f"float{self.bitwidth}_t"
+
+
+class LocationConstraint(Constraint):
+    """``location`` — a source-location parameter (a builtin in IRDL)."""
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        from repro.ir.params import LocationParam
+
+        if not isinstance(value, LocationParam):
+            raise VerifyError(f"expected a location, got {_describe(value)}")
+
+    def __repr__(self) -> str:
+        return "location"
+
+
+class TypeIdConstraint(Constraint):
+    """``type_id`` — a host-class identifier parameter (a builtin in IRDL)."""
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        from repro.ir.params import TypeIdParam
+
+        if not isinstance(value, TypeIdParam):
+            raise VerifyError(f"expected a type id, got {_describe(value)}")
+
+    def __repr__(self) -> str:
+        return "type_id"
+
+
+class EnumConstraint(Constraint):
+    """``enumname`` — any constructor of an enum (Fig. 2b)."""
+
+    def __init__(self, enum: "EnumBinding"):
+        self.enum = enum
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        if not isinstance(value, EnumParam) or value.enum_name != self.enum.qualified_name:
+            raise VerifyError(
+                f"expected a {self.enum.qualified_name} enum value, got "
+                f"{_describe(value)}"
+            )
+        if not self.enum.has_constructor(value.constructor):
+            raise VerifyError(
+                f"{value.constructor!r} is not a constructor of "
+                f"{self.enum.qualified_name}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Enum({self.enum.qualified_name})"
+
+
+class EnumConstructorConstraint(Constraint):
+    """``enum.Constructor`` — one particular enum constructor."""
+
+    def __init__(self, enum: "EnumBinding", constructor: str):
+        self.enum = enum
+        self.constructor = constructor
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        expected = EnumParam(self.enum.qualified_name, self.constructor)
+        if value != expected:
+            raise VerifyError(
+                f"expected {expected}, got {_describe(value)}"
+            )
+
+    def infer(self, ctx: ConstraintContext) -> Any:
+        return EnumParam(self.enum.qualified_name, self.constructor)
+
+    def __repr__(self) -> str:
+        return f"{self.enum.base_name}.{self.constructor}"
+
+
+class ArrayAnyConstraint(Constraint):
+    """``array<pc>`` — an array whose elements all satisfy ``pc``."""
+
+    def __init__(self, element: Constraint):
+        self.element = element
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        if not isinstance(value, ArrayParam):
+            raise VerifyError(f"expected an array, got {_describe(value)}")
+        for index, item in enumerate(value.elements):
+            try:
+                self.element.verify(item, ctx)
+            except VerifyError as err:
+                raise VerifyError(f"array element #{index}: {err}") from err
+
+    def variables(self) -> set[str]:
+        return self.element.variables()
+
+    def __repr__(self) -> str:
+        return f"array<{self.element!r}>"
+
+
+class ArrayExactConstraint(Constraint):
+    """``[pc1, ..., pcN]`` — an N-element array, element i matching pc_i."""
+
+    def __init__(self, elements: Sequence[Constraint]):
+        self.elements = list(elements)
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        if not isinstance(value, ArrayParam):
+            raise VerifyError(f"expected an array, got {_describe(value)}")
+        if len(value.elements) != len(self.elements):
+            raise VerifyError(
+                f"expected an array of {len(self.elements)} elements, got "
+                f"{len(value.elements)}"
+            )
+        for index, (item, constraint) in enumerate(
+            zip(value.elements, self.elements)
+        ):
+            try:
+                constraint.verify(item, ctx)
+            except VerifyError as err:
+                raise VerifyError(f"array element #{index}: {err}") from err
+
+    def infer(self, ctx: ConstraintContext) -> Any:
+        return ArrayParam(tuple(c.infer(ctx) for c in self.elements))
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for element in self.elements:
+            names |= element.variables()
+        return names
+
+    def __repr__(self) -> str:
+        return "[" + ", ".join(map(repr, self.elements)) + "]"
+
+
+# ---------------------------------------------------------------------------
+# IRDL-Py (§5)
+# ---------------------------------------------------------------------------
+
+class PyConstraint(Constraint):
+    """A base constraint refined by an embedded Python predicate (§5.1).
+
+    The code sees the checked value as ``$_self`` (translated to the
+    Python name ``_self``).  This is the reproduction's analogue of the
+    paper's ``CppConstraint`` directive.
+    """
+
+    def __init__(self, name: str, base: Constraint, code: str):
+        from repro.irdl.irdl_py import compile_predicate
+
+        self.name = name
+        self.base = base
+        self.code = code
+        self._predicate: Callable[[Any], bool] = compile_predicate(code)
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        self.base.verify(value, ctx)
+        unwrapped = value.value if isinstance(value, (IntegerParam, StringParam)) else value
+        if not self._predicate(unwrapped):
+            raise VerifyError(
+                f"{_describe(value)} violates constraint {self.name}: "
+                f"{self.code!r}"
+            )
+
+    def variables(self) -> set[str]:
+        return self.base.variables()
+
+    def __repr__(self) -> str:
+        return f"PyConstraint({self.name})"
+
+
+class ParamWrapperConstraint(Constraint):
+    """Match a host-language parameter declared via ``TypeOrAttrParam``."""
+
+    def __init__(self, name: str, class_name: str):
+        self.name = name
+        self.class_name = class_name
+
+    def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        if not isinstance(value, OpaqueParam) or value.class_name != self.class_name:
+            raise VerifyError(
+                f"expected a {self.name} parameter (wrapping "
+                f"{self.class_name}), got {_describe(value)}"
+            )
+
+    def __repr__(self) -> str:
+        return f"TypeOrAttrParam({self.name})"

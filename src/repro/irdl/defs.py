@@ -1,0 +1,223 @@
+"""Resolved IRDL definitions.
+
+These are the semantic objects produced by the resolver from parsed IRDL
+(§4): every constraint expression has been resolved to a runtime
+:class:`~repro.irdl.constraints.Constraint`.  They serve two consumers:
+
+* the instantiation layer (§3), which derives data structures, verifiers,
+  and parsers/printers from them and registers the dialect in a context;
+* the analysis tooling (§6), which computes the paper's evaluation
+  statistics directly over these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.irdl.ast import Variadicity
+from repro.irdl.constraints import Constraint
+
+if TYPE_CHECKING:
+    from repro.ir.dialect import EnumBinding
+
+
+@dataclass
+class ParamDef:
+    """A resolved type/attribute parameter."""
+
+    name: str
+    constraint: Constraint
+    #: True when the parameter's constraint involves an IRDL-Py
+    #: ``TypeOrAttrParam`` wrapper (needed for the Figure 9/10 analysis).
+    uses_py_wrapper: bool = False
+    #: The parameter-kind tag for the Figure 8 analysis ("attr/type",
+    #: "integer", "enum", "string", "float", "location", "type id", or a
+    #: domain-specific wrapper name).
+    kind: str = "attr/type"
+
+
+@dataclass
+class ArgDef:
+    """A resolved operand, result, attribute, or region-argument."""
+
+    name: str
+    constraint: Constraint
+    variadicity: Variadicity = Variadicity.SINGLE
+    #: True when the constraint required IRDL-Py (a PyConstraint) to
+    #: express the *local* invariant (Figure 11a / Figure 12).
+    uses_py_constraint: bool = False
+
+    @property
+    def is_variadic(self) -> bool:
+        return self.variadicity is not Variadicity.SINGLE
+
+
+@dataclass
+class RegionDef:
+    """A resolved ``Region`` directive."""
+
+    name: str
+    arguments: list[ArgDef] = field(default_factory=list)
+    #: Qualified terminator operation name, implying single-block (§4.6).
+    terminator: str | None = None
+
+
+@dataclass
+class TypeDef:
+    """A resolved ``Type`` or ``Attribute`` definition."""
+
+    dialect_name: str
+    name: str
+    is_type: bool
+    parameters: list[ParamDef] = field(default_factory=list)
+    summary: str = ""
+    #: IRDL-Py verifier predicates over the whole type/attribute (§5.1).
+    py_constraints: list[str] = field(default_factory=list)
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.dialect_name}.{self.name}"
+
+    @property
+    def needs_py_for_parameters(self) -> bool:
+        """Whether any parameter needs IRDL-Py (Figure 9a/10a)."""
+        return any(p.uses_py_wrapper for p in self.parameters)
+
+    @property
+    def needs_py_verifier(self) -> bool:
+        """Whether the definition has an IRDL-Py verifier (Figure 9b/10b)."""
+        return bool(self.py_constraints)
+
+
+@dataclass
+class OpDef:
+    """A resolved ``Operation`` definition."""
+
+    dialect_name: str
+    name: str
+    constraint_vars: dict[str, Constraint] = field(default_factory=dict)
+    operands: list[ArgDef] = field(default_factory=list)
+    results: list[ArgDef] = field(default_factory=list)
+    attributes: list[ArgDef] = field(default_factory=list)
+    regions: list[RegionDef] = field(default_factory=list)
+    successors: list[str] | None = None
+    format: str | None = None
+    summary: str = ""
+    #: IRDL-Py global-constraint predicates (§5.1, Figure 11b).
+    py_constraints: list[str] = field(default_factory=list)
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.dialect_name}.{self.name}"
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.successors is not None
+
+    @property
+    def num_variadic_operands(self) -> int:
+        return sum(1 for o in self.operands if o.is_variadic)
+
+    @property
+    def num_variadic_results(self) -> int:
+        return sum(1 for r in self.results if r.is_variadic)
+
+    @property
+    def has_py_local_constraint(self) -> bool:
+        """A local constraint needed IRDL-Py (Figure 11a)."""
+        return any(
+            a.uses_py_constraint
+            for a in (*self.operands, *self.results, *self.attributes)
+        )
+
+    @property
+    def has_py_verifier(self) -> bool:
+        """A global constraint needed IRDL-Py (Figure 11b)."""
+        return bool(self.py_constraints)
+
+
+@dataclass
+class AliasDef:
+    """A resolved (non-parametric) alias; parametric aliases expand at
+    resolution time and leave no runtime record beyond this entry."""
+
+    dialect_name: str
+    name: str
+    sigil: str | None
+    type_params: list[str] = field(default_factory=list)
+    #: Resolved constraint for non-parametric aliases; ``None`` for
+    #: parametric ones (their body is re-resolved per use).
+    constraint: Constraint | None = None
+
+
+@dataclass
+class ConstraintDef:
+    """A resolved named ``Constraint`` (IRDL-Py, §5.1)."""
+
+    dialect_name: str
+    name: str
+    constraint: Constraint
+    summary: str = ""
+    py_constraint: str | None = None
+
+    @property
+    def uses_py(self) -> bool:
+        return self.py_constraint is not None
+
+
+@dataclass
+class ParamWrapperDef:
+    """A resolved ``TypeOrAttrParam`` (IRDL-Py, §5.2)."""
+
+    dialect_name: str
+    name: str
+    summary: str = ""
+    py_class_name: str = ""
+    py_parser: str = ""
+    py_printer: str = ""
+
+
+@dataclass
+class EnumDef:
+    """A resolved ``Enum`` declaration (§4.8)."""
+
+    dialect_name: str
+    name: str
+    constructors: list[str] = field(default_factory=list)
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.dialect_name}.{self.name}"
+
+
+@dataclass
+class DialectDef:
+    """A fully resolved dialect: the unit of registration and analysis."""
+
+    name: str
+    types: list[TypeDef] = field(default_factory=list)
+    attributes: list[TypeDef] = field(default_factory=list)
+    operations: list[OpDef] = field(default_factory=list)
+    aliases: list[AliasDef] = field(default_factory=list)
+    enums: list[EnumDef] = field(default_factory=list)
+    constraints: list[ConstraintDef] = field(default_factory=list)
+    param_wrappers: list[ParamWrapperDef] = field(default_factory=list)
+
+    def get_op(self, name: str) -> OpDef | None:
+        for op in self.operations:
+            if op.name == name:
+                return op
+        return None
+
+    def get_type(self, name: str) -> TypeDef | None:
+        for type_def in self.types:
+            if type_def.name == name:
+                return type_def
+        return None
+
+    def get_attr(self, name: str) -> TypeDef | None:
+        for attr_def in self.attributes:
+            if attr_def.name == name:
+                return attr_def
+        return None

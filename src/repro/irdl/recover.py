@@ -1,0 +1,225 @@
+"""Semi-automatic recovery of IRDL from natively implemented dialects.
+
+§6.1 describes how the authors "semi-automatically recover IRDL code
+from the generic, often TableGen-derived, C++ code that is today used in
+MLIR's production repositories".  This module reproduces that workflow
+for dialects implemented natively in Python (hand-written
+:class:`~repro.ir.dialect.OpDefBinding` objects with opaque verifier
+closures):
+
+* names, summaries, and terminator flags are read from the bindings;
+* operand/result **arities** and coarse **type constraints** are
+  recovered by *probing*: synthetic operations with 0..N operands and
+  results over a palette of builtin types are offered to the native
+  verifier, and the accepting signatures are generalized into IRDL
+  (exact type, ``AnyOf`` over the accepted palette subset, or
+  ``!AnyType``);
+* types and attributes contribute their declared parameter names.
+
+Recovery is best-effort by design — exactly like the paper's, which also
+needed the structure that ODS had accumulated.  Unprobeable operations
+(none of the synthetic signatures verified) are emitted as fully generic
+IRDL operations with a note in their summary.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.builtin import types as btypes
+from repro.ir.block import Block
+from repro.ir.context import Context
+from repro.ir.dialect import DialectBinding
+from repro.ir.exceptions import VerifyError
+from repro.irdl import ast
+
+#: The probe palette: representative builtin types offered to verifiers.
+PROBE_TYPES = (btypes.i1, btypes.i32, btypes.i64, btypes.f32, btypes.f64,
+               btypes.index)
+
+#: Probe bounds: operand and result counts tried per operation.
+MAX_OPERANDS = 3
+MAX_RESULTS = 2
+
+_OPERAND_NAMES = ("a", "b", "c", "d")
+
+
+def _type_ref(ty) -> ast.RefExpr:
+    return ast.RefExpr("!", str(ty))
+
+
+def _probe_op(context: Context, qualified_name: str):
+    """Accepted (operand types, result types) signatures of a native op.
+
+    Probes uniform signatures (all operands/results the same palette
+    type, plus mixed operand/result types) — enough to recover the
+    common native patterns (binary same-type ops, casts, nullaries).
+    """
+    accepted = []
+    for n_operands in range(MAX_OPERANDS + 1):
+        for n_results in range(MAX_RESULTS + 1):
+            for operand_ty, result_ty in product(PROBE_TYPES, repeat=2):
+                block = Block([operand_ty] * n_operands)
+                op = context.create_operation(
+                    qualified_name,
+                    operands=list(block.args),
+                    result_types=[result_ty] * n_results,
+                )
+                try:
+                    op.verify()
+                except (VerifyError, Exception) as err:
+                    if not isinstance(err, VerifyError):
+                        break
+                    continue
+                accepted.append(
+                    (tuple([operand_ty] * n_operands),
+                     tuple([result_ty] * n_results))
+                )
+                if n_operands == 0 and n_results == 0:
+                    break  # palette is irrelevant for nullary signatures
+    return accepted
+
+
+def _generalize(position_types: set) -> ast.ConstraintExpr:
+    """The tightest IRDL constraint covering the observed types."""
+    if len(position_types) == 1:
+        return _type_ref(next(iter(position_types)))
+    if set(PROBE_TYPES) <= position_types:
+        return ast.RefExpr(None, "AnyType")
+    ordered = sorted(position_types, key=str)
+    return ast.RefExpr(None, "AnyOf", [_type_ref(t) for t in ordered])
+
+
+def _uniform_signature_required(context: Context, qualified_name: str,
+                                n_operands: int, n_results: int,
+                                palette: set) -> bool:
+    """Whether mixing accepted operand types is rejected (same-type op)."""
+    if n_operands + n_results < 2 or len(palette) < 2:
+        return False
+    ordered = sorted(palette, key=str)
+    first, second = ordered[0], ordered[1]
+    mixed = [first] * n_operands
+    mixed[-1] = second
+    block = Block(mixed)
+    op = context.create_operation(
+        qualified_name,
+        operands=list(block.args),
+        result_types=[first] * n_results,
+    )
+    try:
+        op.verify()
+        return False
+    except VerifyError:
+        return True
+
+
+def _recover_operation(context: Context, binding) -> ast.OperationDecl:
+    decl = ast.OperationDecl(binding.base_name, summary=binding.summary)
+    if binding.is_terminator:
+        decl.successors = []
+    accepted = _probe_op(context, binding.qualified_name)
+    arities = {(len(ops), len(res)) for ops, res in accepted}
+    if len(arities) != 1:
+        # Ambiguous or unprobeable: emit a fully generic definition, as
+        # the paper's recovery did for unstructured C++.
+        note = "recovered: signature not probeable"
+        decl.summary = f"{binding.summary} ({note})" if binding.summary else note
+        return decl
+    (n_operands, n_results) = next(iter(arities))
+    operand_types = [set() for _ in range(n_operands)]
+    result_types = [set() for _ in range(n_results)]
+    for ops, res in accepted:
+        for index, ty in enumerate(ops):
+            operand_types[index].add(ty)
+        for index, ty in enumerate(res):
+            result_types[index].add(ty)
+
+    # Same-type detection: if every position observed the same palette and
+    # a mixed signature is rejected, recover a constraint variable (§4.6).
+    all_positions = operand_types + result_types
+    palettes_agree = (
+        len(all_positions) >= 2
+        and all(types == all_positions[0] for types in all_positions)
+    )
+    if palettes_agree and _uniform_signature_required(
+        context, binding.qualified_name, n_operands, n_results,
+        all_positions[0],
+    ):
+        decl.constraint_vars = [
+            ast.ConstraintVarDecl("T", "!", _generalize(all_positions[0]))
+        ]
+        var_ref = ast.RefExpr("!", "T")
+        decl.operands = [
+            ast.ArgDecl(_OPERAND_NAMES[i], var_ref) for i in range(n_operands)
+        ]
+        decl.results = [
+            ast.ArgDecl(f"res{i}" if i else "res", var_ref)
+            for i in range(n_results)
+        ]
+        return decl
+
+    decl.operands = [
+        ast.ArgDecl(_OPERAND_NAMES[i], _generalize(types))
+        for i, types in enumerate(operand_types)
+    ]
+    decl.results = [
+        ast.ArgDecl(f"res{i}" if i else "res", _generalize(types))
+        for i, types in enumerate(result_types)
+    ]
+    return decl
+
+
+def recover_dialect(context: Context, dialect_name: str) -> ast.DialectDecl:
+    """Recover an IRDL declaration for a natively registered dialect."""
+    binding = context.get_dialect(dialect_name)
+    if binding is None:
+        raise ValueError(f"dialect {dialect_name!r} is not registered")
+    if getattr(binding, "irdl_def", None) is not None:
+        raise ValueError(
+            f"dialect {dialect_name!r} is already IRDL-defined; "
+            "use its source instead of recovery"
+        )
+    decl = ast.DialectDecl(dialect_name)
+    for enum in binding.enums.values():
+        decl.enums.append(
+            ast.EnumDecl(enum.base_name, list(enum.constructors))
+        )
+    for type_def in binding.types.values():
+        if type_def.qualified_name != type_def.canonical_name:
+            continue  # skip alias registrations
+        decl.types.append(
+            ast.TypeDecl(
+                type_def.base_name,
+                is_type=True,
+                parameters=[
+                    ast.ParamDecl(name, ast.RefExpr(None, "AnyParam"))
+                    for name in type_def.parameter_names
+                ],
+                summary=type_def.summary,
+            )
+        )
+    for attr_def in binding.attributes.values():
+        if attr_def.qualified_name != attr_def.canonical_name:
+            continue
+        decl.attributes.append(
+            ast.TypeDecl(
+                attr_def.base_name,
+                is_type=False,
+                parameters=[
+                    ast.ParamDecl(name, ast.RefExpr(None, "AnyParam"))
+                    for name in attr_def.parameter_names
+                ],
+                summary=attr_def.summary,
+            )
+        )
+    probe_context = context.clone()
+    for op_binding in binding.operations.values():
+        decl.operations.append(_recover_operation(probe_context, op_binding))
+    return decl
+
+
+def recover_dialect_source(context: Context, dialect_name: str) -> str:
+    """Recovered IRDL source text for a native dialect."""
+    from repro.irdl.printer import print_dialect
+
+    return print_dialect(recover_dialect(context, dialect_name))

@@ -1,0 +1,213 @@
+"""Constraint sampling: generate values *satisfying* a constraint.
+
+§3 argues that IRDL's self-contained definitions make it "easy to
+introspect and generate IRs".  This module is the generative half of the
+constraint system (:mod:`repro.irdl.constraints` is the checking half):
+``sample(constraint)`` produces a type, attribute, or parameter value
+satisfying the constraint, respecting constraint-variable bindings.
+
+Sampling powers the IR generator (:mod:`repro.irdl.irgen`) and doubles
+as a fuzzer foundation: every sampled value is checked against its own
+constraint, so a sampler/verifier disagreement fails loudly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.ir.attributes import Attribute
+from repro.ir.exceptions import VerifyError
+from repro.ir.params import (
+    ArrayParam,
+    EnumParam,
+    FloatParam,
+    IntegerParam,
+    LocationParam,
+    OpaqueParam,
+    StringParam,
+    TypeIdParam,
+)
+from repro.irdl import constraints as C
+
+
+class CannotSample(Exception):
+    """The constraint has no enumerable inhabitant we know how to build."""
+
+
+class ConstraintSampler:
+    """Samples values satisfying constraints, with variable consistency."""
+
+    #: Fallback pool used for ``!AnyType`` (populated lazily from builtin).
+    def __init__(self, rng: random.Random | None = None,
+                 any_type_pool: list[Attribute] | None = None):
+        self.rng = rng if rng is not None else random.Random(0)
+        if any_type_pool is None:
+            from repro.builtin import f32, f64, i1, i32, i64, index
+
+            any_type_pool = [i1, i32, i64, f32, f64, index]
+        self.any_type_pool = any_type_pool
+
+    # ------------------------------------------------------------------
+
+    def sample(self, constraint: C.Constraint,
+               cctx: C.ConstraintContext | None = None) -> Any:
+        """A value satisfying ``constraint`` under (and updating) ``cctx``."""
+        cctx = cctx if cctx is not None else C.ConstraintContext()
+        value = self._sample(constraint, cctx)
+        # Self-check: the sampler must agree with the verifier.
+        constraint.verify(value, cctx)
+        return value
+
+    # ------------------------------------------------------------------
+
+    def _sample(self, constraint: C.Constraint, cctx: C.ConstraintContext) -> Any:
+        if isinstance(constraint, C.EqConstraint):
+            return constraint.expected
+        if isinstance(constraint, C.VarConstraint):
+            if constraint.name in cctx.bindings:
+                return cctx.bindings[constraint.name]
+            value = self._sample(constraint.base, cctx)
+            cctx.bindings[constraint.name] = value
+            return value
+        if isinstance(constraint, C.AnyOfConstraint):
+            alternatives = list(constraint.alternatives)
+            self.rng.shuffle(alternatives)
+            for alternative in alternatives:
+                saved = dict(cctx.bindings)
+                try:
+                    return self._sample(alternative, cctx)
+                except CannotSample:
+                    cctx.bindings.clear()
+                    cctx.bindings.update(saved)
+            raise CannotSample(f"no samplable alternative in {constraint!r}")
+        if isinstance(constraint, C.AndConstraint):
+            # Sample the most constrained conjunct, verify the rest.
+            for conjunct in constraint.conjuncts:
+                saved = dict(cctx.bindings)
+                try:
+                    candidate = self._sample(conjunct, cctx)
+                    constraint.verify(candidate, cctx)
+                    return candidate
+                except (CannotSample, VerifyError):
+                    cctx.bindings.clear()
+                    cctx.bindings.update(saved)
+            raise CannotSample(f"cannot satisfy conjunction {constraint!r}")
+        if isinstance(constraint, C.NotConstraint):
+            for _ in range(16):
+                candidate = self.rng.choice(self.any_type_pool)
+                if constraint.satisfied_by(candidate, cctx):
+                    return candidate
+            raise CannotSample(f"cannot avoid {constraint.inner!r}")
+        if isinstance(constraint, C.AnyTypeConstraint):
+            return self.rng.choice(self.any_type_pool)
+        if isinstance(constraint, C.AnyAttrConstraint):
+            from repro.builtin import IntegerAttr, StringAttr
+
+            return self.rng.choice(
+                [StringAttr("sampled"), IntegerAttr(self.rng.randrange(64))]
+            )
+        if isinstance(constraint, C.AnyParamConstraint):
+            return IntegerParam(self.rng.randrange(128), 32, True)
+        if isinstance(constraint, C.BaseConstraint):
+            return self._sample_definition(constraint.definition, None, cctx)
+        if isinstance(constraint, C.ParametricConstraint):
+            return self._sample_definition(
+                constraint.definition, constraint.param_constraints, cctx
+            )
+        if isinstance(constraint, C.IntTypeConstraint):
+            low, high = IntegerParam.value_range(
+                constraint.bitwidth, constraint.signed
+            )
+            # Bias towards small magnitudes: bounded-integer refinements
+            # (à la BoundedInteger, Listing 10) stay rejection-samplable.
+            if self.rng.getrandbits(1):
+                value = self.rng.randrange(0, min(high, 16) + 1)
+            else:
+                value = self.rng.randrange(max(low, -1024), min(high, 1024) + 1)
+            return IntegerParam(value, constraint.bitwidth, constraint.signed)
+        if isinstance(constraint, C.IntLiteralConstraint):
+            return constraint.param
+        if isinstance(constraint, C.AnyStringConstraint):
+            return StringParam(self.rng.choice(["a", "ir", "sampled", "x"]))
+        if isinstance(constraint, C.StringLiteralConstraint):
+            return StringParam(constraint.value)
+        if isinstance(constraint, C.AnyFloatConstraint):
+            return FloatParam(round(self.rng.uniform(-8, 8), 3),
+                              constraint.bitwidth)
+        if isinstance(constraint, C.LocationConstraint):
+            return LocationParam("sampled.mlir", self.rng.randrange(1, 100), 1)
+        if isinstance(constraint, C.TypeIdConstraint):
+            return TypeIdParam("sampled.TypeId")
+        if isinstance(constraint, C.EnumConstraint):
+            return EnumParam(
+                constraint.enum.qualified_name,
+                self.rng.choice(constraint.enum.constructors),
+            )
+        if isinstance(constraint, C.EnumConstructorConstraint):
+            return EnumParam(constraint.enum.qualified_name,
+                             constraint.constructor)
+        if isinstance(constraint, C.ArrayAnyConstraint):
+            return ArrayParam(tuple(
+                self._sample(constraint.element, cctx)
+                for _ in range(self.rng.randrange(0, 4))
+            ))
+        if isinstance(constraint, C.ArrayExactConstraint):
+            return ArrayParam(tuple(
+                self._sample(element, cctx) for element in constraint.elements
+            ))
+        if isinstance(constraint, C.FloatAttrConstraint):
+            from repro.builtin import FloatAttr, FloatType
+
+            return FloatAttr(round(self.rng.uniform(-8, 8), 3),
+                             FloatType(constraint.bitwidth))
+        if isinstance(constraint, C.IntegerAttrConstraint):
+            from repro.builtin import IntegerAttr, IntegerType, index
+
+            if constraint.bitwidth is None:
+                return IntegerAttr(self.rng.randrange(64), index)
+            return IntegerAttr(
+                self.rng.randrange(min(64, 2 ** (constraint.bitwidth - 1))),
+                IntegerType(constraint.bitwidth),
+            )
+        if isinstance(constraint, C.PyConstraint):
+            # Rejection-sample through the predicate.
+            for _ in range(64):
+                saved = dict(cctx.bindings)
+                candidate = self._sample(constraint.base, cctx)
+                if constraint.satisfied_by(candidate, cctx):
+                    return candidate
+                cctx.bindings.clear()
+                cctx.bindings.update(saved)
+            raise CannotSample(
+                f"predicate of {constraint.name} rejected 64 samples"
+            )
+        if isinstance(constraint, C.ParamWrapperConstraint):
+            return OpaqueParam(constraint.class_name, "sampled")
+        raise CannotSample(f"no sampler for {type(constraint).__name__}")
+
+    def _sample_definition(self, definition, param_constraints, cctx) -> Attribute:
+        if param_constraints is None:
+            binding_names = definition.parameter_names
+            irdl_def = getattr(definition, "type_def", None)
+            if irdl_def is not None:
+                param_constraints = [p.constraint for p in irdl_def.parameters]
+            elif not binding_names:
+                param_constraints = []
+            else:
+                raise CannotSample(
+                    f"cannot sample parameters of {definition.qualified_name}"
+                )
+        params = [self._sample(c, cctx) for c in param_constraints]
+        try:
+            return definition.instantiate(params)
+        except VerifyError as err:
+            raise CannotSample(
+                f"sampled parameters rejected by {definition.qualified_name}: "
+                f"{err}"
+            ) from err
+
+
+def sample(constraint: C.Constraint, seed: int = 0) -> Any:
+    """One-shot convenience sampler."""
+    return ConstraintSampler(random.Random(seed)).sample(constraint)

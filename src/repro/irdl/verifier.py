@@ -1,0 +1,231 @@
+"""Verifier generation: from an IRDL operation definition to a checker.
+
+An IRDL specification carries enough information to derive verifiers that
+assert IR invariants (§3, deliverable (3)).  The generated verifier
+checks, in order:
+
+1. operand/result counts, including *variadic segment matching* — with a
+   single ``Variadic``/``Optional`` definition the segment sizes are
+   implied; with several, a ``<kind>_segment_sizes`` attribute is
+   required, as §4.6 specifies;
+2. operand and result type constraints, with constraint variables unified
+   across all uses (§4.6);
+3. declared attributes and their constraints;
+4. region shape: region count, entry-block argument constraints, and the
+   single-block + terminator discipline when a ``Terminator`` is given;
+5. successor counts, and the terminator-placement rule implied by any
+   ``Successors`` directive (even an empty one, Listing 8);
+6. IRDL-Py global constraints (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.builtin.attributes import ArrayAttr, IntegerAttr
+from repro.ir.exceptions import VerifyError
+from repro.irdl.ast import Variadicity
+from repro.irdl.constraints import ConstraintContext
+from repro.irdl.defs import ArgDef, OpDef
+from repro.irdl.irdl_py import compile_op_predicate, run_op_predicate
+
+if TYPE_CHECKING:
+    from repro.ir.operation import Operation
+    from repro.ir.value import SSAValue
+
+
+def match_segments(
+    values: Sequence["SSAValue"],
+    defs: Sequence[ArgDef],
+    op: "Operation",
+    kind: str,
+) -> list[list["SSAValue"]]:
+    """Assign actual values to operand/result definitions (§4.6).
+
+    Returns one (possibly empty) list of values per definition.  Raises
+    :class:`VerifyError` when the counts cannot match.
+    """
+    variadic_defs = [d for d in defs if d.is_variadic]
+    n_values, n_defs = len(values), len(defs)
+
+    if not variadic_defs:
+        if n_values != n_defs:
+            raise VerifyError(
+                f"{op.name} expects {n_defs} {kind}s, got {n_values}"
+            )
+        return [[v] for v in values]
+
+    if len(variadic_defs) == 1:
+        n_fixed = n_defs - 1
+        n_variadic = n_values - n_fixed
+        if n_variadic < 0:
+            raise VerifyError(
+                f"{op.name} expects at least {n_fixed} {kind}s, got {n_values}"
+            )
+        only = variadic_defs[0]
+        if only.variadicity is Variadicity.OPTIONAL and n_variadic > 1:
+            raise VerifyError(
+                f"{op.name}: optional {kind} {only.name!r} matches at most "
+                f"one value, got {n_variadic}"
+            )
+        segments: list[list[SSAValue]] = []
+        cursor = 0
+        for arg_def in defs:
+            size = n_variadic if arg_def.is_variadic else 1
+            segments.append(list(values[cursor : cursor + size]))
+            cursor += size
+        return segments
+
+    # Several variadic definitions: §4.6 requires an explicit attribute
+    # giving the size of each segment.
+    attr_name = f"{kind}_segment_sizes"
+    sizes_attr = op.attributes.get(attr_name)
+    if not isinstance(sizes_attr, ArrayAttr):
+        raise VerifyError(
+            f"{op.name} has {len(variadic_defs)} variadic {kind} "
+            f"definitions and requires an {attr_name} array attribute"
+        )
+    sizes: list[int] = []
+    for element in sizes_attr.elements:
+        if not isinstance(element, IntegerAttr):
+            raise VerifyError(
+                f"{op.name}: {attr_name} must contain integer attributes"
+            )
+        sizes.append(element.value)
+    if len(sizes) != n_defs:
+        raise VerifyError(
+            f"{op.name}: {attr_name} has {len(sizes)} entries for "
+            f"{n_defs} {kind} definitions"
+        )
+    if sum(sizes) != n_values:
+        raise VerifyError(
+            f"{op.name}: {attr_name} sums to {sum(sizes)} but there are "
+            f"{n_values} {kind}s"
+        )
+    segments = []
+    cursor = 0
+    for arg_def, size in zip(defs, sizes):
+        if arg_def.variadicity is Variadicity.SINGLE and size != 1:
+            raise VerifyError(
+                f"{op.name}: {kind} {arg_def.name!r} is not variadic but "
+                f"its segment size is {size}"
+            )
+        if arg_def.variadicity is Variadicity.OPTIONAL and size > 1:
+            raise VerifyError(
+                f"{op.name}: optional {kind} {arg_def.name!r} has segment "
+                f"size {size}"
+            )
+        if size < 0:
+            raise VerifyError(f"{op.name}: negative segment size {size}")
+        segments.append(list(values[cursor : cursor + size]))
+        cursor += size
+    return segments
+
+
+def make_op_verifier(op_def: OpDef) -> Callable[["Operation"], None]:
+    """Derive the verification function for one operation definition."""
+    predicates = [
+        (code, compile_op_predicate(code)) for code in op_def.py_constraints
+    ]
+
+    def verify(op: "Operation") -> None:
+        cctx = ConstraintContext()
+        _verify_values(op, op.operands, op_def.operands, "operand", cctx)
+        _verify_values(op, op.results, op_def.results, "result", cctx)
+        _verify_attributes(op, op_def, cctx)
+        _verify_regions(op, op_def, cctx)
+        _verify_successors(op, op_def)
+        for code, predicate in predicates:
+            run_op_predicate(predicate, code, op, op_def)
+
+    return verify
+
+
+def _verify_values(
+    op: "Operation",
+    values: Sequence["SSAValue"],
+    defs: Sequence[ArgDef],
+    kind: str,
+    cctx: ConstraintContext,
+) -> None:
+    segments = match_segments(values, defs, op, kind)
+    for arg_def, segment in zip(defs, segments):
+        for value in segment:
+            try:
+                arg_def.constraint.verify(value.type, cctx)
+            except VerifyError as err:
+                raise VerifyError(
+                    f"{op.name}: {kind} {arg_def.name!r}: {err}", obj=op
+                ) from err
+
+
+def _verify_attributes(op: "Operation", op_def: OpDef, cctx: ConstraintContext) -> None:
+    for attr_def in op_def.attributes:
+        attr = op.attributes.get(attr_def.name)
+        if attr is None:
+            raise VerifyError(
+                f"{op.name} expects an attribute named {attr_def.name!r}",
+                obj=op,
+            )
+        try:
+            attr_def.constraint.verify(attr, cctx)
+        except VerifyError as err:
+            raise VerifyError(
+                f"{op.name}: attribute {attr_def.name!r}: {err}", obj=op
+            ) from err
+
+
+def _verify_regions(op: "Operation", op_def: OpDef, cctx: ConstraintContext) -> None:
+    if len(op.regions) != len(op_def.regions):
+        raise VerifyError(
+            f"{op.name} expects {len(op_def.regions)} regions, got "
+            f"{len(op.regions)}",
+            obj=op,
+        )
+    for region_def, region in zip(op_def.regions, op.regions):
+        entry = region.entry_block
+        if entry is None:
+            if region_def.arguments or region_def.terminator:
+                raise VerifyError(
+                    f"{op.name}: region {region_def.name!r} must not be empty",
+                    obj=op,
+                )
+            continue
+        arg_segments = match_segments(
+            entry.args, region_def.arguments, op, f"region {region_def.name!r} argument"
+        )
+        for arg_def, segment in zip(region_def.arguments, arg_segments):
+            for arg in segment:
+                try:
+                    arg_def.constraint.verify(arg.type, cctx)
+                except VerifyError as err:
+                    raise VerifyError(
+                        f"{op.name}: region {region_def.name!r} argument "
+                        f"{arg_def.name!r}: {err}",
+                        obj=op,
+                    ) from err
+        if region_def.terminator is not None:
+            if len(region.blocks) != 1:
+                raise VerifyError(
+                    f"{op.name}: region {region_def.name!r} must contain a "
+                    f"single basic block (it declares a terminator)",
+                    obj=op,
+                )
+            last = entry.last_op
+            if last is None or last.name != region_def.terminator:
+                found = last.name if last is not None else "nothing"
+                raise VerifyError(
+                    f"{op.name}: region {region_def.name!r} must end with "
+                    f"{region_def.terminator}, found {found}",
+                    obj=op,
+                )
+
+
+def _verify_successors(op: "Operation", op_def: OpDef) -> None:
+    expected = len(op_def.successors) if op_def.successors is not None else 0
+    if len(op.successors) != expected:
+        raise VerifyError(
+            f"{op.name} expects {expected} successors, got "
+            f"{len(op.successors)}",
+            obj=op,
+        )

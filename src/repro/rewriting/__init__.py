@@ -1,0 +1,54 @@
+"""Pattern rewriting: the dynamic compilation flow of §3."""
+
+from repro.rewriting.conversion import (
+    ConversionError,
+    ConversionTarget,
+    TypeConverter,
+    apply_full_conversion,
+    apply_partial_conversion,
+)
+from repro.rewriting.declarative import (
+    DeclarativePattern,
+    infer_result_types,
+    parse_patterns,
+)
+from repro.rewriting.driver import GreedyPatternDriver, apply_patterns_greedily
+from repro.rewriting.passes import (
+    Canonicalizer,
+    CommonSubexpressionElimination,
+    DeadCodeElimination,
+    Pass,
+    PassManager,
+    VerifyPass,
+    default_is_pure,
+)
+from repro.rewriting.pattern import (
+    FunctionPattern,
+    PatternRewriter,
+    RewritePattern,
+    pattern,
+)
+
+__all__ = [
+    "ConversionError",
+    "ConversionTarget",
+    "TypeConverter",
+    "apply_full_conversion",
+    "apply_partial_conversion",
+    "DeclarativePattern",
+    "infer_result_types",
+    "parse_patterns",
+    "GreedyPatternDriver",
+    "apply_patterns_greedily",
+    "Canonicalizer",
+    "CommonSubexpressionElimination",
+    "DeadCodeElimination",
+    "Pass",
+    "PassManager",
+    "VerifyPass",
+    "default_is_pure",
+    "FunctionPattern",
+    "PatternRewriter",
+    "RewritePattern",
+    "pattern",
+]

@@ -1,0 +1,180 @@
+"""Dialect conversion: legality-driven lowering between abstraction levels.
+
+Figure 1 shows programs flowing through dialects at decreasing
+abstraction levels.  This module structures such flows the way MLIR
+does:
+
+* a :class:`ConversionTarget` declares which dialects/operations are
+  *legal* after conversion (optionally with a dynamic predicate);
+* a :class:`TypeConverter` maps source types to target types and is
+  applied to block arguments;
+* :func:`apply_full_conversion` drives a pattern set until no illegal
+  operation remains, then converts block argument types — raising
+  :class:`ConversionError` with the surviving illegal operations if the
+  patterns were insufficient.
+
+Partial conversion (:func:`apply_partial_conversion`) tolerates leftover
+illegal ops, returning them instead of raising.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.ir.attributes import Attribute
+from repro.ir.context import Context
+from repro.ir.exceptions import IRError
+from repro.ir.operation import Operation
+from repro.rewriting.driver import GreedyPatternDriver
+from repro.rewriting.pattern import RewritePattern
+
+
+class ConversionError(IRError):
+    """A full conversion left illegal operations behind."""
+
+    def __init__(self, illegal_ops: list[Operation]):
+        self.illegal_ops = illegal_ops
+        names = ", ".join(sorted({op.name for op in illegal_ops}))
+        super().__init__(
+            f"{len(illegal_ops)} operation(s) remain illegal after "
+            f"conversion: {names}"
+        )
+
+
+class ConversionTarget:
+    """Declares post-conversion legality per dialect and per operation.
+
+    Precedence: explicit per-op rules beat per-dialect rules; unknown
+    operations are illegal by default (strict, like MLIR's full
+    conversion).
+    """
+
+    def __init__(self) -> None:
+        self._legal_dialects: set[str] = set()
+        self._illegal_dialects: set[str] = set()
+        self._legal_ops: dict[str, Callable[[Operation], bool] | None] = {}
+        self._illegal_ops: set[str] = set()
+
+    def add_legal_dialect(self, *names: str) -> "ConversionTarget":
+        self._legal_dialects.update(names)
+        return self
+
+    def add_illegal_dialect(self, *names: str) -> "ConversionTarget":
+        self._illegal_dialects.update(names)
+        return self
+
+    def add_legal_op(
+        self, name: str,
+        predicate: Callable[[Operation], bool] | None = None,
+    ) -> "ConversionTarget":
+        """Mark one operation legal, optionally only when the predicate
+        holds (dynamic legality)."""
+        self._legal_ops[name] = predicate
+        return self
+
+    def add_illegal_op(self, *names: str) -> "ConversionTarget":
+        self._illegal_ops.update(names)
+        return self
+
+    def is_legal(self, op: Operation) -> bool:
+        if op.name in self._illegal_ops:
+            return False
+        if op.name in self._legal_ops:
+            predicate = self._legal_ops[op.name]
+            return predicate is None or predicate(op)
+        dialect = op.dialect_name
+        if dialect in self._illegal_dialects:
+            return False
+        return dialect in self._legal_dialects
+
+    def illegal_ops_in(self, root: Operation) -> list[Operation]:
+        return [op for op in root.walk(include_self=False)
+                if not self.is_legal(op)]
+
+
+class TypeConverter:
+    """Composable type conversion rules, applied to block arguments.
+
+    Rules are tried most-recently-added first; the first non-``None``
+    result wins.  Unmatched types convert to themselves.
+    """
+
+    def __init__(self) -> None:
+        self._rules: list[Callable[[Attribute], Attribute | None]] = []
+
+    def add_rule(
+        self, rule: Callable[[Attribute], Attribute | None]
+    ) -> "TypeConverter":
+        self._rules.append(rule)
+        return self
+
+    def convert(self, type_attr: Attribute) -> Attribute:
+        for rule in reversed(self._rules):
+            converted = rule(type_attr)
+            if converted is not None:
+                return converted
+        return type_attr
+
+    def convert_block_arguments(self, root: Operation, context: Context) -> bool:
+        """Rewrite every block argument type under ``root``.
+
+        Uses of converted arguments are bridged with
+        ``builtin.unrealized_conversion_cast`` when the argument still
+        has uses expecting the old type — patterns then eliminate the
+        casts, exactly as in MLIR's conversion infrastructure.
+        """
+        changed = False
+        for op in root.walk():
+            for region in op.regions:
+                for block in region.blocks:
+                    for argument in block.args:
+                        new_type = self.convert(argument.type)
+                        if new_type == argument.type:
+                            continue
+                        changed = True
+                        if argument.has_uses:
+                            cast = context.create_operation(
+                                "builtin.unrealized_conversion_cast",
+                                operands=[],
+                                result_types=[argument.type],
+                            )
+                            argument.replace_all_uses_with(cast.results[0])
+                            argument.type = new_type
+                            cast.operands = [argument]
+                            block.insert_op(cast, 0)
+                        else:
+                            argument.type = new_type
+        return changed
+
+
+def apply_partial_conversion(
+    context: Context,
+    root: Operation,
+    target: ConversionTarget,
+    patterns: Sequence[RewritePattern],
+    type_converter: TypeConverter | None = None,
+    max_iterations: int = 64,
+) -> list[Operation]:
+    """Lower towards the target; return any still-illegal operations."""
+    if type_converter is not None:
+        type_converter.convert_block_arguments(root, context)
+    driver = GreedyPatternDriver(context, list(patterns), max_iterations)
+    driver.run(root)
+    return target.illegal_ops_in(root)
+
+
+def apply_full_conversion(
+    context: Context,
+    root: Operation,
+    target: ConversionTarget,
+    patterns: Sequence[RewritePattern],
+    type_converter: TypeConverter | None = None,
+    max_iterations: int = 64,
+) -> None:
+    """Lower until everything is legal; raise :class:`ConversionError`
+    when the pattern set cannot finish the job."""
+    remaining = apply_partial_conversion(
+        context, root, target, patterns, type_converter, max_iterations
+    )
+    if remaining:
+        raise ConversionError(remaining)

@@ -1,0 +1,65 @@
+"""A greedy pattern application driver, in the style of MLIR's."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.ir.context import Context
+from repro.ir.operation import Operation
+from repro.rewriting.pattern import PatternRewriter, RewritePattern
+
+
+class GreedyPatternDriver:
+    """Applies a pattern set to a fixpoint by walking the IR repeatedly.
+
+    Patterns are sorted by descending benefit.  Each round walks every
+    operation under the root and offers it to each applicable pattern;
+    rounds repeat until no pattern fires or ``max_iterations`` is hit.
+    """
+
+    def __init__(
+        self,
+        context: Context,
+        patterns: Sequence[RewritePattern],
+        max_iterations: int = 64,
+    ):
+        self.context = context
+        self.patterns = sorted(patterns, key=lambda p: -p.benefit)
+        self.max_iterations = max_iterations
+        self.rewrites_applied = 0
+
+    def run(self, root: Operation) -> bool:
+        """Apply patterns under ``root``; returns True if anything changed."""
+        any_change = False
+        for _ in range(self.max_iterations):
+            rewriter = PatternRewriter(self.context)
+            self._one_round(root, rewriter)
+            if not rewriter.changed:
+                return any_change
+            any_change = True
+        return any_change
+
+    def _one_round(self, root: Operation, rewriter: PatternRewriter) -> None:
+        for op in list(root.walk(include_self=False)):
+            if op.parent is None and op is not root:
+                continue  # erased by an earlier rewrite this round
+            for rewrite_pattern in self.patterns:
+                if (
+                    rewrite_pattern.op_name is not None
+                    and op.name != rewrite_pattern.op_name
+                ):
+                    continue
+                if rewrite_pattern.match_and_rewrite(op, rewriter):
+                    self.rewrites_applied += 1
+                    break
+
+
+def apply_patterns_greedily(
+    context: Context,
+    root: Operation,
+    patterns: Iterable[RewritePattern],
+    max_iterations: int = 64,
+) -> bool:
+    """Convenience entry point: run patterns under ``root`` to fixpoint."""
+    driver = GreedyPatternDriver(context, list(patterns), max_iterations)
+    return driver.run(root)

@@ -1,0 +1,125 @@
+"""Rewrite patterns and the rewriter handle passed to them.
+
+Together with runtime dialect registration, pattern rewriting provides
+"the components needed to define a simple pattern-based compilation flow
+(e.g., the optimization in Listing 1) without the need for additional
+C++ code" (§3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.ir.block import Block
+from repro.ir.context import Context
+from repro.ir.operation import Operation
+from repro.ir.value import SSAValue
+
+
+class PatternRewriter:
+    """The mutation handle a pattern uses inside ``match_and_rewrite``.
+
+    Tracks whether anything changed so the driver knows when to stop.
+    """
+
+    def __init__(self, context: Context):
+        self.context = context
+        self.changed = False
+        #: Ops inserted/affected this round, re-visited by the driver.
+        self.touched: list[Operation] = []
+
+    def insert_before(self, anchor: Operation, op: Operation) -> Operation:
+        assert anchor.parent is not None
+        anchor.parent.insert_op_before(op, anchor)
+        self.changed = True
+        self.touched.append(op)
+        return op
+
+    def insert_after(self, anchor: Operation, op: Operation) -> Operation:
+        assert anchor.parent is not None
+        anchor.parent.insert_op_after(op, anchor)
+        self.changed = True
+        self.touched.append(op)
+        return op
+
+    def create(
+        self,
+        name: str,
+        operands: Sequence[SSAValue] = (),
+        result_types: Sequence = (),
+        attributes=None,
+        before: Operation | None = None,
+    ) -> Operation:
+        """Create an operation via the context and insert it before ``before``."""
+        op = self.context.create_operation(
+            name,
+            operands=operands,
+            result_types=result_types,
+            attributes=attributes,
+        )
+        if before is not None:
+            self.insert_before(before, op)
+        return op
+
+    def replace_op(
+        self, op: Operation, replacement: Operation | Sequence[SSAValue]
+    ) -> None:
+        """Replace ``op``'s results and erase it.
+
+        ``replacement`` is either an operation (its results substitute
+        positionally) or a list of SSA values.
+        """
+        if isinstance(replacement, Operation):
+            values: Sequence[SSAValue] = replacement.results
+        else:
+            values = replacement
+        op.replace_by(list(values))
+        self.changed = True
+
+    def erase_op(self, op: Operation) -> None:
+        op.erase()
+        self.changed = True
+
+
+class RewritePattern:
+    """Base class of rewrite patterns.
+
+    Subclasses implement :meth:`match_and_rewrite`, returning ``True``
+    when they fired.  ``op_name`` (optional) restricts which operations
+    the driver offers to the pattern.
+    """
+
+    #: When set, the driver only calls this pattern on matching op names.
+    op_name: str | None = None
+
+    #: Patterns with higher benefit run first, as in MLIR.
+    benefit: int = 1
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        raise NotImplementedError
+
+
+class FunctionPattern(RewritePattern):
+    """Wrap a plain function as a pattern."""
+
+    def __init__(
+        self,
+        fn: Callable[[Operation, PatternRewriter], bool],
+        op_name: str | None = None,
+        benefit: int = 1,
+    ):
+        self.fn = fn
+        self.op_name = op_name
+        self.benefit = benefit
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        return self.fn(op, rewriter)
+
+
+def pattern(op_name: str | None = None, benefit: int = 1):
+    """Decorator turning a function into a :class:`RewritePattern`."""
+
+    def wrap(fn: Callable[[Operation, PatternRewriter], bool]) -> FunctionPattern:
+        return FunctionPattern(fn, op_name, benefit)
+
+    return wrap

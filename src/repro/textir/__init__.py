@@ -1,0 +1,17 @@
+"""Textual IR syntax: lexer, parser, and printer (deliverable (1) of §3)."""
+
+from repro.textir.lexer import Lexer, Token, TokenKind
+from repro.textir.parser import IRParser, parse_module
+from repro.textir.printer import Printer, print_attribute, print_op, print_type
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "IRParser",
+    "parse_module",
+    "Printer",
+    "print_attribute",
+    "print_op",
+    "print_type",
+]

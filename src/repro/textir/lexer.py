@@ -1,0 +1,239 @@
+"""Lexer for the MLIR-like textual IR syntax.
+
+The token inventory follows MLIR's generic syntax: sigil-prefixed
+identifiers for SSA values (``%x``), blocks (``^bb0``), symbols (``@f``),
+types (``!cmath.complex``) and attributes (``#cmath.attr``), plus bare
+identifiers, numbers, strings, and punctuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.utils.diagnostics import DiagnosticError
+from repro.utils.source import SourceFile, Span
+
+
+class TokenKind(Enum):
+    PERCENT_IDENT = auto()   # %value
+    CARET_IDENT = auto()     # ^block
+    AT_IDENT = auto()        # @symbol
+    BANG_IDENT = auto()      # !type
+    HASH_IDENT = auto()      # #attr
+    BARE_IDENT = auto()      # keyword-ish identifiers
+    INTEGER = auto()
+    FLOAT = auto()
+    STRING = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    LESS = auto()
+    GREATER = auto()
+    COMMA = auto()
+    COLON = auto()
+    EQUAL = auto()
+    ARROW = auto()           # ->
+    QUESTION = auto()        # ? (dynamic dimension)
+    STAR = auto()
+    PLUS = auto()
+    MINUS = auto()
+    DOT = auto()
+    EOF = auto()
+
+
+PUNCTUATION = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "<": TokenKind.LESS,
+    ">": TokenKind.GREATER,
+    ",": TokenKind.COMMA,
+    ":": TokenKind.COLON,
+    "=": TokenKind.EQUAL,
+    "?": TokenKind.QUESTION,
+    "*": TokenKind.STAR,
+    "+": TokenKind.PLUS,
+    ".": TokenKind.DOT,
+}
+
+_SIGILS = {
+    "%": TokenKind.PERCENT_IDENT,
+    "^": TokenKind.CARET_IDENT,
+    "@": TokenKind.AT_IDENT,
+    "!": TokenKind.BANG_IDENT,
+    "#": TokenKind.HASH_IDENT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    span: Span
+
+    @property
+    def value(self) -> str:
+        """Identifier text without its sigil; string text without quotes."""
+        if self.kind in (
+            TokenKind.PERCENT_IDENT,
+            TokenKind.CARET_IDENT,
+            TokenKind.AT_IDENT,
+            TokenKind.BANG_IDENT,
+            TokenKind.HASH_IDENT,
+        ):
+            return self.text[1:]
+        if self.kind is TokenKind.STRING:
+            return _unescape(self.text[1:-1])
+        return self.text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r})"
+
+
+def _unescape(text: str) -> str:
+    return (
+        text.replace("\\n", "\n")
+        .replace("\\t", "\t")
+        .replace('\\"', '"')
+        .replace("\\\\", "\\")
+    )
+
+
+def _is_ident_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_ident_char(char: str) -> bool:
+    return char.isalnum() or char in "_$"
+
+
+def _is_suffix_ident_char(char: str) -> bool:
+    # Sigil identifiers allow dots for namespacing: !cmath.complex
+    return char.isalnum() or char in "_$."
+
+
+class Lexer:
+    """A hand-written scanner producing :class:`Token` values."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.text = source.contents
+        self.pos = 0
+
+    def error(self, message: str, start: int) -> DiagnosticError:
+        return DiagnosticError.at(message, self.source.span(start, self.pos + 1))
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char in " \t\r\n":
+                self.pos += 1
+            elif self.text.startswith("//", self.pos):
+                end = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if end == -1 else end
+            else:
+                return
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        start = self.pos
+        if self.pos >= len(self.text):
+            return Token(TokenKind.EOF, "", self.source.span(start, start))
+        char = self.text[self.pos]
+
+        if char in _SIGILS:
+            self.pos += 1
+            ident_start = self.pos
+            while self.pos < len(self.text) and _is_suffix_ident_char(self.text[self.pos]):
+                self.pos += 1
+            if self.pos == ident_start:
+                raise self.error(f"expected identifier after {char!r}", start)
+            return Token(_SIGILS[char], self.text[start : self.pos],
+                         self.source.span(start, self.pos))
+
+        if char == "-":
+            if self.text.startswith("->", self.pos):
+                self.pos += 2
+                return Token(TokenKind.ARROW, "->", self.source.span(start, self.pos))
+            if self.pos + 1 < len(self.text) and self.text[self.pos + 1].isdigit():
+                return self._lex_number()
+            self.pos += 1
+            return Token(TokenKind.MINUS, "-", self.source.span(start, self.pos))
+
+        if char.isdigit():
+            return self._lex_number()
+
+        if char == '"':
+            return self._lex_string()
+
+        if _is_ident_start(char):
+            while self.pos < len(self.text) and _is_ident_char(self.text[self.pos]):
+                self.pos += 1
+            return Token(TokenKind.BARE_IDENT, self.text[start : self.pos],
+                         self.source.span(start, self.pos))
+
+        if char in PUNCTUATION:
+            self.pos += 1
+            return Token(PUNCTUATION[char], char, self.source.span(start, self.pos))
+
+        raise self.error(f"unexpected character {char!r}", start)
+
+    def _lex_number(self) -> Token:
+        start = self.pos
+        if self.text[self.pos] == "-":
+            self.pos += 1
+        while self.pos < len(self.text) and self.text[self.pos].isdigit():
+            self.pos += 1
+        is_float = False
+        if (
+            self.pos + 1 < len(self.text)
+            and self.text[self.pos] == "."
+            and self.text[self.pos + 1].isdigit()
+        ):
+            is_float = True
+            self.pos += 1
+            while self.pos < len(self.text) and self.text[self.pos].isdigit():
+                self.pos += 1
+        if self.pos < len(self.text) and self.text[self.pos] in "eE":
+            lookahead = self.pos + 1
+            if lookahead < len(self.text) and self.text[lookahead] in "+-":
+                lookahead += 1
+            if lookahead < len(self.text) and self.text[lookahead].isdigit():
+                is_float = True
+                self.pos = lookahead
+                while self.pos < len(self.text) and self.text[self.pos].isdigit():
+                    self.pos += 1
+        kind = TokenKind.FLOAT if is_float else TokenKind.INTEGER
+        return Token(kind, self.text[start : self.pos], self.source.span(start, self.pos))
+
+    def _lex_string(self) -> Token:
+        start = self.pos
+        self.pos += 1
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char == "\\":
+                self.pos += 2
+                continue
+            if char == '"':
+                self.pos += 1
+                return Token(TokenKind.STRING, self.text[start : self.pos],
+                             self.source.span(start, self.pos))
+            if char == "\n":
+                break
+            self.pos += 1
+        raise self.error("unterminated string literal", start)
+
+    def tokenize(self) -> list[Token]:
+        tokens = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens

@@ -1,0 +1,251 @@
+"""Printer for the MLIR-like textual IR syntax.
+
+Operations print in the *generic* form by default::
+
+    %0 = "cmath.norm"(%p) : (!cmath.complex<f32>) -> f32
+
+Operations whose definition declares a custom assembly format (IRDL's
+``Format`` directive, §4.7) print in their declarative form instead::
+
+    %0 = cmath.norm %p : f32
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Iterable
+
+from repro.ir.attributes import (
+    Attribute,
+    DynamicParametrizedAttribute,
+    TypeAttribute,
+    attribute_name,
+)
+from repro.ir.block import Block
+from repro.ir.operation import Operation
+from repro.ir.params import ParamValue
+from repro.ir.region import Region
+from repro.ir.value import SSAValue
+
+
+class Printer:
+    """Stateful printer tracking value and block names."""
+
+    def __init__(self, stream: io.TextIOBase | None = None, indent_width: int = 2):
+        self.stream = stream if stream is not None else io.StringIO()
+        self.indent_width = indent_width
+        self._indent = 0
+        self._value_names: dict[SSAValue, str] = {}
+        self._used_names: set[str] = set()
+        self._block_names: dict[Block, str] = {}
+        self._next_value = 0
+        self._next_block = 0
+
+    # ------------------------------------------------------------------
+    # Low-level emission
+    # ------------------------------------------------------------------
+
+    def write(self, text: str) -> None:
+        self.stream.write(text)
+
+    def newline(self) -> None:
+        self.write("\n" + " " * (self._indent * self.indent_width))
+
+    def getvalue(self) -> str:
+        assert isinstance(self.stream, io.StringIO)
+        return self.stream.getvalue()
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+
+    def name_of(self, value: SSAValue) -> str:
+        existing = self._value_names.get(value)
+        if existing is not None:
+            return existing
+        if value.name_hint and value.name_hint not in self._used_names:
+            name = value.name_hint
+        else:
+            name = str(self._next_value)
+            self._next_value += 1
+            while name in self._used_names:
+                name = str(self._next_value)
+                self._next_value += 1
+        self._value_names[value] = name
+        self._used_names.add(name)
+        return name
+
+    def block_name(self, block: Block) -> str:
+        existing = self._block_names.get(block)
+        if existing is not None:
+            return existing
+        name = f"bb{self._next_block}"
+        self._next_block += 1
+        self._block_names[block] = name
+        return name
+
+    # ------------------------------------------------------------------
+    # Values, types, attributes
+    # ------------------------------------------------------------------
+
+    def print_operand(self, value: SSAValue) -> None:
+        self.write(f"%{self.name_of(value)}")
+
+    def print_type(self, type_attr: Attribute) -> None:
+        if isinstance(type_attr, DynamicParametrizedAttribute):
+            self.write(f"!{type_attr.attr_name}")
+            self._print_dynamic_params(type_attr)
+            return
+        self.write(str(type_attr))
+
+    def _print_dynamic_params(self, attr: DynamicParametrizedAttribute) -> None:
+        if not attr.parameters:
+            return
+        self.write("<")
+        program = getattr(attr.definition, "param_format", None)
+        if program is not None:
+            program.print(attr.parameters, self)
+        else:
+            self.print_list(attr.parameters, self.print_param)
+        self.write(">")
+
+    def print_param(self, param: Any) -> None:
+        """Print one type/attribute parameter value."""
+        if isinstance(param, Attribute):
+            if isinstance(param, TypeAttribute):
+                self.print_type(param)
+            else:
+                self.print_attribute(param)
+            return
+        if isinstance(param, ParamValue):
+            self.write(str(param))
+            return
+        self.write(repr(param))
+
+    def print_attribute(self, attr: Attribute) -> None:
+        if isinstance(attr, DynamicParametrizedAttribute):
+            self.write(f"#{attr.attr_name}")
+            self._print_dynamic_params(attr)
+            return
+        if isinstance(attr, TypeAttribute):
+            self.print_type(attr)
+            return
+        self.write(str(attr))
+
+    def print_list(self, items: Iterable[Any], printer_fn, separator: str = ", ") -> None:
+        for index, item in enumerate(items):
+            if index:
+                self.write(separator)
+            printer_fn(item)
+
+    # ------------------------------------------------------------------
+    # Operations, blocks, regions
+    # ------------------------------------------------------------------
+
+    def print_op(self, op: Operation) -> None:
+        from repro.ir.exceptions import VerifyError
+
+        if op.results:
+            self.print_list(op.results, self.print_operand)
+            self.write(" = ")
+        definition = op.definition
+        if definition is not None and definition.has_custom_format():
+            try:
+                # Constraint-variable bindings are recovered before any
+                # text is emitted, so invalid IR falls back cleanly.
+                definition.prepare_custom(op)
+            except VerifyError:
+                self._print_generic(op)
+                return
+            self.write(op.name)
+            definition.print_custom(op, self)
+            return
+        self._print_generic(op)
+
+    def _print_generic(self, op: Operation) -> None:
+        self.write(f'"{op.name}"(')
+        self.print_list(op.operands, self.print_operand)
+        self.write(")")
+        if op.successors:
+            self.write("[")
+            self.print_list(
+                op.successors, lambda b: self.write(f"^{self.block_name(b)}")
+            )
+            self.write("]")
+        if op.regions:
+            self.write(" (")
+            self.print_list(op.regions, self.print_region)
+            self.write(")")
+        if op.attributes:
+            self.write(" {")
+            self.print_list(sorted(op.attributes.items()), self._print_attr_entry)
+            self.write("}")
+        self.write(" : (")
+        self.print_list(op.operands, lambda v: self.print_type(v.type))
+        self.write(") -> (")
+        self.print_list(op.results, lambda r: self.print_type(r.type))
+        self.write(")")
+
+    def _print_attr_entry(self, entry: tuple[str, Attribute]) -> None:
+        key, value = entry
+        self.write(f"{key} = ")
+        self.print_attribute(value)
+
+    def print_region(self, region: Region) -> None:
+        self.write("{")
+        self._indent += 1
+        multi_block = len(region.blocks) > 1
+        for index, block in enumerate(region.blocks):
+            if index or block.args or multi_block:
+                self.newline()
+                self.write(f"^{self.block_name(block)}")
+                if block.args:
+                    self.write("(")
+                    self.print_list(block.args, self._print_block_arg)
+                    self.write(")")
+                self.write(":")
+                self._indent += 1
+                self._print_block_body(block)
+                self._indent -= 1
+            else:
+                self._print_block_body(block)
+        self._indent -= 1
+        self.newline()
+        self.write("}")
+
+    def _print_block_arg(self, arg) -> None:
+        self.print_operand(arg)
+        self.write(": ")
+        self.print_type(arg.type)
+
+    def _print_block_body(self, block: Block) -> None:
+        for op in block.ops:
+            self.newline()
+            self.print_op(op)
+
+    # ------------------------------------------------------------------
+
+    def print_module(self, op: Operation) -> str:
+        """Print a top-level operation and return the text."""
+        self.print_op(op)
+        self.write("\n")
+        return self.getvalue() if isinstance(self.stream, io.StringIO) else ""
+
+
+def print_op(op: Operation) -> str:
+    """Convenience helper: print one operation tree to a string."""
+    printer = Printer()
+    printer.print_op(op)
+    return printer.getvalue()
+
+
+def print_type(type_attr: Attribute) -> str:
+    printer = Printer()
+    printer.print_type(type_attr)
+    return printer.getvalue()
+
+
+def print_attribute(attr: Attribute) -> str:
+    printer = Printer()
+    printer.print_attribute(attr)
+    return printer.getvalue()

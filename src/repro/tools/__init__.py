@@ -1,0 +1,23 @@
+"""Command-line and IDE-style tools built on the IRDL stack."""
+
+from repro.tools.completion import (
+    Completion,
+    complete_attr_name,
+    complete_op_name,
+    complete_type_name,
+    ops_accepting_type,
+    signature_help,
+)
+from repro.tools.lint import LintFinding, lint_dialect, render_findings
+
+__all__ = [
+    "Completion",
+    "complete_attr_name",
+    "complete_op_name",
+    "complete_type_name",
+    "ops_accepting_type",
+    "signature_help",
+    "LintFinding",
+    "lint_dialect",
+    "render_findings",
+]

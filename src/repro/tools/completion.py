@@ -1,0 +1,125 @@
+"""Code-completion queries over registered dialects.
+
+The foundation for the LSP-style tooling Figure 1 envisions: because
+dialect definitions are introspectable data, "what can go here?"
+questions become registry queries.  Three query families:
+
+* :func:`complete_op_name` / :func:`complete_type_name` — prefix
+  completion for operation and type/attribute names;
+* :func:`signature_help` — the operand/result/attribute signature of an
+  operation, rendered like an IDE signature popup;
+* :func:`ops_accepting_type` — reverse lookup: which operations accept a
+  value of a given type somewhere (drives "insert op here" tooling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.attributes import Attribute
+from repro.ir.context import Context
+from repro.irdl.ast import Variadicity
+from repro.irdl.constraints import ConstraintContext
+from repro.irdl.defs import OpDef
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One completion item: the insert text plus a detail line."""
+
+    text: str
+    detail: str
+
+    def __lt__(self, other: "Completion") -> bool:
+        return self.text < other.text
+
+
+def _all_op_defs(context: Context) -> list:
+    defs = []
+    for dialect in context.dialects.values():
+        defs.extend(dialect.operations.values())
+    return defs
+
+
+def complete_op_name(context: Context, prefix: str) -> list[Completion]:
+    """Operations whose qualified name starts with ``prefix``."""
+    items = []
+    for binding in _all_op_defs(context):
+        if binding.qualified_name.startswith(prefix):
+            items.append(
+                Completion(binding.qualified_name, binding.summary or "")
+            )
+    return sorted(items)
+
+
+def complete_type_name(context: Context, prefix: str) -> list[Completion]:
+    """Types (``!``-namespace) whose qualified name starts with ``prefix``."""
+    items = []
+    for dialect in context.dialects.values():
+        for binding in dialect.types.values():
+            if binding.qualified_name.startswith(prefix):
+                params = ", ".join(binding.parameter_names)
+                detail = f"<{params}>" if params else ""
+                items.append(Completion(f"!{binding.qualified_name}", detail))
+    return sorted(items)
+
+
+def complete_attr_name(context: Context, prefix: str) -> list[Completion]:
+    """Attributes (``#``-namespace) matching a prefix."""
+    items = []
+    for dialect in context.dialects.values():
+        for binding in dialect.attributes.values():
+            if binding.qualified_name.startswith(prefix):
+                items.append(
+                    Completion(f"#{binding.qualified_name}", binding.summary)
+                )
+    return sorted(items)
+
+
+def signature_help(context: Context, op_name: str) -> str | None:
+    """An IDE-style one-line signature for an operation, or ``None``.
+
+    Only available for IRDL-registered operations (native bindings carry
+    no structured definition).
+    """
+    binding = context.get_op_def(op_name)
+    op_def: OpDef | None = getattr(binding, "op_def", None)
+    if binding is None or op_def is None:
+        return None
+
+    def render(args) -> str:
+        parts = []
+        for arg in args:
+            text = f"{arg.name}: {arg.constraint!r}"
+            if arg.variadicity is Variadicity.VARIADIC:
+                text += "..."
+            elif arg.variadicity is Variadicity.OPTIONAL:
+                text += "?"
+            parts.append(text)
+        return ", ".join(parts)
+
+    signature = f"{op_name}({render(op_def.operands)})"
+    if op_def.results:
+        signature += f" -> ({render(op_def.results)})"
+    if op_def.attributes:
+        signature += " {" + render(op_def.attributes) + "}"
+    if op_def.is_terminator:
+        signature += "  // terminator"
+    return signature
+
+
+def ops_accepting_type(context: Context, value_type: Attribute) -> list[str]:
+    """Operations with an operand definition satisfied by ``value_type``."""
+    matches = []
+    for binding in _all_op_defs(context):
+        op_def: OpDef | None = getattr(binding, "op_def", None)
+        if op_def is None:
+            continue
+        for arg in op_def.operands:
+            try:
+                arg.constraint.verify(value_type, ConstraintContext())
+            except Exception:
+                continue
+            matches.append(binding.qualified_name)
+            break
+    return sorted(matches)

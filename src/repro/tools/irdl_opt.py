@@ -1,0 +1,319 @@
+"""``irdl-opt``: a command-line driver in the style of ``mlir-opt``.
+
+Registers dialects from IRDL files at runtime (§3: no recompilation),
+then parses, verifies, optionally round-trips, and prints textual IR::
+
+    irdl-opt --irdl cmath.irdl input.mlir
+    irdl-opt --irdl cmath.irdl --verify-diagnostics bad.mlir
+    irdl-opt --dump-dialect cmath.irdl          # introspect a definition
+    irdl-opt --corpus-stats                     # §6 analyses on the corpus
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.builtin import default_context
+from repro.ir.exceptions import VerifyError
+from repro.irdl.instantiate import load_irdl_file
+from repro.textir.parser import parse_module
+from repro.textir.printer import print_op
+from repro.utils.diagnostics import DiagnosticError
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="irdl-opt",
+        description="Parse, verify, and print IR with runtime-loaded "
+        "IRDL dialects.",
+    )
+    parser.add_argument("input", nargs="?", help="textual IR input file")
+    parser.add_argument(
+        "--irdl",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="register the dialects of an IRDL file (repeatable)",
+    )
+    parser.add_argument(
+        "--verify-diagnostics",
+        action="store_true",
+        help="expect verification to fail; exit 0 when it does",
+    )
+    parser.add_argument(
+        "--dump-dialect",
+        metavar="FILE",
+        help="print a summary of the dialects in an IRDL file and exit",
+    )
+    parser.add_argument(
+        "--corpus-stats",
+        action="store_true",
+        help="load the 28-dialect corpus and print the §6 analyses",
+    )
+    parser.add_argument(
+        "--doc",
+        metavar="FILE",
+        help="render Markdown documentation for the dialects of an IRDL "
+        "file and exit",
+    )
+    parser.add_argument(
+        "--generate",
+        metavar="N",
+        type=int,
+        help="generate N random, valid operations using the registered "
+        "--irdl dialects and print the module",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for --generate"
+    )
+    parser.add_argument(
+        "--complete",
+        metavar="PREFIX",
+        help="list operations matching a name prefix (needs --irdl)",
+    )
+    parser.add_argument(
+        "--recover-native",
+        metavar="DIALECT",
+        help="recover an IRDL definition from a natively implemented "
+        "dialect (arith, func, math, cf) by probing its verifiers (§6.1)",
+    )
+    parser.add_argument(
+        "--lint",
+        metavar="FILE",
+        help="lint the dialect definitions of an IRDL file and exit "
+        "(exit code 1 when errors are found)",
+    )
+    parser.add_argument(
+        "--patterns",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="apply the declarative rewrite patterns of FILE (repeatable); "
+        "dead pure ops are cleaned up afterwards",
+    )
+    parser.add_argument(
+        "--emit-cfg",
+        action="store_true",
+        help="emit Graphviz DOT for the CFG of each region-bearing "
+        "top-level op instead of textual IR",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true", help="skip verification"
+    )
+    return parser
+
+
+def dump_dialect(path: str) -> int:
+    from repro.ir.context import Context
+
+    ctx = default_context()
+    try:
+        defs = load_irdl_file(ctx, path)
+    except DiagnosticError as err:
+        print(err, file=sys.stderr)
+        return 1
+    for dialect in defs:
+        print(f"Dialect {dialect.name}:")
+        for type_def in dialect.types:
+            params = ", ".join(p.name for p in type_def.parameters)
+            print(f"  Type {type_def.name}({params})")
+        for attr_def in dialect.attributes:
+            params = ", ".join(p.name for p in attr_def.parameters)
+            print(f"  Attribute {attr_def.name}({params})")
+        for op in dialect.operations:
+            parts = [
+                f"{len(op.operands)} operands",
+                f"{len(op.results)} results",
+            ]
+            if op.attributes:
+                parts.append(f"{len(op.attributes)} attributes")
+            if op.regions:
+                parts.append(f"{len(op.regions)} regions")
+            if op.is_terminator:
+                parts.append("terminator")
+            print(f"  Operation {op.name}: {', '.join(parts)}")
+    return 0
+
+
+def corpus_stats() -> int:
+    from repro.analysis import CorpusStats, analyze_expressiveness
+    from repro.analysis.history import MLIR_HISTORY
+    from repro.analysis.report import (
+        render_fig3,
+        render_fig4,
+        render_fig5,
+        render_fig6,
+        render_fig7,
+        render_fig8,
+        render_fig9_10,
+        render_fig11,
+        render_fig12,
+        render_table1,
+    )
+    from repro.corpus import load_corpus, paper_data
+
+    _, defs = load_corpus()
+    stats = CorpusStats.of(defs)
+    report = analyze_expressiveness(defs)
+    print(render_table1(sorted(paper_data.TABLE1.items())))
+    print(render_fig3(MLIR_HISTORY))
+    print(render_fig4(stats))
+    print(render_fig5(stats))
+    print(render_fig6(stats))
+    print(render_fig7(stats))
+    print(render_fig8(report))
+    print(render_fig9_10(report))
+    print(render_fig11(report))
+    print(render_fig12(report))
+    return 0
+
+
+def render_docs(path: str) -> int:
+    from repro.analysis.docgen import render_dialect_doc
+
+    ctx = default_context()
+    try:
+        defs = load_irdl_file(ctx, path)
+    except DiagnosticError as err:
+        print(err, file=sys.stderr)
+        return 1
+    for dialect in defs:
+        print(render_dialect_doc(dialect))
+    return 0
+
+
+def lint_file(path: str) -> int:
+    from repro.irdl.instantiate import register_dialect
+    from repro.irdl.parser import parse_irdl
+    from repro.tools.lint import lint_dialect, render_findings
+
+    ctx = default_context()
+    try:
+        with open(path, encoding="utf-8") as handle:
+            decls = parse_irdl(handle.read(), path)
+        findings = []
+        for decl in decls:
+            dialect = register_dialect(ctx, decl)
+            findings.extend(lint_dialect(dialect, decl))
+    except DiagnosticError as err:
+        print(err, file=sys.stderr)
+        return 1
+    print(render_findings(findings), end="")
+    return 1 if any(f.severity == "error" for f in findings) else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.dump_dialect:
+        return dump_dialect(args.dump_dialect)
+    if args.corpus_stats:
+        return corpus_stats()
+    if args.doc:
+        return render_docs(args.doc)
+    if args.lint:
+        return lint_file(args.lint)
+    if args.recover_native:
+        from repro.irdl.recover import recover_dialect_source
+
+        try:
+            print(recover_dialect_source(default_context(),
+                                         args.recover_native))
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+        return 0
+
+    ctx = default_context()
+    registered = []
+    for irdl_path in args.irdl:
+        try:
+            registered.extend(load_irdl_file(ctx, irdl_path))
+        except DiagnosticError as err:
+            print(err, file=sys.stderr)
+            return 1
+
+    if args.complete is not None:
+        from repro.tools.completion import complete_op_name
+
+        for item in complete_op_name(ctx, args.complete):
+            detail = f"  — {item.detail}" if item.detail else ""
+            print(f"{item.text}{detail}")
+        return 0
+
+    if args.generate is not None:
+        from repro.irdl.instantiate import register_irdl
+        from repro.irdl.irgen import IRGenerator, seed_values_dialect
+
+        registered.extend(register_irdl(ctx, seed_values_dialect()))
+        generator = IRGenerator(ctx, registered, seed=args.seed)
+        module = generator.generate_module(args.generate)
+        module.verify()
+        print(print_op(module))
+        return 0
+
+    if args.input is None:
+        print("error: no input file", file=sys.stderr)
+        return 1
+
+    with open(args.input, encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        module = parse_module(ctx, text, args.input)
+    except DiagnosticError as err:
+        print(err, file=sys.stderr)
+        return 1
+
+    if not args.no_verify:
+        try:
+            module.verify()
+        except VerifyError as err:
+            if args.verify_diagnostics:
+                print(f"verification failed as expected: {err}")
+                return 0
+            print(f"error: verification failed: {err}", file=sys.stderr)
+            return 1
+        if args.verify_diagnostics:
+            print("error: expected verification to fail", file=sys.stderr)
+            return 1
+
+    if args.patterns:
+        from repro.rewriting import (
+            DeadCodeElimination,
+            apply_patterns_greedily,
+            parse_patterns,
+        )
+
+        all_patterns = []
+        for patterns_path in args.patterns:
+            with open(patterns_path, encoding="utf-8") as handle:
+                try:
+                    all_patterns.extend(
+                        parse_patterns(ctx, handle.read(), patterns_path)
+                    )
+                except DiagnosticError as err:
+                    print(err, file=sys.stderr)
+                    return 1
+        apply_patterns_greedily(ctx, module, all_patterns)
+        DeadCodeElimination().run(module)
+        if not args.no_verify:
+            module.verify()
+
+    if args.emit_cfg:
+        from repro.analysis.dot import cfg_to_dot
+
+        for op in module.walk():
+            if op is module or not op.regions:
+                continue
+            label = op.attributes.get("sym_name")
+            name = getattr(label, "data", op.name)
+            for index, region in enumerate(op.regions):
+                print(cfg_to_dot(region, f"{name}.{index}"))
+        return 0
+
+    print(print_op(module))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Shared utilities: source locations, diagnostics, and text scanning."""
+
+from repro.utils.source import Position, SourceFile, Span
+from repro.utils.diagnostics import Diagnostic, DiagnosticError
+
+__all__ = ["Position", "SourceFile", "Span", "Diagnostic", "DiagnosticError"]

@@ -1,0 +1,53 @@
+"""Diagnostics carrying source spans, rendered in a compiler-like style.
+
+A :class:`Diagnostic` points at a :class:`~repro.utils.source.Span` and
+renders a caret snippet, e.g.::
+
+    cmath.irdl:4:13: error: unknown type '!f33'
+        Parameters (elementType: !f33)
+                                 ^~~~
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.source import Span
+
+
+@dataclass
+class Diagnostic:
+    """A single error or note attached to an optional source span."""
+
+    message: str
+    span: Span | None = None
+    severity: str = "error"
+
+    def render(self) -> str:
+        if self.span is None:
+            return f"{self.severity}: {self.message}"
+        start = self.span.start_position
+        header = f"{self.span.source.name}:{start}: {self.severity}: {self.message}"
+        line = self.span.source.line_text(start.line)
+        if not line:
+            return header
+        end = self.span.end_position
+        width = end.column - start.column if end.line == start.line else 1
+        width = max(1, width)
+        caret = " " * (start.column - 1) + "^" + "~" * (width - 1)
+        return f"{header}\n{line}\n{caret}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class DiagnosticError(Exception):
+    """An exception wrapping one or more diagnostics."""
+
+    def __init__(self, *diagnostics: Diagnostic):
+        self.diagnostics = list(diagnostics)
+        super().__init__("\n".join(d.render() for d in self.diagnostics))
+
+    @classmethod
+    def at(cls, message: str, span: Span | None = None) -> "DiagnosticError":
+        return cls(Diagnostic(message, span))

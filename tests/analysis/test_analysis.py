@@ -1,0 +1,194 @@
+"""Analysis tooling: histograms, expressiveness, history, feature matrix."""
+
+import pytest
+
+from repro.analysis import (
+    FEATURE_MATRIX,
+    FEATURES,
+    CorpusStats,
+    DialectStats,
+    Histogram,
+    MLIR_HISTORY,
+    analyze_expressiveness,
+    check_irdl_feature_claims,
+    check_irdl_py_feature_claims,
+    classify_py_constraint,
+    summarize_history,
+)
+from repro.analysis.history import HistoryPoint
+from repro.builtin import default_context
+from repro.irdl import register_irdl
+
+
+class TestHistogram:
+    def test_fractions(self):
+        hist = Histogram()
+        for bucket in (0, 1, 1, 2):
+            hist.add(bucket)
+        assert hist.total == 4
+        assert hist.fraction(1) == 0.5
+        assert hist.fraction(0, 2) == 0.5
+        assert hist.fraction_at_least(1) == 0.75
+
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.fraction(0) == 0.0
+        assert hist.fraction_at_least(1) == 0.0
+
+
+SAMPLE = """
+Dialect sample {
+  Constraint Bounded : uint32_t { PyConstraint "$_self <= 8" }
+  Type box { Parameters (element: !AnyType, size: uint32_t) }
+  Attribute tag { Parameters (name: string) }
+  Operation nullary { Results (r: !f32) }
+  Operation binary {
+    Operands (a: !f32, b: !f32)
+    Results (r: !f32)
+    PyConstraint "len($_self.op.operands) == 2"
+  }
+  Operation gather {
+    Operands (base: !f32, rest: Variadic<!f32>)
+    Results (rs: Variadic<!f32>)
+    Attributes (limit: Bounded)
+  }
+  Operation looped {
+    Region body {
+    }
+    Region other {
+    }
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def sample_def():
+    ctx = default_context()
+    (dialect,) = register_irdl(ctx, SAMPLE)
+    return dialect
+
+
+class TestDialectStats:
+    def test_counts(self, sample_def):
+        stats = DialectStats.of(sample_def)
+        assert stats.num_ops == 4
+        assert stats.num_types == 1
+        assert stats.num_attrs == 1
+        assert stats.operands.counts == {0: 2, 2: 2}
+        assert stats.results.counts == {1: 3, 0: 1}
+        assert stats.variadic_operands.counts == {0: 3, 1: 1}
+        assert stats.variadic_results.counts == {0: 3, 1: 1}
+        assert stats.attributes.counts == {0: 3, 1: 1}
+        assert stats.regions.counts == {0: 3, 2: 1}
+
+    def test_corpus_aggregation(self, sample_def):
+        stats = CorpusStats.of([sample_def])
+        assert stats.total_ops == 4
+        assert stats.ops_per_dialect() == [("sample", 4)]
+        assert stats.dialects_with_variadic_operands() == 1.0
+        assert stats.dialects_with_regions() == 1.0
+        assert stats.dialects_with_multi_result_ops() == []
+
+
+class TestExpressiveness:
+    def test_report(self, sample_def):
+        report = analyze_expressiveness([sample_def])
+        assert report.total_types == 1
+        assert report.total_attrs == 1
+        assert report.total_ops == 4
+        # gather's `limit` attribute carries a PyConstraint → py-local.
+        (row,) = report.op_rows
+        assert row.py_local == 1
+        assert row.py_verifier == 1
+        assert report.ops_pure_irdl_local_fraction() == 0.75
+        assert report.ops_py_verifier_fraction() == 0.25
+        assert report.local_constraint_kinds["integer inequality"] == 1
+
+    def test_param_kind_counters(self, sample_def):
+        report = analyze_expressiveness([sample_def])
+        assert report.type_param_kinds == {"attr/type": 1, "integer": 1}
+        assert report.attr_param_kinds == {"string": 1}
+        assert report.domain_specific_param_fraction() == 0.0
+
+    @pytest.mark.parametrize(
+        "name,code,kind",
+        [
+            ("Bounded", "$_self <= 32", "integer inequality"),
+            ("Strides", "stride_ok($_self)", "stride check"),
+            ("TiledStride", "$_self[0] == 1", "stride check"),
+            ("Opaque", "$_self.is_opaque()", "struct opacity"),
+            ("Misc", "callable($_self)", "other"),
+        ],
+    )
+    def test_constraint_kind_classification(self, name, code, kind):
+        assert classify_py_constraint(name, code) == kind
+
+
+class TestHistory:
+    def test_paper_series_headline(self):
+        summary = summarize_history(MLIR_HISTORY)
+        assert summary.months == 20
+        assert summary.initial_ops == 444
+        assert summary.final_ops == 942
+        assert summary.initial_dialects == 18
+        assert summary.final_dialects == 28
+        assert round(summary.growth_factor, 1) == 2.1
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError, match="decreased"):
+            summarize_history((
+                HistoryPoint("01/21", 100, 10),
+                HistoryPoint("02/21", 90, 10),
+            ))
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_history((HistoryPoint("01/21", 100, 10),))
+
+
+class TestFeatureMatrix:
+    def test_matrix_rows_cover_figure13(self):
+        names = [row.name for row in FEATURE_MATRIX]
+        assert names[0] == "IRDL" and names[1] == "IRDL-C++"
+        assert len(names) == 10
+
+    def test_every_row_has_all_features(self):
+        for row in FEATURE_MATRIX:
+            assert set(row.features) == set(FEATURES)
+
+    def test_implementation_matches_irdl_claims(self):
+        claimed = FEATURE_MATRIX[0].features
+        actual = check_irdl_feature_claims()
+        assert actual == claimed
+
+    def test_irdl_py_is_turing_complete(self):
+        assert check_irdl_py_feature_claims()["turing_complete"]
+
+
+class TestReportRenderers:
+    def test_renderers_produce_text(self, sample_def):
+        from repro.analysis.report import (
+            render_fig3,
+            render_fig4,
+            render_fig5,
+            render_fig6,
+            render_fig7,
+            render_fig8,
+            render_fig9_10,
+            render_fig11,
+            render_fig12,
+            render_table1,
+        )
+
+        stats = CorpusStats.of([sample_def])
+        report = analyze_expressiveness([sample_def])
+        assert "sample" in render_table1([("sample", "A demo dialect")])
+        assert "444 -> 942" in render_fig3(MLIR_HISTORY)
+        assert "total 4" in render_fig4(stats)
+        for renderer in (render_fig5, render_fig6, render_fig7):
+            assert "overall" in renderer(stats)
+        assert "type parameter kinds" in render_fig8(report)
+        assert "Figure 9" in render_fig9_10(report)
+        assert "Figure 11" in render_fig11(report)
+        assert "integer inequality" in render_fig12(report)

@@ -1,0 +1,81 @@
+"""Documentation generation from dialect definitions."""
+
+import pytest
+
+from repro.analysis.docgen import render_dialect_doc, render_op_doc, render_type_doc
+from repro.builtin import default_context
+from repro.corpus import cmath_source
+from repro.irdl import register_irdl
+
+
+@pytest.fixture(scope="module")
+def cmath_def():
+    ctx = default_context()
+    (dialect,) = register_irdl(ctx, cmath_source())
+    return dialect
+
+
+class TestOpDocs:
+    def test_summary_and_signature(self, cmath_def):
+        doc = render_op_doc(cmath_def.get_op("mul"))
+        assert "### `cmath.mul`" in doc
+        assert "Multiply two complex numbers" in doc
+        assert "`lhs`" in doc and "`rhs`" in doc and "`res`" in doc
+        assert "**Assembly format:** `$lhs, $rhs : $T.elementType`" in doc
+
+    def test_optional_operand_marked(self, cmath_def):
+        doc = render_op_doc(cmath_def.get_op("log"))
+        assert "*(optional)*" in doc
+
+    def test_attributes_listed(self, cmath_def):
+        doc = render_op_doc(cmath_def.get_op("create_constant"))
+        assert "`re`" in doc and "`im`" in doc
+
+    def test_terminator_and_region_rendering(self):
+        ctx = default_context()
+        (loops,) = register_irdl(ctx, """
+        Dialect loops {
+          Operation halt { Successors () }
+          Operation loop {
+            Region body { Arguments (iv: !index) Terminator halt }
+            PyConstraint "len($_self.op.regions) == 1"
+          }
+        }
+        """)
+        halt_doc = render_op_doc(loops.get_op("halt"))
+        assert "**terminator**" in halt_doc
+        loop_doc = render_op_doc(loops.get_op("loop"))
+        assert "Region `body`" in loop_doc
+        assert "terminated by `loops.halt`" in loop_doc
+        assert "IRDL-Py" in loop_doc
+
+
+class TestTypeDocs:
+    def test_type_parameters_table(self, cmath_def):
+        doc = render_type_doc(cmath_def.get_type("complex"))
+        assert "`cmath.complex` (type)" in doc
+        assert "`elementType`" in doc
+        assert "attr/type" in doc
+
+
+class TestDialectDocs:
+    def test_full_dialect_doc(self, cmath_def):
+        doc = render_dialect_doc(cmath_def)
+        assert doc.startswith("# Dialect `cmath`")
+        assert "4 operations, 1 types, 0 attributes" in doc
+        assert "## Types" in doc and "## Operations" in doc
+
+    def test_corpus_dialect_docs_render(self, hand_corpus):
+        _, defs = hand_corpus
+        for dialect in defs:
+            doc = render_dialect_doc(dialect)
+            assert dialect.name in doc
+            for op in dialect.operations:
+                assert op.qualified_name in doc
+
+    def test_enums_rendered(self, hand_corpus):
+        _, defs = hand_corpus
+        builtin = next(d for d in defs if d.name == "builtin")
+        doc = render_dialect_doc(builtin)
+        assert "Enum `builtin.signedness`" in doc
+        assert "`Signless`" in doc

@@ -1,0 +1,68 @@
+"""DOT export of CFGs and use-def graphs."""
+
+import pytest
+
+from repro.analysis.dot import cfg_to_dot, use_def_to_dot
+from repro.builtin import f32
+from repro.textir import parse_module
+
+PROGRAM = """
+"func.func"() ({
+^bb0(%a: f32, %b: f32):
+  %c = "arith.constant"() {value = true} : () -> (i1)
+  "cf.cond_br"(%c)[^bb1, ^bb2] : (i1) -> ()
+^bb1:
+  "cf.br"()[^bb3] : () -> ()
+^bb2:
+  "cf.br"()[^bb3] : () -> ()
+^bb3:
+  %s = "arith.addf"(%a, %b) : (f32, f32) -> (f32)
+  "func.return"(%s) : (f32) -> ()
+}) {sym_name = "f", function_type = (f32, f32) -> f32} : () -> ()
+"""
+
+
+@pytest.fixture
+def func_region(ctx):
+    module = parse_module(ctx, PROGRAM)
+    func = module.regions[0].blocks[0].ops[0]
+    return func.regions[0], func
+
+
+class TestCfgDot:
+    def test_nodes_and_edges(self, func_region):
+        region, _ = func_region
+        dot = cfg_to_dot(region, "f")
+        assert dot.startswith('digraph "f"')
+        for i in range(4):
+            assert f"bb{i} [label=" in dot
+        assert "bb0 -> bb1;" in dot and "bb0 -> bb2;" in dot
+        assert "bb1 -> bb3;" in dot and "bb2 -> bb3;" in dot
+
+    def test_block_labels_list_ops(self, func_region):
+        region, _ = func_region
+        dot = cfg_to_dot(region)
+        assert "cf.cond_br" in dot and "func.return" in dot
+
+    def test_entry_args_in_label(self, func_region):
+        region, _ = func_region
+        assert "arg0: f32" in cfg_to_dot(region)
+
+
+class TestUseDefDot:
+    def test_producer_consumer_edges(self, func_region):
+        _, func = func_region
+        dot = use_def_to_dot(func)
+        # constant -> cond_br and addf -> return edges exist.
+        assert "->" in dot
+        assert dot.count("[shape=ellipse") == 2  # the two block args
+
+    def test_edge_labels_carry_indices(self, func_region):
+        _, func = func_region
+        assert '[label="0->0"]' in use_def_to_dot(func)
+
+    def test_single_op(self, ctx):
+        op = ctx.create_operation("arith.constant", result_types=[f32],
+                                  attributes={})
+        dot = use_def_to_dot(op)
+        assert "arith.constant" in dot

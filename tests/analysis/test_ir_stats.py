@@ -1,0 +1,88 @@
+"""Statistics over IR modules (the Figure 1 "IR Statistics" tool)."""
+
+import pytest
+
+from repro.analysis.ir_stats import analyze_module, render_module_stats
+from repro.builtin import f32
+from repro.textir import parse_module
+
+PROGRAM = """
+"func.func"() ({
+^bb0(%a: f32, %b: f32):
+  %s = "arith.addf"(%a, %b) : (f32, f32) -> (f32)
+  %m = "arith.mulf"(%s, %s) : (f32, f32) -> (f32)
+  "func.return"(%m) : (f32) -> ()
+}) {sym_name = "f", function_type = (f32, f32) -> f32} : () -> ()
+"""
+
+
+@pytest.fixture
+def module(ctx):
+    return parse_module(ctx, PROGRAM)
+
+
+class TestModuleStats:
+    def test_op_and_structure_counts(self, module):
+        stats = analyze_module(module)
+        assert stats.num_ops == 5  # module, func, addf, mulf, return
+        assert stats.num_blocks == 2
+        assert stats.num_regions == 2
+        assert stats.max_region_depth == 2
+
+    def test_value_and_use_counts(self, module):
+        stats = analyze_module(module)
+        # values: 2 block args + 2 results; uses: 2 + 2 + 1 operand slots.
+        assert stats.num_values == 4
+        assert stats.num_uses == 5
+        assert stats.average_fanout == pytest.approx(1.25)
+
+    def test_frequencies(self, module):
+        stats = analyze_module(module)
+        assert stats.op_frequency["arith.addf"] == 1
+        assert stats.dialect_frequency["arith"] == 2
+        assert stats.most_common_ops(1)[0][1] == 1
+
+    def test_dialect_mix_fractions(self, module):
+        mix = analyze_module(module).dialect_mix()
+        assert mix["arith"] == pytest.approx(0.4)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_fanout_histogram(self, module):
+        stats = analyze_module(module)
+        # %s is used twice; %a, %b, %m once each.
+        assert stats.value_fanout[2] == 1
+        assert stats.value_fanout[1] == 3
+
+    def test_empty_module(self, ctx):
+        from repro.ir import Block, Region
+
+        module = ctx.create_operation("builtin.module",
+                                      regions=[Region([Block()])])
+        stats = analyze_module(module)
+        assert stats.num_ops == 1
+        assert stats.average_fanout == 0.0
+        assert stats.dialect_mix() == {"builtin": 1.0}
+
+    def test_render(self, module):
+        text = render_module_stats(analyze_module(module), "demo")
+        assert "IR statistics for demo" in text
+        assert "5 ops" in text
+        assert "dialect mix" in text
+
+
+class TestMathDialect:
+    def test_sqrt_verifies(self, ctx):
+        from repro.ir import Block, VerifyError
+
+        block = Block([f32])
+        op = ctx.create_operation("math.sqrt", operands=list(block.args),
+                                  result_types=[f32])
+        op.verify()
+        from repro.builtin import i32
+
+        bad_block = Block([i32])
+        bad = ctx.create_operation("math.sqrt",
+                                   operands=list(bad_block.args),
+                                   result_types=[i32])
+        with pytest.raises(VerifyError, match="float"):
+            bad.verify()

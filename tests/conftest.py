@@ -1,0 +1,35 @@
+"""Shared fixtures: contexts, the cmath dialect, and the corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.builtin import default_context
+from repro.corpus import cmath_source, load_corpus, load_hand_corpus
+from repro.irdl import register_irdl
+
+
+@pytest.fixture
+def ctx():
+    """A fresh context with the native dialects registered."""
+    return default_context()
+
+
+@pytest.fixture
+def cmath_ctx():
+    """A native context plus the cmath dialect from Listing 3."""
+    context = default_context()
+    register_irdl(context, cmath_source())
+    return context
+
+
+@pytest.fixture(scope="session")
+def hand_corpus():
+    """The hand-written 28-dialect corpus: (context, dialect defs)."""
+    return load_hand_corpus()
+
+
+@pytest.fixture(scope="session")
+def full_corpus():
+    """The paper-scale (942-op) corpus: (context, dialect defs)."""
+    return load_corpus()

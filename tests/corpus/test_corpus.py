@@ -1,0 +1,222 @@
+"""The 28-dialect corpus: loading, counts, and per-dialect shape."""
+
+import pytest
+
+from repro.analysis import CorpusStats, analyze_expressiveness
+from repro.corpus import (
+    CORPUS_ORDER,
+    dialect_source,
+    load_corpus,
+    paper_data as P,
+    parse_corpus_decl,
+)
+
+
+class TestPaperData:
+    def test_tables_are_consistent(self):
+        P.validate()
+
+    def test_op_targets_match_figure4_extremes(self):
+        assert P.OPS_PER_DIALECT["builtin"] == 3
+        assert P.OPS_PER_DIALECT["arm_neon"] == 3
+        assert P.OPS_PER_DIALECT["llvm"] > 100
+        assert P.OPS_PER_DIALECT["spv"] > 100
+
+    def test_ascending_order_matches_figure4(self):
+        counts = [P.OPS_PER_DIALECT[d] for d in (
+            "builtin", "emitc", "sparse_tensor", "linalg", "scf", "tensor",
+            "affine", "pdl", "complex", "math", "memref", "gpu", "vector",
+            "arith", "shape", "std", "tosa", "llvm",
+        )]
+        assert counts == sorted(counts)
+
+
+class TestHandWrittenCorpus:
+    def test_all_dialects_load(self, hand_corpus):
+        _, defs = hand_corpus
+        assert [d.name for d in defs] == list(CORPUS_ORDER)
+
+    def test_exact_type_and_attr_population(self, hand_corpus):
+        _, defs = hand_corpus
+        assert sum(len(d.types) for d in defs) == P.TOTAL_TYPES
+        assert sum(len(d.attributes) for d in defs) == P.TOTAL_ATTRS
+
+    def test_fourteen_dialects_define_types_or_attrs(self, hand_corpus):
+        _, defs = hand_corpus
+        with_defs = [d.name for d in defs if d.types or d.attributes]
+        assert len(with_defs) == P.DIALECTS_WITH_TYPES_OR_ATTRS
+
+    def test_py_param_dialects_match_section63(self, hand_corpus):
+        _, defs = hand_corpus
+        py_param = {
+            d.name
+            for d in defs
+            for t in (*d.types, *d.attributes)
+            if t.needs_py_for_parameters
+        }
+        assert py_param == set(P.PY_PARAM_DIALECTS)
+
+    def test_hand_written_ops_do_not_exceed_targets(self, hand_corpus):
+        _, defs = hand_corpus
+        for dialect in defs:
+            assert len(dialect.operations) <= P.OPS_PER_DIALECT[dialect.name], (
+                dialect.name
+            )
+
+    def test_every_dialect_file_has_documentation(self):
+        for name in CORPUS_ORDER:
+            assert dialect_source(name).lstrip().startswith("//"), name
+
+    def test_cmath_is_not_in_the_mlir_corpus(self):
+        assert "cmath" not in CORPUS_ORDER
+        assert parse_corpus_decl("builtin").name == "builtin"
+
+
+class TestFullCorpus:
+    def test_population_totals(self, full_corpus):
+        _, defs = full_corpus
+        stats = CorpusStats.of(defs)
+        assert stats.total_ops == P.TOTAL_OPS
+        assert stats.total_types == P.TOTAL_TYPES
+        assert stats.total_attrs == P.TOTAL_ATTRS
+        assert len(defs) == P.TOTAL_DIALECTS
+
+    def test_per_dialect_counts_match_figure4(self, full_corpus):
+        _, defs = full_corpus
+        for dialect in defs:
+            assert len(dialect.operations) == P.OPS_PER_DIALECT[dialect.name]
+
+    def test_all_ops_registered_and_resolvable(self, full_corpus):
+        ctx, defs = full_corpus
+        for dialect in defs:
+            for op in dialect.operations:
+                binding = ctx.get_op_def(op.qualified_name)
+                assert binding is not None, op.qualified_name
+                assert binding.op_def is op
+
+    def test_multi_result_dialects_are_the_paper_four(self, full_corpus):
+        _, defs = full_corpus
+        stats = CorpusStats.of(defs)
+        assert sorted(stats.dialects_with_multi_result_ops()) == sorted(
+            P.MULTI_RESULT_DIALECTS
+        )
+
+    def test_synthesized_ops_have_unique_names(self, full_corpus):
+        _, defs = full_corpus
+        for dialect in defs:
+            names = [op.name for op in dialect.operations]
+            assert len(names) == len(set(names)), dialect.name
+
+    def test_terminator_ops_preserved(self, full_corpus):
+        _, defs = full_corpus
+        scf = next(d for d in defs if d.name == "scf")
+        assert scf.get_op("yield").is_terminator
+
+    def test_expressiveness_kind_totals(self, full_corpus):
+        _, defs = full_corpus
+        report = analyze_expressiveness(defs)
+        kinds = report.local_constraint_kinds
+        assert set(kinds) <= {"integer inequality", "stride check",
+                              "struct opacity"}
+        assert kinds["struct opacity"] == P.LOCAL_CONSTRAINT_KINDS["struct opacity"]
+
+    def test_instantiating_a_synthesized_op(self, full_corpus):
+        """Synthesized definitions are real: build and verify an instance."""
+        ctx, defs = full_corpus
+        arith = next(d for d in defs if d.name == "arith")
+        from repro.ir import Block
+        from repro.irdl.constraints import CannotInfer, ConstraintContext
+
+        built = 0
+        for op_def in arith.operations:
+            if op_def.attributes or op_def.regions or op_def.is_terminator:
+                continue
+            try:
+                operand_types = [
+                    a.constraint.infer(ConstraintContext())
+                    for a in op_def.operands
+                ]
+                result_types = [
+                    a.constraint.infer(ConstraintContext())
+                    for a in op_def.results
+                ]
+            except (CannotInfer, Exception):
+                continue
+            if any(a.is_variadic for a in (*op_def.operands, *op_def.results)):
+                continue
+            block = Block(operand_types)
+            op = ctx.create_operation(op_def.qualified_name,
+                                      operands=list(block.args),
+                                      result_types=result_types)
+            op.verify()
+            built += 1
+        assert built >= 5
+
+
+class TestScaledCorpusRoundTrip:
+    def test_scaled_dialects_print_and_reparse(self):
+        """The full (synthesized) corpus is printable IRDL: print each
+        scaled dialect, reparse, and re-register with identical stats."""
+        from repro.analysis import CorpusStats
+        from repro.corpus import parse_corpus_decl
+        from repro.corpus.generator import extend_dialect
+        from repro.ir import Context
+        from repro.irdl import register_irdl
+        from repro.irdl.parser import parse_irdl
+        from repro.irdl.printer import print_dialects
+
+        names = ("builtin", "arith", "scf", "llvm")
+        decls = [extend_dialect(parse_corpus_decl(name)) for name in names]
+        text = print_dialects(decls)
+        ctx = Context()
+        defs = register_irdl(ctx, text, "<scaled>")
+        stats = CorpusStats.of(defs)
+        from repro.corpus import paper_data as P
+
+        for dialect in stats.dialects:
+            assert dialect.num_ops == P.OPS_PER_DIALECT[dialect.name]
+
+    def test_loading_out_of_order_fails_cleanly(self):
+        """pdl_interp references pdl types; registering it first reports
+        the missing dialect instead of corrupting the context."""
+        from repro.corpus import parse_corpus_decl
+        from repro.ir import Context
+        from repro.irdl import register_dialect
+        from repro.irdl.resolver import ResolutionError
+
+        ctx = Context()
+        register_dialect(ctx, parse_corpus_decl("builtin"))
+        with pytest.raises(ResolutionError):
+            register_dialect(ctx, parse_corpus_decl("pdl_interp"))
+        assert ctx.get_dialect("pdl_interp") is None
+        # The right order still works afterwards.
+        register_dialect(ctx, parse_corpus_decl("pdl"))
+        register_dialect(ctx, parse_corpus_decl("pdl_interp"))
+
+
+class TestGeneratorDeterminism:
+    def test_two_loads_produce_identical_corpora(self):
+        _, first = load_corpus()
+        _, second = load_corpus()
+        for left, right in zip(first, second):
+            assert [op.name for op in left.operations] == [
+                op.name for op in right.operations
+            ]
+            assert [len(op.operands) for op in left.operations] == [
+                len(op.operands) for op in right.operations
+            ]
+
+    def test_allocation_helper(self):
+        from repro.corpus.generator import largest_remainder
+
+        counts = largest_remainder({0: 0.5, 1: 0.3, 2: 0.2}, 10)
+        assert counts == {0: 5, 1: 3, 2: 2}
+        counts = largest_remainder({0: 1 / 3, 1: 1 / 3, 2: 1 / 3}, 10)
+        assert sum(counts.values()) == 10
+
+    def test_verifier_targets_hit_overall_fraction(self):
+        from repro.corpus.generator import verifier_targets
+
+        targets = verifier_targets()
+        total = sum(targets.values())
+        assert abs(total / P.TOTAL_OPS - P.OPS_PY_VERIFIER) < 0.02

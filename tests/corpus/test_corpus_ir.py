@@ -1,0 +1,186 @@
+"""Building and verifying IR in the all-IRDL corpus context.
+
+The corpus context is fully dynamic: even ``builtin`` is an IRDL
+dialect.  These tests exercise representative operations from several
+corpus dialects end to end — construction, verification, and failure
+modes — proving the hand-written specs are executable definitions, not
+just analysis data.
+"""
+
+import pytest
+
+from repro.ir import (
+    ArrayParam,
+    Block,
+    EnumParam,
+    IntegerParam,
+    OpaqueParam,
+    Region,
+    StringParam,
+    VerifyError,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus_ctx(request):
+    from repro.corpus import load_hand_corpus
+
+    ctx, _ = load_hand_corpus()
+    return ctx
+
+
+@pytest.fixture(scope="module")
+def types(corpus_ctx):
+    signless = EnumParam("builtin.signedness", "Signless")
+
+    class Types:
+        i1 = corpus_ctx.make_type(
+            "builtin.integer", [IntegerParam(1, 32, False), signless]
+        )
+        i32 = corpus_ctx.make_type(
+            "builtin.integer", [IntegerParam(32, 32, False), signless]
+        )
+        f32 = corpus_ctx.make_type(
+            "builtin.float", [IntegerParam(32, 32, False)]
+        )
+        index = corpus_ctx.make_type("builtin.index")
+        tensor_f32 = corpus_ctx.make_type(
+            "builtin.tensor",
+            [ArrayParam((IntegerParam(4, 64, True),)), f32],
+        )
+
+    return Types
+
+
+class TestDynamicBuiltin:
+    def test_shorthand_aliases_resolve_to_dynamic_types(self, corpus_ctx, types):
+        # The corpus arith dialect constrains via !i32 — an alias into the
+        # IRDL builtin; values of the constructed type satisfy it.
+        block = Block([types.i32, types.i32])
+        op = corpus_ctx.create_operation(
+            "arith.addi", operands=list(block.args), result_types=[types.i32]
+        )
+        op.verify()
+
+    def test_integer_width_constraint(self, corpus_ctx):
+        with pytest.raises(VerifyError, match="PositiveWidth|parameter"):
+            corpus_ctx.make_type(
+                "builtin.integer",
+                [IntegerParam(0, 32, False),
+                 EnumParam("builtin.signedness", "Signless")],
+            )
+
+    def test_float_width_verifier(self, corpus_ctx):
+        with pytest.raises(VerifyError, match="PyConstraint"):
+            corpus_ctx.make_type("builtin.float", [IntegerParam(13, 32, False)])
+
+    def test_vector_shape_verifier(self, corpus_ctx, types):
+        with pytest.raises(VerifyError, match="PyConstraint"):
+            corpus_ctx.make_type(
+                "builtin.vector",
+                [ArrayParam((IntegerParam(0, 64, True),)), types.f32],
+            )
+
+
+class TestScf:
+    def test_for_loop_verifies(self, corpus_ctx, types):
+        body = Block([types.index])
+        body.add_op(corpus_ctx.create_operation("scf.yield"))
+        bounds = Block([types.index, types.index, types.index])
+        loop = corpus_ctx.create_operation(
+            "scf.for", operands=list(bounds.args),
+            regions=[Region([body])],
+        )
+        loop.verify()
+
+    def test_for_requires_yield_terminator(self, corpus_ctx, types):
+        body = Block([types.index])
+        bounds = Block([types.index, types.index, types.index])
+        loop = corpus_ctx.create_operation(
+            "scf.for", operands=list(bounds.args), regions=[Region([body])]
+        )
+        with pytest.raises(VerifyError, match="scf.yield"):
+            loop.verify()
+
+    def test_if_has_two_regions(self, corpus_ctx, types):
+        cond = Block([types.i1])
+        then_block = Block()
+        then_block.add_op(corpus_ctx.create_operation("scf.yield"))
+        else_block = Block()
+        conditional = corpus_ctx.create_operation(
+            "scf.if", operands=list(cond.args),
+            regions=[Region([then_block]), Region([else_block])],
+        )
+        conditional.verify()
+
+
+class TestLlvm:
+    def test_struct_requires_wrapped_body(self, corpus_ctx):
+        struct = corpus_ctx.make_type("llvm.struct", [
+            StringParam("pair"),
+            OpaqueParam("llvm.StructBody", ("i32", "i32")),
+            IntegerParam(0, 32, True),
+        ])
+        assert struct.param("identifier") == StringParam("pair")
+        with pytest.raises(VerifyError):
+            corpus_ctx.make_type("llvm.struct", [
+                StringParam("pair"),
+                StringParam("not-a-body"),
+                IntegerParam(0, 32, True),
+            ])
+
+    def test_struct_packed_flag_verifier(self, corpus_ctx):
+        with pytest.raises(VerifyError, match="PyConstraint"):
+            corpus_ctx.make_type("llvm.struct", [
+                StringParam("pair"),
+                OpaqueParam("llvm.StructBody", ()),
+                IntegerParam(3, 32, True),
+            ])
+
+    def test_branch_is_terminator(self, corpus_ctx):
+        assert corpus_ctx.get_op_def("llvm.br").is_terminator
+        assert corpus_ctx.get_op_def("llvm.cond_br").is_terminator
+        assert not corpus_ctx.get_op_def("llvm.load").is_terminator
+
+
+class TestPdlInterp:
+    def test_check_op_is_terminator_with_two_successors(self, corpus_ctx):
+        binding = corpus_ctx.get_op_def("pdl_interp.check_operation_name")
+        assert binding.is_terminator
+        assert binding.op_def.successors == ["true_dest", "false_dest"]
+
+    def test_cross_dialect_pdl_types(self, corpus_ctx):
+        op_type = corpus_ctx.make_type("pdl.operation_type")
+        block = Block([op_type])
+        get = corpus_ctx.create_operation(
+            "pdl_interp.get_operand", operands=list(block.args),
+            result_types=[corpus_ctx.make_type("pdl.value_type")],
+            attributes={},
+        )
+        with pytest.raises(VerifyError, match="operand_index"):
+            get.verify()  # missing the bounded-index attribute
+
+
+class TestQuantAndSparse:
+    def test_uniform_quantized_type(self, corpus_ctx, types):
+        from repro.ir import FloatParam
+
+        quantized = corpus_ctx.make_type("quant.uniform", [
+            corpus_ctx.make_type(
+                "builtin.integer",
+                [IntegerParam(8, 32, False),
+                 EnumParam("builtin.signedness", "Signless")],
+            ),
+            types.f32,
+            FloatParam(0.5, 64),
+            IntegerParam(0, 64, True),
+        ])
+        assert quantized.param("scale").value == 0.5
+
+    def test_sparse_encoding_width_verifier(self, corpus_ctx):
+        with pytest.raises(VerifyError, match="PyConstraint"):
+            corpus_ctx.make_attr("sparse_tensor.encoding", [
+                OpaqueParam("sparse_tensor.DimLevelSpec", ("dense", "compressed")),
+                IntegerParam(7, 32, False),
+                IntegerParam(32, 32, False),
+            ])

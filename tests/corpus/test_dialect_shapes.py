@@ -1,0 +1,110 @@
+"""Per-dialect shape checks over the hand-written corpus files.
+
+The §6 characteristics the paper attributes to specific dialects must be
+visible in the hand-written specifications themselves, not only in the
+scaled aggregate.
+"""
+
+import pytest
+
+from repro.corpus import parse_corpus_decl
+from repro.irdl.ast import Variadicity
+
+
+@pytest.fixture(scope="module")
+def decls():
+    names = ("builtin", "scf", "gpu", "tosa", "emitc", "shape", "async",
+             "vector", "std", "llvm", "spv", "amx", "arm_neon", "x86vector",
+             "pdl", "math", "complex", "arith")
+    return {name: parse_corpus_decl(name) for name in names}
+
+
+def op(decls, dialect, name):
+    return next(o for o in decls[dialect].operations if o.name == name)
+
+
+class TestStructuredControlFlow:
+    def test_scf_for_carries_loop_values(self, decls):
+        for_op = op(decls, "scf", "for")
+        assert for_op.operands[-1].variadicity is Variadicity.VARIADIC
+        assert for_op.regions[0].terminator == "yield"
+        iter_args = for_op.regions[0].arguments
+        assert iter_args[0].name == "induction_variable"
+        assert iter_args[-1].variadicity is Variadicity.VARIADIC
+
+    def test_scf_if_has_then_and_else(self, decls):
+        if_op = op(decls, "scf", "if")
+        assert [r.name for r in if_op.regions] == ["then_region",
+                                                   "else_region"]
+
+    def test_yields_are_terminators(self, decls):
+        for dialect in ("scf", "tosa", "gpu", "async"):
+            yield_op = op(decls, dialect, "yield")
+            assert yield_op.is_terminator, dialect
+
+
+class TestMultiResultOps:
+    def test_gpu_thread_id_is_3d(self, decls):
+        thread_id = op(decls, "gpu", "thread_id")
+        assert len(thread_id.results) == 3
+
+    def test_x86vector_vp2intersect_two_results(self, decls):
+        intersect = op(decls, "x86vector", "avx512_vp2intersect")
+        assert len(intersect.results) == 2
+
+    def test_shape_split_at_two_results(self, decls):
+        split = op(decls, "shape", "split_at")
+        assert len(split.results) == 2
+
+
+class TestSimdDialects:
+    def test_amx_ops_are_operand_heavy(self, decls):
+        counts = [len(o.operands) for o in decls["amx"].operations]
+        assert sum(1 for c in counts if c >= 3) >= len(counts) // 2
+
+    def test_arm_neon_has_exactly_three_ops(self, decls):
+        assert len(decls["arm_neon"].operations) == 3
+
+
+class TestCallLikeOps:
+    def test_std_call_is_doubly_variadic_free(self, decls):
+        call = op(decls, "std", "call")
+        variadic = [a for a in call.operands if a.variadicity is
+                    Variadicity.VARIADIC]
+        assert len(variadic) == 1
+        assert call.results[0].variadicity is Variadicity.VARIADIC
+
+    def test_llvm_branches_declare_successors(self, decls):
+        cond_br = op(decls, "llvm", "cond_br")
+        assert cond_br.successors == ["true_dest", "false_dest"]
+
+    def test_spv_module_and_func_have_regions(self, decls):
+        assert op(decls, "spv", "module").regions
+        assert op(decls, "spv", "func").regions
+
+
+class TestConstraintUsage:
+    def test_arith_uses_constraint_variables(self, decls):
+        addi = op(decls, "arith", "addi")
+        assert addi.constraint_vars
+        assert addi.operands[0].constraint.name == "T"
+
+    def test_complex_norm_matches_paper_shape(self, decls):
+        # complex.abs mirrors cmath.norm: complex<T> -> T.
+        abs_op = op(decls, "complex", "abs")
+        assert abs_op.constraint_vars[0].name == "T"
+        assert abs_op.operands[0].constraint.name == "complex"
+
+    def test_math_ops_are_elementwise(self, decls):
+        for math_op in decls["math"].operations:
+            assert len(math_op.results) == 1
+
+    def test_emitc_opaque_types_are_strings(self, decls):
+        opaque = decls["emitc"].types[0]
+        assert opaque.name == "opaque"
+        assert opaque.parameters[0].constraint.name == "string"
+
+    def test_pdl_defines_four_handle_types(self, decls):
+        names = {t.name for t in decls["pdl"].types}
+        assert names == {"operation_type", "value_type", "type_type",
+                         "attribute_type"}

@@ -1,0 +1,131 @@
+"""Unit tests for the corpus scaling model's internals."""
+
+import pytest
+
+from repro.corpus import paper_data as P
+from repro.corpus.generator import (
+    DEFAULT_OPERAND_PROFILE,
+    _Rng,
+    _deficit_hist,
+    _op_features,
+    extend_dialect,
+    largest_remainder,
+    variadic_operand_target,
+)
+from repro.irdl import ast
+from repro.irdl.parser import parse_irdl
+
+
+class TestRng:
+    def test_deterministic_per_seed(self):
+        first = [_Rng("arith").next(100) for _ in range(10)]
+        second = [_Rng("arith").next(100) for _ in range(10)]
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        a = [_Rng("arith").next(1000) for _ in range(10)]
+        b = [_Rng("llvm").next(1000) for _ in range(10)]
+        assert a != b
+
+    def test_bounds_respected(self):
+        rng = _Rng("x")
+        assert all(0 <= rng.next(7) < 7 for _ in range(200))
+
+    def test_shuffle_is_permutation(self):
+        rng = _Rng("y")
+        items = list(range(20))
+        shuffled = rng.shuffle(list(items))
+        assert sorted(shuffled) == items
+
+
+class TestAllocation:
+    def test_largest_remainder_exact_total(self):
+        for total in (1, 7, 100, 942):
+            counts = largest_remainder(P.OPERAND_DISTRIBUTION, total)
+            assert sum(counts.values()) == total
+
+    def test_largest_remainder_proportionality(self):
+        counts = largest_remainder({0: 0.7, 1: 0.3}, 10)
+        assert counts == {0: 7, 1: 3}
+
+    def test_default_profile_sums_to_one(self):
+        assert sum(DEFAULT_OPERAND_PROFILE.values()) == pytest.approx(1.0)
+
+    def test_default_profile_compensates_simd(self):
+        # Non-SIMD dialects must be lighter on 3+ operands than overall.
+        assert DEFAULT_OPERAND_PROFILE[3] < P.OPERAND_DISTRIBUTION[3]
+
+    def test_deficit_hist_fills_remaining(self):
+        from collections import Counter
+
+        labels = _deficit_hist({0: 5, 1: 5}, Counter({0: 2, 1: 1}), 7)
+        assert len(labels) == 7
+        assert labels.count(0) == 3 and labels.count(1) == 4
+
+    def test_deficit_hist_handles_overshoot(self):
+        from collections import Counter
+
+        # Hand-written ops already exceed bucket 0's target.
+        labels = _deficit_hist({0: 1, 1: 3}, Counter({0: 4}), 3)
+        assert len(labels) == 3
+
+
+class TestVariadicTargets:
+    def test_heavy_dialects_track_fraction(self):
+        assert variadic_operand_target("llvm") == round(
+            0.30 * P.OPS_PER_DIALECT["llvm"]
+        )
+
+    def test_excluded_dialects_get_zero(self):
+        assert variadic_operand_target("math") == 0
+
+    def test_other_dialects_get_one(self):
+        assert variadic_operand_target("builtin") == 1
+
+
+class TestExtendDialect:
+    def parse(self, text):
+        return parse_irdl(text)[0]
+
+    def test_refuses_overfull_dialects(self):
+        decl = self.parse(
+            "Dialect builtin {"
+            + " ".join(f"Operation o{i} {{}}" for i in range(10))
+            + "}"
+        )
+        with pytest.raises(ValueError, match="paper target"):
+            extend_dialect(decl)
+
+    def test_extends_to_exact_target(self):
+        decl = self.parse("Dialect math { Operation sqrt { } }")
+        extend_dialect(decl)
+        assert len(decl.operations) == P.OPS_PER_DIALECT["math"]
+
+    def test_existing_ops_preserved_first(self):
+        decl = self.parse("Dialect math { Operation sqrt { } }")
+        extend_dialect(decl)
+        assert decl.operations[0].name == "sqrt"
+
+    def test_feature_accounting(self):
+        decl = self.parse("""
+        Dialect d {
+          Operation probe {
+            Operands (a: !f32, rest: Variadic<!f32>)
+            Results (r: !f32)
+            Region body {
+            }
+          }
+        }
+        """)
+        features = _op_features(decl.operations[0])
+        assert features["operands"] == 2
+        assert features["variadic_operand"] is True
+        assert features["regions"] == 1
+        assert features["verifier"] is False
+
+    def test_synthesized_names_unique_and_namespaced(self):
+        decl = self.parse("Dialect rocdl { Operation barrier { } }")
+        extend_dialect(decl)
+        names = [op.name for op in decl.operations]
+        assert len(names) == len(set(names))
+        assert any(name.startswith("intr_") for name in names[1:])

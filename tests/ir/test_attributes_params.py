@@ -1,0 +1,138 @@
+"""Attribute/parameter immutability, equality, hashing, classification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.builtin import FloatType, IntegerType, Signedness, f32
+from repro.ir import (
+    ArrayParam,
+    Data,
+    EnumParam,
+    FloatParam,
+    IntegerParam,
+    LocationParam,
+    OpaqueParam,
+    StringParam,
+    TypeIdParam,
+    VerifyError,
+    attribute_name,
+    attribute_parameters,
+    param_kind,
+)
+from repro.ir.attributes import DynamicTypeAttribute
+from repro.ir.dialect import AttrDefBinding
+
+
+class TestImmutability:
+    def test_data_is_frozen(self):
+        class Name(Data):
+            name = "t.name"
+
+        attr = Name("x")
+        with pytest.raises(AttributeError):
+            attr.data = "y"
+
+    def test_parametrized_is_frozen(self):
+        with pytest.raises(AttributeError):
+            f32.parameters = ()
+
+    def test_dynamic_is_frozen(self):
+        binding = AttrDefBinding("t.d", is_type=True)
+        attr = DynamicTypeAttribute(binding, ())
+        with pytest.raises(AttributeError):
+            attr.parameters = ()
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert IntegerType(32) == IntegerType(32)
+        assert IntegerType(32) != IntegerType(64)
+        assert IntegerType(32) != IntegerType(32, Signedness.SIGNED)
+        assert hash(IntegerType(32)) == hash(IntegerType(32))
+
+    def test_cross_class_inequality(self):
+        assert IntegerType(32) != FloatType(32)
+
+    def test_dynamic_equality_is_per_definition(self):
+        first = AttrDefBinding("t.a", is_type=True)
+        second = AttrDefBinding("t.a", is_type=True)
+        assert DynamicTypeAttribute(first, (f32,)) == DynamicTypeAttribute(first, (f32,))
+        assert DynamicTypeAttribute(first, (f32,)) != DynamicTypeAttribute(second, (f32,))
+
+
+class TestHelpers:
+    def test_attribute_name(self):
+        assert attribute_name(f32) == "builtin.float"
+        binding = AttrDefBinding("d.t", is_type=True)
+        assert attribute_name(DynamicTypeAttribute(binding, ())) == "d.t"
+
+    def test_attribute_parameters(self):
+        assert attribute_parameters(f32) == f32.parameters
+
+    def test_param_lookup_by_name(self):
+        assert f32.param("bitwidth").value == 32
+        with pytest.raises(AttributeError):
+            f32.param("nope")
+
+
+class TestIntegerParam:
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_int8_range_accepts(self, value):
+        assert IntegerParam(value, 8, True).value == value
+
+    @given(st.integers(min_value=128))
+    def test_int8_overflow_rejected(self, value):
+        with pytest.raises(ValueError):
+            IntegerParam(value, 8, True)
+
+    def test_unsigned_rejects_negative(self):
+        with pytest.raises(ValueError):
+            IntegerParam(-1, 32, False)
+
+    def test_unsupported_width(self):
+        with pytest.raises(ValueError):
+            IntegerParam(0, 7)
+
+    def test_type_name(self):
+        assert IntegerParam(1, 32, True).type_name == "int32_t"
+        assert IntegerParam(1, 8, False).type_name == "uint8_t"
+
+
+class TestParamKinds:
+    @pytest.mark.parametrize(
+        "value,kind",
+        [
+            (IntegerParam(1), "integer"),
+            (FloatParam(1.0), "float"),
+            (StringParam("x"), "string"),
+            (EnumParam("d.e", "A"), "enum"),
+            (ArrayParam(()), "array"),
+            (LocationParam("f", 1, 2), "location"),
+            (TypeIdParam("a.B"), "type id"),
+            (OpaqueParam("C", 3), "opaque"),
+            (f32, "attr/type"),
+        ],
+    )
+    def test_kind(self, value, kind):
+        assert param_kind(value) == kind
+
+    def test_array_param_iterates(self):
+        array = ArrayParam((IntegerParam(1), IntegerParam(2)))
+        assert len(array) == 2
+        assert [p.value for p in array] == [1, 2]
+
+
+class TestVerification:
+    def test_integer_type_rejects_nonpositive_width(self):
+        with pytest.raises(VerifyError):
+            IntegerType(0).verify()
+
+    def test_float_type_rejects_odd_width(self):
+        with pytest.raises(VerifyError):
+            FloatType(31).verify()
+
+    def test_param_str_roundtrippable_forms(self):
+        assert str(IntegerParam(5, 32, False)) == "5 : uint32_t"
+        assert str(StringParam("hi")) == '"hi"'
+        assert str(EnumParam("builtin.signedness", "Signed")) == "signedness.Signed"

@@ -1,0 +1,108 @@
+"""Context registry and builder behaviour."""
+
+import pytest
+
+from repro.builtin import default_context, f32, i32
+from repro.ir import (
+    Block,
+    Builder,
+    Context,
+    DialectBinding,
+    InsertPoint,
+    Operation,
+    OpDefBinding,
+    UnregisteredConstructError,
+    VerifyError,
+)
+
+
+class TestContext:
+    def test_duplicate_dialect_rejected(self):
+        ctx = Context()
+        ctx.register_dialect(DialectBinding("d"))
+        with pytest.raises(UnregisteredConstructError):
+            ctx.register_dialect(DialectBinding("d"))
+
+    def test_lookup_by_qualified_name(self, ctx):
+        assert ctx.get_op_def("arith.addi") is not None
+        assert ctx.get_type_def("builtin.f32") is not None
+        assert ctx.get_attr_def("builtin.string") is not None
+        assert ctx.get_enum("builtin.signedness") is not None
+
+    def test_lookup_unknown_returns_none(self, ctx):
+        assert ctx.get_op_def("nope.op") is None
+        assert ctx.get_type_def("builtin.nope") is None
+
+    def test_create_registered_op_binds_definition(self, ctx):
+        op = ctx.create_operation("arith.constant", result_types=[i32])
+        assert op.definition is not None
+        assert op.definition.qualified_name == "arith.constant"
+
+    def test_create_unregistered_op_rejected(self, ctx):
+        with pytest.raises(UnregisteredConstructError):
+            ctx.create_operation("nope.op")
+
+    def test_allow_unregistered(self):
+        ctx = default_context(allow_unregistered=True)
+        op = ctx.create_operation("nope.op")
+        assert op.definition is None
+        op.verify()  # structural checks only
+
+    def test_make_type_and_attr(self, ctx):
+        assert ctx.make_type("builtin.f32") is f32
+        attr = ctx.make_attr("builtin.string", ["hello"])
+        assert attr.data == "hello"
+
+    def test_make_unknown_type_rejected(self, ctx):
+        with pytest.raises(UnregisteredConstructError):
+            ctx.make_type("nope.t")
+
+    def test_clone_shares_dialects(self, ctx):
+        fork = ctx.clone()
+        fork.register_dialect(DialectBinding("extra"))
+        assert fork.get_dialect("extra") is not None
+        assert ctx.get_dialect("extra") is None
+
+
+class TestDialectBinding:
+    def test_namespace_enforced(self):
+        dialect = DialectBinding("d")
+        with pytest.raises(VerifyError):
+            dialect.register_op(OpDefBinding("other.op"))
+
+    def test_type_attr_kind_enforced(self):
+        from repro.ir import AttrDefBinding
+
+        dialect = DialectBinding("d")
+        type_def = AttrDefBinding("d.t", is_type=True)
+        with pytest.raises(VerifyError):
+            dialect.register_attr(type_def)
+        dialect.register_type(type_def)
+
+
+class TestBuilder:
+    def test_create_inserts_at_point(self, ctx):
+        block = Block()
+        builder = Builder(ctx, InsertPoint.at_end(block))
+        first = builder.create("arith.constant", result_types=[i32])
+        second = builder.create("arith.constant", result_types=[i32])
+        assert block.ops == [first, second]
+
+    def test_insert_before_anchor(self, ctx):
+        block = Block()
+        anchor = ctx.create_operation("arith.constant", result_types=[i32])
+        block.add_op(anchor)
+        builder = Builder(ctx, InsertPoint.before(anchor))
+        early = builder.create("arith.constant", result_types=[i32])
+        assert block.ops == [early, anchor]
+
+    def test_insert_at_start(self, ctx):
+        block = Block()
+        block.add_op(ctx.create_operation("arith.constant", result_types=[i32]))
+        builder = Builder(ctx, InsertPoint.at_start(block))
+        first = builder.create("arith.constant", result_types=[i32])
+        assert block.ops[0] is first
+
+    def test_builder_type_helper(self, ctx):
+        builder = Builder(ctx)
+        assert builder.type("builtin.i32") is i32

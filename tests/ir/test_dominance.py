@@ -1,0 +1,170 @@
+"""Dominator computation and SSA use-before-def verification."""
+
+import pytest
+
+from repro.builtin import f32, i1, i32
+from repro.ir import Block, Operation, Region, VerifyError
+from repro.ir.dominance import (
+    DominanceInfo,
+    value_dominates_use,
+    verify_dominance,
+)
+
+
+def diamond_region():
+    """entry -> (left | right) -> merge."""
+    region = Region([Block(), Block(), Block(), Block([i32])])
+    entry, left, right, merge = region.blocks
+    cond = Operation("t.cond", result_types=[i1])
+    entry.add_op(cond)
+    entry.add_op(Operation("t.condbr", operands=[cond.results[0]],
+                           successors=[left, right]))
+    for side in (left, right):
+        value = Operation("t.val", result_types=[i32])
+        side.add_op(value)
+        side.add_op(Operation("t.br", operands=[value.results[0]],
+                              successors=[merge]))
+    merge.add_op(Operation("t.use", operands=[merge.args[0]]))
+    return region
+
+
+class TestDominatorTree:
+    def test_entry_dominates_everything(self):
+        region = diamond_region()
+        info = DominanceInfo(region)
+        entry = region.blocks[0]
+        for block in region.blocks:
+            assert info.dominates_block(entry, block)
+
+    def test_branches_do_not_dominate_merge(self):
+        region = diamond_region()
+        info = DominanceInfo(region)
+        _, left, right, merge = region.blocks
+        assert not info.dominates_block(left, merge)
+        assert not info.dominates_block(right, merge)
+
+    def test_dominance_is_reflexive(self):
+        region = diamond_region()
+        info = DominanceInfo(region)
+        for block in region.blocks:
+            assert info.dominates_block(block, block)
+
+    def test_immediate_dominator_of_merge_is_entry(self):
+        region = diamond_region()
+        info = DominanceInfo(region)
+        entry, _, _, merge = region.blocks
+        assert info.immediate_dominator(merge) is entry
+
+    def test_unreachable_block(self):
+        region = Region([Block(), Block()])
+        entry, island = region.blocks
+        info = DominanceInfo(region)
+        assert info.is_reachable(entry)
+        assert not info.is_reachable(island)
+
+    def test_loop_back_edge(self):
+        region = Region([Block(), Block(), Block()])
+        entry, body, exit_block = region.blocks
+        entry.add_op(Operation("t.br", successors=[body]))
+        cond = Operation("t.cond", result_types=[i1])
+        body.add_op(cond)
+        body.add_op(Operation("t.condbr", operands=[cond.results[0]],
+                              successors=[body, exit_block]))
+        info = DominanceInfo(region)
+        assert info.dominates_block(entry, exit_block)
+        assert info.dominates_block(body, exit_block)
+
+
+class TestValueDominance:
+    def test_same_block_ordering(self):
+        block = Block()
+        producer = Operation("t.p", result_types=[i32])
+        consumer = Operation("t.c", operands=[producer.results[0]])
+        block.add_op(producer)
+        block.add_op(consumer)
+        Region([block])
+        assert value_dominates_use(producer.results[0], consumer)
+
+    def test_use_before_def_in_block(self):
+        block = Block()
+        producer = Operation("t.p", result_types=[i32])
+        consumer = Operation("t.c", operands=[producer.results[0]])
+        block.add_op(consumer)
+        block.add_op(producer)
+        Region([block])
+        assert not value_dominates_use(producer.results[0], consumer)
+
+    def test_block_argument_available_everywhere_in_block(self):
+        block = Block([i32])
+        consumer = Operation("t.c", operands=[block.args[0]])
+        block.add_op(consumer)
+        Region([block])
+        assert value_dominates_use(block.args[0], consumer)
+
+    def test_outer_value_visible_in_nested_region(self):
+        outer_block = Block([f32])
+        inner_block = Block()
+        inner_use = Operation("t.use", operands=[outer_block.args[0]])
+        inner_block.add_op(inner_use)
+        holder = Operation("t.holder", regions=[Region([inner_block])])
+        outer_block.add_op(holder)
+        Region([outer_block])
+        assert value_dominates_use(outer_block.args[0], inner_use)
+
+    def test_sibling_region_value_not_visible(self):
+        first_block = Block()
+        producer = Operation("t.p", result_types=[i32])
+        first_block.add_op(producer)
+        second_block = Block()
+        consumer = Operation("t.c", operands=[producer.results[0]])
+        second_block.add_op(consumer)
+        Operation("t.holder", regions=[Region([first_block]),
+                                       Region([second_block])])
+        assert not value_dominates_use(producer.results[0], consumer)
+
+
+class TestVerifyDominance:
+    def test_valid_diamond(self):
+        root = Operation("t.root", regions=[diamond_region()])
+        verify_dominance(root)
+
+    def test_cross_branch_use_rejected(self):
+        region = Region([Block(), Block(), Block()])
+        entry, left, right = region.blocks
+        cond = Operation("t.cond", result_types=[i1])
+        entry.add_op(cond)
+        entry.add_op(Operation("t.condbr", operands=[cond.results[0]],
+                               successors=[left, right]))
+        value = Operation("t.val", result_types=[i32])
+        left.add_op(value)
+        left.add_op(Operation("t.end", successors=[right]))
+        # right uses a value defined only along the left branch — but right
+        # is reachable directly from entry, so left does not dominate it.
+        right.add_op(Operation("t.use", operands=[value.results[0]]))
+        root = Operation("t.root", regions=[region])
+        with pytest.raises(VerifyError, match="not dominated"):
+            verify_dominance(root)
+
+    def test_use_before_def_rejected(self):
+        block = Block()
+        producer = Operation("t.p", result_types=[i32])
+        consumer = Operation("t.c", operands=[producer.results[0]])
+        block.add_op(consumer)
+        block.add_op(producer)
+        root = Operation("t.root", regions=[Region([block])])
+        with pytest.raises(VerifyError, match="not dominated"):
+            verify_dominance(root)
+
+    def test_parsed_cfg_module_passes(self, ctx):
+        from repro.textir import parse_module
+
+        module = parse_module(ctx, """
+        "func.func"() ({
+        ^bb0(%a: f32):
+          "cf.br"()[^bb1] : () -> ()
+        ^bb1:
+          %x = "arith.mulf"(%a, %a) : (f32, f32) -> (f32)
+          "func.return"(%x) : (f32) -> ()
+        }) {sym_name = "f", function_type = (f32) -> f32} : () -> ()
+        """)
+        verify_dominance(module)

@@ -1,0 +1,159 @@
+"""Operation structure: mutation, traversal, cloning, verification."""
+
+import pytest
+
+from repro.builtin import StringAttr, f32, i32
+from repro.ir import (
+    Block,
+    InvalidIRStructureError,
+    Operation,
+    Region,
+    VerifyError,
+)
+
+
+def op_with_region():
+    inner_block = Block([i32])
+    inner = Operation("test.inner", operands=list(inner_block.args))
+    inner_block.add_op(inner)
+    outer = Operation("test.outer", regions=[Region([inner_block])])
+    return outer, inner
+
+
+class TestStructure:
+    def test_dialect_name(self):
+        assert Operation("cmath.mul").dialect_name == "cmath"
+
+    def test_add_region_sets_parent(self):
+        region = Region()
+        op = Operation("test.op", regions=[region])
+        assert region.parent is op
+
+    def test_region_cannot_be_attached_twice(self):
+        region = Region()
+        Operation("test.op", regions=[region])
+        with pytest.raises(InvalidIRStructureError):
+            Operation("test.other", regions=[region])
+
+    def test_parent_op(self):
+        outer, inner = op_with_region()
+        assert inner.parent_op is outer
+        assert outer.parent_op is None
+
+    def test_is_ancestor_of(self):
+        outer, inner = op_with_region()
+        assert outer.is_ancestor_of(inner)
+        assert not inner.is_ancestor_of(outer)
+
+
+class TestWalk:
+    def test_walk_preorder(self):
+        outer, inner = op_with_region()
+        assert [op.name for op in outer.walk()] == ["test.outer", "test.inner"]
+
+    def test_walk_without_self(self):
+        outer, inner = op_with_region()
+        assert [op.name for op in outer.walk(include_self=False)] == ["test.inner"]
+
+
+class TestMutation:
+    def test_detach_removes_from_block(self):
+        block = Block()
+        op = Operation("test.op")
+        block.add_op(op)
+        op.detach()
+        assert op.parent is None
+        assert not block.ops
+
+    def test_erase_requires_dead_results(self):
+        block = Block([f32])
+        producer = Operation("test.p", result_types=[f32])
+        consumer = Operation("test.c", operands=[producer.results[0]])
+        block.add_op(producer)
+        block.add_op(consumer)
+        with pytest.raises(InvalidIRStructureError):
+            producer.erase()
+        consumer.erase()
+        producer.erase()
+        assert not block.ops
+
+    def test_erase_drops_operand_uses(self):
+        block = Block([f32])
+        op = Operation("test.use", operands=[block.args[0]])
+        block.add_op(op)
+        op.erase()
+        assert not block.args[0].uses
+
+    def test_replace_by_values(self):
+        block = Block([f32])
+        producer = Operation("test.p", result_types=[f32])
+        block.add_op(producer)
+        consumer = Operation("test.c", operands=[producer.results[0]])
+        block.add_op(consumer)
+        producer.replace_by([block.args[0]])
+        assert consumer.operands[0] is block.args[0]
+        assert block.ops == [consumer]
+
+    def test_replace_by_arity_mismatch(self):
+        op = Operation("test.p", result_types=[f32])
+        with pytest.raises(InvalidIRStructureError):
+            op.replace_by([])
+
+
+class TestClone:
+    def test_clone_remaps_operands(self):
+        block = Block([f32])
+        producer = Operation("test.p", result_types=[f32])
+        consumer = Operation("test.c", operands=[producer.results[0]])
+        value_map = {}
+        new_producer = producer.clone(value_map)
+        new_consumer = consumer.clone(value_map)
+        assert new_consumer.operands[0] is new_producer.results[0]
+
+    def test_clone_copies_attributes(self):
+        op = Operation("test.p", attributes={"name": StringAttr("x")})
+        cloned = op.clone()
+        assert cloned.attributes == op.attributes
+        assert cloned.attributes is not op.attributes
+
+    def test_clone_deep_copies_regions(self):
+        outer, inner = op_with_region()
+        cloned = outer.clone()
+        cloned_inner = list(cloned.walk(include_self=False))[0]
+        assert cloned_inner is not inner
+        # The cloned inner op uses the cloned block's argument.
+        assert cloned_inner.operands[0] is cloned.regions[0].blocks[0].args[0]
+
+
+class TestVerify:
+    def test_successors_must_be_last(self):
+        region = Region([Block(), Block()])
+        first, second = region.blocks
+        branch = Operation("test.br", successors=[second])
+        tail = Operation("test.tail")
+        first.add_op(branch)
+        first.add_op(tail)
+        with pytest.raises(VerifyError, match="last operation"):
+            branch.verify()
+
+    def test_successor_in_other_region_rejected(self):
+        region = Region([Block()])
+        other_region = Region([Block()])
+        branch = Operation("test.br", successors=[other_region.blocks[0]])
+        region.blocks[0].add_op(branch)
+        with pytest.raises(VerifyError, match="same region"):
+            branch.verify()
+
+    def test_verify_recurses_into_regions(self):
+        outer, inner = op_with_region()
+        tail = Operation("test.late")
+        inner.successors = [outer.regions[0].blocks[0]]
+        inner.parent.add_op(tail)
+        with pytest.raises(VerifyError):
+            outer.verify()
+
+    def test_attribute_verification_runs(self):
+        bad = StringAttr(42)  # wrong payload type
+        op = Operation("test.op", attributes={"x": bad})
+        with pytest.raises(VerifyError):
+            op.verify()

@@ -1,0 +1,267 @@
+"""Runtime constraint semantics (Figure 2), including unification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.builtin import f32, f64, i32
+from repro.ir import (
+    ArrayParam,
+    EnumParam,
+    FloatParam,
+    IntegerParam,
+    LocationParam,
+    OpaqueParam,
+    StringParam,
+    TypeIdParam,
+    VerifyError,
+)
+from repro.ir.dialect import AttrDefBinding, EnumBinding
+from repro.irdl import constraints as C
+from repro.irdl.constraints import CannotInfer, ConstraintContext
+
+
+def cctx():
+    return ConstraintContext()
+
+
+SIGNEDNESS = EnumBinding("d.signedness", ("Signless", "Signed", "Unsigned"))
+
+
+class TestGenericConstructors:
+    def test_any_type(self):
+        C.AnyTypeConstraint().verify(f32, cctx())
+        with pytest.raises(VerifyError):
+            C.AnyTypeConstraint().verify(StringParam("x"), cctx())
+
+    def test_any_attr_accepts_types_too(self):
+        C.AnyAttrConstraint().verify(f32, cctx())
+        with pytest.raises(VerifyError):
+            C.AnyAttrConstraint().verify(IntegerParam(1), cctx())
+
+    def test_any_param(self):
+        C.AnyParamConstraint().verify(IntegerParam(1), cctx())
+        C.AnyParamConstraint().verify(f32, cctx())
+        with pytest.raises(VerifyError):
+            C.AnyParamConstraint().verify(42, cctx())
+
+    def test_any_of(self):
+        constraint = C.AnyOfConstraint([C.EqConstraint(f32), C.EqConstraint(f64)])
+        constraint.verify(f32, cctx())
+        constraint.verify(f64, cctx())
+        with pytest.raises(VerifyError, match="none of the 2"):
+            constraint.verify(i32, cctx())
+
+    def test_any_of_rolls_back_bindings(self):
+        var = C.VarConstraint("T", C.EqConstraint(f32))
+        constraint = C.AnyOfConstraint(
+            [C.AndConstraint([var, C.EqConstraint(f64)]), C.EqConstraint(f32)]
+        )
+        context = cctx()
+        constraint.verify(f32, context)
+        # The failed first alternative must not leave T bound to f32 via
+        # a path that later contradicts.
+        assert context.bindings.get("T") in (None, f32)
+
+    def test_and(self):
+        constraint = C.AndConstraint(
+            [C.AnyTypeConstraint(), C.EqConstraint(f32)]
+        )
+        constraint.verify(f32, cctx())
+        with pytest.raises(VerifyError):
+            constraint.verify(f64, cctx())
+
+    def test_not(self):
+        constraint = C.NotConstraint(C.EqConstraint(f32))
+        constraint.verify(f64, cctx())
+        with pytest.raises(VerifyError, match="forbidden"):
+            constraint.verify(f32, cctx())
+
+    def test_not_rolls_back_bindings(self):
+        var = C.VarConstraint("T", C.AnyTypeConstraint())
+        constraint = C.NotConstraint(
+            C.AndConstraint([var, C.EqConstraint(f32)])
+        )
+        context = cctx()
+        constraint.verify(f64, context)
+        assert "T" not in context.bindings
+
+    def test_and_not_nonnull_integer(self):
+        # The paper's And<int32_t, Not<0 : int32_t>> example (§4.3).
+        constraint = C.AndConstraint([
+            C.IntTypeConstraint(32, True),
+            C.NotConstraint(C.IntLiteralConstraint(0, 32, True)),
+        ])
+        constraint.verify(IntegerParam(5, 32, True), cctx())
+        with pytest.raises(VerifyError):
+            constraint.verify(IntegerParam(0, 32, True), cctx())
+
+
+class TestVarConstraint:
+    def test_unifies_across_uses(self):
+        var = C.VarConstraint("T", C.AnyTypeConstraint())
+        context = cctx()
+        var.verify(f32, context)
+        var.verify(f32, context)
+        with pytest.raises(VerifyError, match="already bound"):
+            var.verify(f64, context)
+
+    def test_base_checked_on_first_use(self):
+        var = C.VarConstraint("T", C.EqConstraint(f32))
+        with pytest.raises(VerifyError):
+            var.verify(f64, cctx())
+
+    def test_infer_requires_binding(self):
+        var = C.VarConstraint("T", C.AnyTypeConstraint())
+        with pytest.raises(CannotInfer):
+            var.infer(cctx())
+        context = cctx()
+        var.verify(f32, context)
+        assert var.infer(context) is f32
+
+    def test_variables_reported(self):
+        var = C.VarConstraint("T", C.AnyTypeConstraint())
+        outer = C.AnyOfConstraint([var, C.EqConstraint(f32)])
+        assert outer.variables() == {"T"}
+
+
+def make_parametric():
+    binding = AttrDefBinding(
+        "d.pair",
+        is_type=True,
+        parameter_names=("first", "second"),
+        constructor=lambda params: __import__(
+            "repro.ir.attributes", fromlist=["DynamicTypeAttribute"]
+        ).DynamicTypeAttribute(binding, params),
+    )
+    return binding
+
+
+class TestBaseAndParametric:
+    def test_base_matches_by_name(self):
+        binding = make_parametric()
+        instance = binding.instantiate([f32, f64])
+        C.BaseConstraint(binding).verify(instance, cctx())
+        with pytest.raises(VerifyError):
+            C.BaseConstraint(binding).verify(f32, cctx())
+
+    def test_parametric_checks_params(self):
+        binding = make_parametric()
+        constraint = C.ParametricConstraint(
+            binding, [C.EqConstraint(f32), C.AnyTypeConstraint()]
+        )
+        constraint.verify(binding.instantiate([f32, i32]), cctx())
+        with pytest.raises(VerifyError, match="parameter #0"):
+            constraint.verify(binding.instantiate([f64, i32]), cctx())
+
+    def test_parametric_infer_reconstructs(self):
+        binding = make_parametric()
+        var = C.VarConstraint("T", C.AnyTypeConstraint())
+        constraint = C.ParametricConstraint(binding, [C.EqConstraint(f32), var])
+        context = cctx()
+        var.verify(i32, context)
+        assert constraint.infer(context) == binding.instantiate([f32, i32])
+
+
+class TestParameterConstraints:
+    @given(st.integers(-(2**31), 2**31 - 1))
+    def test_int_type_constraint_accepts_width(self, value):
+        C.IntTypeConstraint(32, True).verify(IntegerParam(value, 32, True), cctx())
+
+    def test_int_type_constraint_rejects_other_widths(self):
+        with pytest.raises(VerifyError):
+            C.IntTypeConstraint(32, True).verify(IntegerParam(1, 64, True), cctx())
+        with pytest.raises(VerifyError):
+            C.IntTypeConstraint(32, True).verify(IntegerParam(1, 32, False), cctx())
+
+    def test_int_literal(self):
+        constraint = C.IntLiteralConstraint(3, 32, True)
+        constraint.verify(IntegerParam(3, 32, True), cctx())
+        with pytest.raises(VerifyError):
+            constraint.verify(IntegerParam(4, 32, True), cctx())
+        assert constraint.infer(cctx()) == IntegerParam(3, 32, True)
+
+    def test_strings(self):
+        C.AnyStringConstraint().verify(StringParam("x"), cctx())
+        with pytest.raises(VerifyError):
+            C.AnyStringConstraint().verify(IntegerParam(1), cctx())
+        C.StringLiteralConstraint("foo").verify(StringParam("foo"), cctx())
+        with pytest.raises(VerifyError):
+            C.StringLiteralConstraint("foo").verify(StringParam("bar"), cctx())
+
+    def test_floats_locations_typeids(self):
+        C.AnyFloatConstraint(64).verify(FloatParam(1.0, 64), cctx())
+        with pytest.raises(VerifyError):
+            C.AnyFloatConstraint(64).verify(FloatParam(1.0, 32), cctx())
+        C.LocationConstraint().verify(LocationParam("f", 1, 1), cctx())
+        C.TypeIdConstraint().verify(TypeIdParam("a.B"), cctx())
+
+    def test_enum_constraints(self):
+        any_ctor = C.EnumConstraint(SIGNEDNESS)
+        any_ctor.verify(EnumParam("d.signedness", "Signed"), cctx())
+        with pytest.raises(VerifyError):
+            any_ctor.verify(EnumParam("other.enum", "Signed"), cctx())
+        one = C.EnumConstructorConstraint(SIGNEDNESS, "Signed")
+        one.verify(EnumParam("d.signedness", "Signed"), cctx())
+        with pytest.raises(VerifyError):
+            one.verify(EnumParam("d.signedness", "Unsigned"), cctx())
+        assert one.infer(cctx()) == EnumParam("d.signedness", "Signed")
+
+    @given(st.lists(st.integers(-100, 100), max_size=5))
+    def test_array_all(self, values):
+        array = ArrayParam(tuple(IntegerParam(v, 32, True) for v in values))
+        C.ArrayAnyConstraint(C.IntTypeConstraint(32, True)).verify(array, cctx())
+
+    def test_array_all_rejects_bad_element(self):
+        array = ArrayParam((IntegerParam(1), StringParam("x")))
+        with pytest.raises(VerifyError, match="element #1"):
+            C.ArrayAnyConstraint(C.IntTypeConstraint(32, True)).verify(
+                array, cctx()
+            )
+
+    def test_array_exact(self):
+        constraint = C.ArrayExactConstraint(
+            [C.AnyTypeConstraint(), C.AnyStringConstraint()]
+        )
+        constraint.verify(ArrayParam((f32, StringParam("s"))), cctx())
+        with pytest.raises(VerifyError, match="2 elements"):
+            constraint.verify(ArrayParam((f32,)), cctx())
+
+    def test_typed_attr_shorthands(self):
+        from repro.builtin import FloatAttr, IntegerAttr, i32 as int32
+
+        C.FloatAttrConstraint(32).verify(FloatAttr(1.0, f32), cctx())
+        with pytest.raises(VerifyError):
+            C.FloatAttrConstraint(32).verify(FloatAttr(1.0, f64), cctx())
+        C.IntegerAttrConstraint(32).verify(IntegerAttr(1, int32), cctx())
+        with pytest.raises(VerifyError):
+            C.IntegerAttrConstraint(64).verify(IntegerAttr(1, int32), cctx())
+
+
+class TestPyConstraint:
+    def test_predicate_refines_base(self):
+        bounded = C.PyConstraint(
+            "Bounded", C.IntTypeConstraint(32, False), "$_self <= 32"
+        )
+        bounded.verify(IntegerParam(32, 32, False), cctx())
+        with pytest.raises(VerifyError, match="Bounded"):
+            bounded.verify(IntegerParam(33, 32, False), cctx())
+
+    def test_base_still_enforced(self):
+        bounded = C.PyConstraint(
+            "Bounded", C.IntTypeConstraint(32, False), "$_self <= 32"
+        )
+        with pytest.raises(VerifyError):
+            bounded.verify(StringParam("x"), cctx())
+
+    def test_param_wrapper(self):
+        constraint = C.ParamWrapperConstraint("StringParam", "char*")
+        constraint.verify(OpaqueParam("char*", "hello"), cctx())
+        with pytest.raises(VerifyError):
+            constraint.verify(OpaqueParam("other", "hello"), cctx())
+        with pytest.raises(VerifyError):
+            constraint.verify(StringParam("hello"), cctx())
+
+    def test_satisfied_by_helper(self):
+        assert C.EqConstraint(f32).satisfied_by(f32)
+        assert not C.EqConstraint(f32).satisfied_by(f64)

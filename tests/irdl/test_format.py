@@ -1,0 +1,213 @@
+"""Declarative assembly formats (§4.7): derived parsers and printers."""
+
+import pytest
+
+from repro.builtin import default_context, f32, f64
+from repro.ir import Block, VerifyError
+from repro.irdl import register_irdl
+from repro.irdl.format import FormatError
+from repro.textir import parse_module, print_op
+from repro.utils import DiagnosticError
+
+
+@pytest.fixture
+def fctx(cmath_ctx):
+    return cmath_ctx
+
+
+def complex_of(ctx, element):
+    return ctx.make_type("cmath.complex", [element])
+
+
+class TestPrinting:
+    def test_mul_prints_custom_format(self, fctx):
+        ty = complex_of(fctx, f32)
+        block = Block([ty, ty])
+        op = fctx.create_operation("cmath.mul", operands=list(block.args),
+                                   result_types=[ty])
+        assert print_op(op) == "%0 = cmath.mul %1, %2 : f32"
+
+    def test_norm_prints_custom_format(self, fctx):
+        ty = complex_of(fctx, f64)
+        block = Block([ty])
+        op = fctx.create_operation("cmath.norm", operands=list(block.args),
+                                   result_types=[f64])
+        assert print_op(op) == "%0 = cmath.norm %1 : f64"
+
+
+class TestParsing:
+    def test_mul_reconstructs_types_from_element(self, fctx):
+        module = parse_module(fctx, """
+        "func.func"() ({
+        ^bb0(%p: !cmath.complex<f64>, %q: !cmath.complex<f64>):
+          %r = cmath.mul %p, %q : f64
+          "func.return"() : () -> ()
+        }) {sym_name = "m", function_type = (!cmath.complex<f64>,
+            !cmath.complex<f64>) -> ()} : () -> ()
+        """)
+        module.verify()
+        mul = next(op for op in module.walk() if op.name == "cmath.mul")
+        assert mul.results[0].type == complex_of(fctx, f64)
+
+    def test_norm_binds_var_from_type(self, fctx):
+        module = parse_module(fctx, """
+        "func.func"() ({
+        ^bb0(%p: !cmath.complex<f32>):
+          %n = cmath.norm %p : f32
+          "func.return"(%n) : (f32) -> ()
+        }) {sym_name = "n", function_type = (!cmath.complex<f32>) -> f32}
+           : () -> ()
+        """)
+        module.verify()
+        norm = next(op for op in module.walk() if op.name == "cmath.norm")
+        assert norm.results[0].type == f32
+        assert norm.operands[0].type == complex_of(fctx, f32)
+
+    def test_missing_literal_rejected(self, fctx):
+        with pytest.raises(DiagnosticError):
+            parse_module(fctx, """
+            "func.func"() ({
+            ^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+              %r = cmath.mul %p %q : f32
+              "func.return"() : () -> ()
+            }) {sym_name = "m", function_type = (!cmath.complex<f32>,
+                !cmath.complex<f32>) -> ()} : () -> ()
+            """)
+
+    def test_operand_type_checked_against_reconstruction(self, fctx):
+        # %p has element f32 but the format says f64.
+        with pytest.raises(DiagnosticError, match="type"):
+            parse_module(fctx, """
+            "func.func"() ({
+            ^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+              %r = cmath.mul %p, %q : f64
+              "func.return"() : () -> ()
+            }) {sym_name = "m", function_type = (!cmath.complex<f32>,
+                !cmath.complex<f32>) -> ()} : () -> ()
+            """)
+
+    def test_roundtrip_through_custom_format(self, fctx):
+        text = """
+        "func.func"() ({
+        ^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+          %m = cmath.mul %p, %q : f32
+          %n = cmath.norm %m : f32
+          "func.return"(%n) : (f32) -> ()
+        }) {sym_name = "f", function_type = (!cmath.complex<f32>,
+            !cmath.complex<f32>) -> f32} : () -> ()
+        """
+        module = parse_module(fctx, text)
+        once = print_op(module)
+        again = print_op(parse_module(fctx.clone(), once))
+        assert once == again
+        assert "cmath.mul %p, %q : f32" in once
+
+
+class TestFormatValidation:
+    def register(self, text):
+        return register_irdl(default_context(), text)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(FormatError, match="unknown name"):
+            self.register("""
+            Dialect d {
+              Operation op { Operands (a: !f32) Format "$a, $ghost" }
+            }
+            """)
+
+    def test_uninferable_type_rejected(self):
+        with pytest.raises(FormatError, match="cannot be inferred"):
+            self.register("""
+            Dialect d {
+              Operation op { Operands (a: !AnyType) Format "$a" }
+            }
+            """)
+
+    def test_unmentioned_operand_rejected(self):
+        with pytest.raises(FormatError, match="does not mention"):
+            self.register("""
+            Dialect d {
+              Operation op { Operands (a: !f32, b: !f32) Format "$a" }
+            }
+            """)
+
+    def test_variadic_operands_unsupported(self):
+        with pytest.raises(FormatError, match="non-variadic"):
+            self.register("""
+            Dialect d {
+              Operation op {
+                Operands (a: Variadic<!f32>)
+                Format "$a"
+              }
+            }
+            """)
+
+    def test_region_ops_cannot_declare_formats(self):
+        with pytest.raises(FormatError, match="regions or successors"):
+            self.register("""
+            Dialect d {
+              Operation op {
+                Region body {
+                }
+                Format "body"
+              }
+            }
+            """)
+
+    def test_terminators_cannot_declare_formats(self):
+        with pytest.raises(FormatError, match="regions or successors"):
+            self.register("""
+            Dialect d {
+              Operation op {
+                Operands (c: !i1)
+                Successors (a, b)
+                Format "$c"
+              }
+            }
+            """)
+
+    def test_eq_constrained_types_need_no_annotation(self):
+        ctx = default_context()
+        register_irdl(ctx, """
+        Dialect d {
+          Operation pin {
+            Operands (a: !f32)
+            Results (r: !f32)
+            Format "$a"
+          }
+        }
+        """)
+        block = Block([f32])
+        op = ctx.create_operation("d.pin", operands=list(block.args),
+                                  result_types=[f32])
+        assert print_op(op) == "%0 = d.pin %1"
+
+    def test_attribute_directive(self):
+        ctx = default_context()
+        register_irdl(ctx, """
+        Dialect d {
+          Operation tagged {
+            Attributes (tag: string_attr)
+            Format "$tag"
+          }
+        }
+        """)
+        module = parse_module(ctx, '"builtin.module"() ({ d.tagged "hello" }) : () -> ()')
+        op = next(op for op in module.walk() if op.name == "d.tagged")
+        assert op.attributes["tag"].data == "hello"
+        assert 'd.tagged "hello"' in print_op(module)
+
+    def test_keyword_literals(self):
+        ctx = default_context()
+        register_irdl(ctx, """
+        Dialect d {
+          Operation move {
+            Operands (src: !f32, dst: !f32)
+            Format "$src to $dst"
+          }
+        }
+        """)
+        block = Block([f32, f32])
+        op = ctx.create_operation("d.move", operands=list(block.args))
+        text = print_op(op)
+        assert text == "d.move %0 to %1"

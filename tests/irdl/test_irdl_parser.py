@@ -1,0 +1,234 @@
+"""IRDL surface-syntax parsing (§4, Listings 3-11)."""
+
+import pytest
+
+from repro.irdl import ast, parse_irdl
+from repro.utils import DiagnosticError
+
+
+def parse_one(text):
+    (decl,) = parse_irdl(text)
+    return decl
+
+
+class TestDialects:
+    def test_empty_dialect(self):
+        decl = parse_one("Dialect d {}")
+        assert decl.name == "d"
+        assert not decl.operations
+
+    def test_multiple_dialects_per_file(self):
+        decls = parse_irdl("Dialect a {} Dialect b {}")
+        assert [d.name for d in decls] == ["a", "b"]
+
+    def test_unknown_declaration_rejected(self):
+        with pytest.raises(DiagnosticError, match="unknown declaration"):
+            parse_one("Dialect d { Bogus x {} }")
+
+
+class TestTypeDecls:
+    def test_listing3_complex(self):
+        decl = parse_one("""
+        Dialect cmath {
+          Type complex {
+            Parameters (elementType: !FloatType)
+            Summary "A complex number"
+          }
+        }
+        """)
+        (complex_type,) = decl.types
+        assert complex_type.name == "complex"
+        assert complex_type.summary == "A complex number"
+        (param,) = complex_type.parameters
+        assert param.name == "elementType"
+        assert isinstance(param.constraint, ast.RefExpr)
+        assert param.constraint.sigil == "!"
+
+    def test_attribute_keyword(self):
+        decl = parse_one("Dialect d { Attribute a { Parameters (v: string) } }")
+        assert decl.attributes[0].is_type is False
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(DiagnosticError, match="duplicate Parameters"):
+            parse_one("""
+            Dialect d { Type t { Parameters (a: !f32) Parameters (b: !f32) } }
+            """)
+
+    def test_py_and_cpp_spellings_accepted(self):
+        decl = parse_one("""
+        Dialect d {
+          Type a { PyConstraint "1" }
+          Type b { CppConstraint "2" }
+        }
+        """)
+        assert decl.types[0].py_constraints == ["1"]
+        assert decl.types[1].py_constraints == ["2"]
+
+
+class TestOperationDecls:
+    def test_listing3_mul(self):
+        decl = parse_one("""
+        Dialect cmath {
+          Operation mul {
+            ConstraintVar (!T: !complex<FloatType>)
+            Operands (lhs: !T, rhs: !T)
+            Results (res: !T)
+            Format "$lhs, $rhs : $T.elementType"
+            Summary "Multiply two complex numbers"
+          }
+        }
+        """)
+        (mul,) = decl.operations
+        assert [v.name for v in mul.constraint_vars] == ["T"]
+        assert [o.name for o in mul.operands] == ["lhs", "rhs"]
+        assert [r.name for r in mul.results] == ["res"]
+        assert mul.format == "$lhs, $rhs : $T.elementType"
+        assert not mul.is_terminator
+
+    def test_empty_operation(self):
+        decl = parse_one("Dialect d { Operation nop {} }")
+        assert decl.operations[0].name == "nop"
+
+    def test_variadic_and_optional(self):
+        decl = parse_one("""
+        Dialect d {
+          Operation op {
+            Operands (xs: Variadic<!AnyType>, y: Optional<!f32>)
+          }
+        }
+        """)
+        xs, y = decl.operations[0].operands
+        assert xs.variadicity is ast.Variadicity.VARIADIC
+        assert y.variadicity is ast.Variadicity.OPTIONAL
+
+    def test_variadic_attribute_rejected(self):
+        with pytest.raises(DiagnosticError, match="only allowed"):
+            parse_one("""
+            Dialect d { Operation op { Attributes (a: Variadic<#AnyAttr>) } }
+            """)
+
+    def test_successors_listing8(self):
+        decl = parse_one("""
+        Dialect d {
+          Operation conditional_branch {
+            Operands (condition: !i1)
+            Successors (next_bb_true, next_bb_false)
+          }
+        }
+        """)
+        op = decl.operations[0]
+        assert op.successors == ["next_bb_true", "next_bb_false"]
+        assert op.is_terminator
+
+    def test_empty_successors_marks_terminator(self):
+        decl = parse_one("Dialect d { Operation ret { Successors () } }")
+        assert decl.operations[0].is_terminator
+        assert decl.operations[0].successors == []
+
+    def test_region_listing7(self):
+        decl = parse_one("""
+        Dialect d {
+          Operation range_loop {
+            Operands (lb: !i32, ub: !i32, step: !i32)
+            Region body {
+              Arguments (induction_variable: !i32)
+              Terminator range_loop_terminator
+            }
+          }
+        }
+        """)
+        (region,) = decl.operations[0].regions
+        assert region.name == "body"
+        assert region.arguments[0].name == "induction_variable"
+        assert region.terminator == "range_loop_terminator"
+
+    def test_constraint_vars_plural_spelling(self):
+        decl = parse_one("""
+        Dialect d {
+          Operation op { ConstraintVars (T: !AnyType, U: !AnyType) }
+        }
+        """)
+        assert len(decl.operations[0].constraint_vars) == 2
+
+
+class TestAliasEnumConstraint:
+    def test_simple_alias(self):
+        decl = parse_one("Dialect d { Alias !F = !AnyOf<!f32, !f64> }")
+        (alias,) = decl.aliases
+        assert alias.name == "F" and alias.sigil == "!"
+        assert not alias.type_params
+
+    def test_parametric_alias_listing4(self):
+        decl = parse_one(
+            "Dialect d { Alias !ComplexOr<T> = AnyOf<!complex<!AnyType>, T> }"
+        )
+        (alias,) = decl.aliases
+        assert alias.type_params == ["T"]
+
+    def test_enum_listing9(self):
+        decl = parse_one(
+            "Dialect d { Enum signedness { Signless, Signed, Unsigned } }"
+        )
+        assert decl.enums[0].constructors == ["Signless", "Signed", "Unsigned"]
+
+    def test_constraint_listing10(self):
+        decl = parse_one("""
+        Dialect d {
+          Constraint BoundedInteger : uint32_t {
+            Summary "integer value between 0 and 32"
+            CppConstraint "$_self <= 32"
+          }
+        }
+        """)
+        (constraint,) = decl.constraints
+        assert constraint.name == "BoundedInteger"
+        assert constraint.py_constraint == "$_self <= 32"
+
+    def test_type_or_attr_param_listing11(self):
+        decl = parse_one("""
+        Dialect d {
+          TypeOrAttrParam StringParam {
+            Summary "A string parameter"
+            CppClassName "char*"
+            CppParser "parseStringParam($self)"
+            CppPrinter "printStringParam($self)"
+          }
+        }
+        """)
+        (wrapper,) = decl.param_wrappers
+        assert wrapper.py_class_name == "char*"
+        assert "$self" in wrapper.py_parser
+
+
+class TestConstraintExpressions:
+    def parse_expr(self, text):
+        decl = parse_one(f"Dialect d {{ Type t {{ Parameters (p: {text}) }} }}")
+        return decl.types[0].parameters[0].constraint
+
+    def test_int_literal_with_type(self):
+        expr = self.parse_expr("3 : int32_t")
+        assert isinstance(expr, ast.IntLiteralExpr)
+        assert expr.value == 3 and expr.type_name == "int32_t"
+
+    def test_negative_int_literal(self):
+        assert self.parse_expr("-5").value == -5
+
+    def test_string_literal(self):
+        assert self.parse_expr('"foo"').value == "foo"
+
+    def test_list_expr(self):
+        expr = self.parse_expr("[!AnyType, string]")
+        assert isinstance(expr, ast.ListExpr) and len(expr.elements) == 2
+
+    def test_nested_params(self):
+        expr = self.parse_expr("AnyOf<!complex<!AnyType>, !f32>")
+        assert expr.name == "AnyOf" and len(expr.params) == 2
+        assert expr.params[0].params[0].name == "AnyType"
+
+    def test_dotted_bare_ref(self):
+        expr = self.parse_expr("signedness.Signed")
+        assert expr.name == "signedness.Signed" and expr.sigil is None
+
+    def test_empty_params(self):
+        expr = self.parse_expr("array<>")
+        assert expr.params == []

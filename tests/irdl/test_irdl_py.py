@@ -1,0 +1,181 @@
+"""IRDL-Py (§5): embedded predicates, accessors, parameter wrappers."""
+
+import pytest
+
+from repro.builtin import default_context, f32
+from repro.ir import Block, IntegerParam, OpaqueParam, VerifyError
+from repro.irdl import register_irdl
+from repro.irdl.irdl_py import (
+    AttrProxy,
+    OpProxy,
+    compile_param_hook,
+    compile_predicate,
+    translate_code,
+)
+
+APPEND_VECTOR = """
+Dialect vec {
+  Constraint BoundedInteger : uint32_t {
+    Summary "integer value between 0 and 32"
+    PyConstraint "$_self <= 32"
+  }
+  Type BoundedVector {
+    Parameters (typ: !AnyType, size: BoundedInteger)
+  }
+  Operation append_vector {
+    ConstraintVars (T: !AnyType)
+    Operands (lhs: BoundedVector<T, BoundedInteger>,
+              rhs: BoundedVector<T, BoundedInteger>)
+    Results (res: BoundedVector<T, BoundedInteger>)
+    PyConstraint "$_self.lhs().size() + $_self.rhs().size() ==
+                  $_self.res().size()"
+  }
+}
+"""
+
+
+@pytest.fixture
+def vec_ctx():
+    ctx = default_context()
+    register_irdl(ctx, APPEND_VECTOR.replace("\n                  ", " "))
+    return ctx
+
+
+def bvec(ctx, size, element=f32):
+    return ctx.make_type("vec.BoundedVector",
+                         [element, IntegerParam(size, 32, False)])
+
+
+class TestTranslation:
+    def test_self_spellings(self):
+        assert translate_code("$_self.x + $self.y") == "_self.x + _self.y"
+
+    def test_predicate_over_raw_int(self):
+        predicate = compile_predicate("$_self <= 32")
+        assert predicate(IntegerParam(4, 32, False))
+        assert not predicate(IntegerParam(64, 32, False))
+
+    def test_param_hook(self):
+        hook = compile_param_hook("len($self)")
+        assert hook("abcd") == 4
+
+
+class TestListing10:
+    def test_bounded_vector_constraint(self, vec_ctx):
+        assert bvec(vec_ctx, 32) is not None
+        with pytest.raises(VerifyError, match="BoundedInteger"):
+            bvec(vec_ctx, 33)
+
+    def test_append_vector_size_invariant(self, vec_ctx):
+        block = Block([bvec(vec_ctx, 2), bvec(vec_ctx, 3)])
+        good = vec_ctx.create_operation(
+            "vec.append_vector", operands=list(block.args),
+            result_types=[bvec(vec_ctx, 5)],
+        )
+        good.verify()
+        bad = vec_ctx.create_operation(
+            "vec.append_vector", operands=list(block.args),
+            result_types=[bvec(vec_ctx, 6)],
+        )
+        with pytest.raises(VerifyError, match="PyConstraint violated"):
+            bad.verify()
+
+    def test_element_type_unified(self, vec_ctx):
+        from repro.builtin import i32
+
+        block = Block([bvec(vec_ctx, 2, f32), bvec(vec_ctx, 3, i32)])
+        mixed = vec_ctx.create_operation(
+            "vec.append_vector", operands=list(block.args),
+            result_types=[bvec(vec_ctx, 5, f32)],
+        )
+        with pytest.raises(VerifyError, match="already bound"):
+            mixed.verify()
+
+
+class TestProxies:
+    def test_attr_proxy_param_accessors(self, vec_ctx):
+        proxy = AttrProxy(bvec(vec_ctx, 4))
+        assert proxy.size() == 4
+        assert proxy.size == 4  # attribute style also works
+
+    def test_attr_proxy_unknown_accessor(self, vec_ctx):
+        proxy = AttrProxy(bvec(vec_ctx, 4))
+        with pytest.raises(AttributeError, match="no parameter or member"):
+            proxy.nothing_here
+
+    def test_op_proxy_accessors(self, vec_ctx):
+        block = Block([bvec(vec_ctx, 2), bvec(vec_ctx, 3)])
+        op = vec_ctx.create_operation(
+            "vec.append_vector", operands=list(block.args),
+            result_types=[bvec(vec_ctx, 5)],
+        )
+        proxy = OpProxy(op, vec_ctx.get_op_def("vec.append_vector").op_def)
+        assert proxy.lhs().size() == 2
+        assert proxy.rhs().size() == 3
+        assert proxy.res().size() == 5
+
+    def test_op_proxy_attribute_accessor(self):
+        ctx = default_context()
+        register_irdl(ctx, """
+        Dialect d {
+          Operation tagged {
+            Attributes (tag: string_attr)
+            PyConstraint "len($_self.tag()) > 0"
+          }
+        }
+        """)
+        from repro.builtin import StringAttr
+
+        good = ctx.create_operation("d.tagged",
+                                    attributes={"tag": StringAttr("x")})
+        good.verify()
+        bad = ctx.create_operation("d.tagged",
+                                   attributes={"tag": StringAttr("")})
+        with pytest.raises(VerifyError):
+            bad.verify()
+
+    def test_op_proxy_bad_accessor_reported(self):
+        ctx = default_context()
+        register_irdl(ctx, """
+        Dialect d {
+          Operation broken { PyConstraint "$_self.missing() == 1" }
+        }
+        """)
+        op = ctx.create_operation("d.broken")
+        with pytest.raises(VerifyError, match="accessor error"):
+            op.verify()
+
+
+class TestTypeVerifiers:
+    def test_type_level_predicate(self):
+        ctx = default_context()
+        register_irdl(ctx, """
+        Dialect d {
+          Type even_vector {
+            Parameters (size: uint32_t)
+            PyConstraint "$_self.size() % 2 == 0"
+          }
+        }
+        """)
+        ctx.make_type("d.even_vector", [IntegerParam(4, 32, False)])
+        with pytest.raises(VerifyError, match="PyConstraint"):
+            ctx.make_type("d.even_vector", [IntegerParam(3, 32, False)])
+
+
+class TestParamWrappers:
+    def test_wrapper_accepts_matching_opaque(self):
+        ctx = default_context()
+        register_irdl(ctx, """
+        Dialect d {
+          TypeOrAttrParam StringParam {
+            PyClassName "str"
+            PyParser "parse_string_param($self)"
+            PyPrinter "print_string_param($self)"
+          }
+          Attribute wrapped { Parameters (data: StringParam) }
+        }
+        """)
+        attr = ctx.make_attr("d.wrapped", [OpaqueParam("str", "payload")])
+        assert attr.param("data").value == "payload"
+        with pytest.raises(VerifyError):
+            ctx.make_attr("d.wrapped", [OpaqueParam("int", 3)])

@@ -1,0 +1,106 @@
+"""IRDL parser error paths: every malformed spec gets a located message."""
+
+import pytest
+
+from repro.irdl import parse_irdl
+from repro.utils import DiagnosticError
+
+
+def error_of(text):
+    with pytest.raises(DiagnosticError) as excinfo:
+        parse_irdl(text)
+    return str(excinfo.value)
+
+
+class TestTopLevel:
+    def test_missing_dialect_keyword(self):
+        assert "expected 'Dialect'" in error_of("Type t {}")
+
+    def test_missing_dialect_name(self):
+        assert "dialect name" in error_of("Dialect {")
+
+    def test_unclosed_dialect(self):
+        assert "declaration" in error_of("Dialect d {")
+
+    def test_error_carries_location(self):
+        message = error_of("Dialect d {\n  Bogus x {}\n}")
+        assert ":2:" in message and "^" in message
+
+
+class TestTypeDecls:
+    def test_missing_parameter_colon(self):
+        assert "':'" in error_of("Dialect d { Type t { Parameters (a !f32) } }")
+
+    def test_summary_requires_string(self):
+        assert "summary string" in error_of(
+            "Dialect d { Type t { Summary 42 } }"
+        )
+
+    def test_unknown_type_directive(self):
+        assert "unknown directive" in error_of(
+            "Dialect d { Type t { Operands (a: !f32) } }"
+        )
+
+
+class TestOperationDecls:
+    def test_unknown_op_directive(self):
+        assert "unknown directive 'Parameter'" in error_of(
+            "Dialect d { Operation o { Parameter (a: !f32) } }"
+        )
+
+    def test_format_requires_string(self):
+        assert "format string" in error_of(
+            "Dialect d { Operation o { Format fmt } }"
+        )
+
+    def test_region_requires_name(self):
+        assert "region name" in error_of(
+            "Dialect d { Operation o { Region { } } }"
+        )
+
+    def test_unknown_region_directive(self):
+        assert "unknown directive" in error_of(
+            "Dialect d { Operation o { Region r { Operands (a: !f32) } } }"
+        )
+
+    def test_successor_names_are_bare(self):
+        assert "successor name" in error_of(
+            "Dialect d { Operation o { Successors (!x) } }"
+        )
+
+
+class TestConstraintExprs:
+    def test_unterminated_params(self):
+        assert "expected" in error_of(
+            "Dialect d { Type t { Parameters (a: AnyOf<!f32) } }"
+        )
+
+    def test_empty_constraint_rejected(self):
+        assert "expected a constraint" in error_of(
+            "Dialect d { Type t { Parameters (a: ) } }"
+        )
+
+    def test_dangling_dot(self):
+        assert "name" in error_of(
+            "Dialect d { Type t { Parameters (a: signedness.) } }"
+        )
+
+    def test_int_literal_type_must_be_ident(self):
+        assert "integer type" in error_of(
+            "Dialect d { Type t { Parameters (a: 3 : 4) } }"
+        )
+
+
+class TestStringsAndLexing:
+    def test_unterminated_string(self):
+        assert "unterminated" in error_of('Dialect d { Type t { Summary "oops } }')
+
+    def test_stray_character(self):
+        assert "unexpected character" in error_of("Dialect d { ; }")
+
+    def test_escaped_quotes_in_code(self):
+        (decl,) = parse_irdl(
+            'Dialect d { Constraint c : string '
+            '{ PyConstraint "$_self != \\"no\\"" } }'
+        )
+        assert decl.constraints[0].py_constraint == '$_self != "no"'

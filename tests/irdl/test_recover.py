@@ -1,0 +1,100 @@
+"""Recovery of IRDL from native dialects by verifier probing (§6.1)."""
+
+import pytest
+
+from repro.builtin import default_context, f32, f64, i32
+from repro.ir import Block, VerifyError
+from repro.irdl import ast, register_irdl
+from repro.irdl.recover import recover_dialect, recover_dialect_source
+
+
+@pytest.fixture(scope="module")
+def recovered_math():
+    return recover_dialect(default_context(), "math")
+
+
+@pytest.fixture(scope="module")
+def recovered_arith():
+    return recover_dialect(default_context(), "arith")
+
+
+class TestProbing:
+    def test_unary_float_signature(self, recovered_math):
+        sqrt = next(op for op in recovered_math.operations if op.name == "sqrt")
+        assert len(sqrt.operands) == 1 and len(sqrt.results) == 1
+
+    def test_same_type_constraint_recovered(self, recovered_math):
+        sqrt = next(op for op in recovered_math.operations if op.name == "sqrt")
+        assert [v.name for v in sqrt.constraint_vars] == ["T"]
+        assert sqrt.operands[0].constraint.name == "T"
+        assert sqrt.results[0].constraint.name == "T"
+
+    def test_binary_integer_signature(self, recovered_arith):
+        addi = next(op for op in recovered_arith.operations if op.name == "addi")
+        assert len(addi.operands) == 2 and len(addi.results) == 1
+        assert addi.constraint_vars  # same-type detected
+
+    def test_palette_generalization(self, recovered_arith):
+        addi = next(op for op in recovered_arith.operations if op.name == "addi")
+        var = addi.constraint_vars[0]
+        assert var.constraint.name == "AnyOf"
+        names = {p.name for p in var.constraint.params}
+        assert {"i1", "i32", "i64", "index"} <= names
+        assert "f32" not in names
+
+    def test_unprobeable_marked(self, recovered_arith):
+        constant = next(
+            op for op in recovered_arith.operations if op.name == "constant"
+        )
+        assert "not probeable" in constant.summary
+        assert not constant.operands
+
+    def test_terminator_flag_preserved(self):
+        decl = recover_dialect(default_context(), "cf")
+        br = next(op for op in decl.operations if op.name == "br")
+        assert br.is_terminator
+
+
+class TestRoundTrip:
+    def test_recovered_source_reregisters(self):
+        source = recover_dialect_source(default_context(), "math")
+        ctx = default_context()
+        register_irdl(ctx, source.replace("Dialect math", "Dialect math2"))
+        block = Block([f64])
+        op = ctx.create_operation("math2.exp", operands=list(block.args),
+                                  result_types=[f64])
+        op.verify()
+
+    def test_recovered_spec_preserves_rejections(self):
+        source = recover_dialect_source(default_context(), "math")
+        ctx = default_context()
+        register_irdl(ctx, source.replace("Dialect math", "Dialect math2"))
+        block = Block([i32])
+        bad = ctx.create_operation("math2.absf", operands=list(block.args),
+                                   result_types=[i32])
+        with pytest.raises(VerifyError):
+            bad.verify()
+        mixed_block = Block([f32])
+        mixed = ctx.create_operation("math2.absf",
+                                     operands=list(mixed_block.args),
+                                     result_types=[f64])
+        with pytest.raises(VerifyError):
+            mixed.verify()
+
+    def test_irdl_dialects_refuse_recovery(self, cmath_ctx):
+        with pytest.raises(ValueError, match="already IRDL-defined"):
+            recover_dialect(cmath_ctx, "cmath")
+
+    def test_unknown_dialect(self):
+        with pytest.raises(ValueError, match="not registered"):
+            recover_dialect(default_context(), "ghost")
+
+    def test_builtin_types_and_enums_recovered(self):
+        decl = recover_dialect(default_context(), "builtin")
+        type_names = {t.name for t in decl.types}
+        assert "integer" in type_names and "tensor" in type_names
+        assert decl.enums[0].constructors == ["Signless", "Signed", "Unsigned"]
+        # Alias registrations (i32, f32, ...) are skipped only for attrs;
+        # singleton types remain as parameterless types.
+        attr_names = {a.name for a in decl.attributes}
+        assert "string" in attr_names and "string_attr" not in attr_names

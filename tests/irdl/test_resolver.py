@@ -1,0 +1,278 @@
+"""Name resolution: namespaces (§4.2), aliases (§4.5), enums (§4.8)."""
+
+import pytest
+
+from repro.builtin import default_context, f32, f64, i32
+from repro.ir import Context, EnumParam, IntegerParam
+from repro.irdl import constraints as C
+from repro.irdl import register_irdl
+from repro.irdl.resolver import ResolutionError, classify_param_kind
+
+
+def resolve_param(text, prelude=""):
+    """Register a dialect with one parametrized type; return the constraint."""
+    ctx = default_context()
+    (dialect,) = register_irdl(ctx, f"""
+    Dialect d {{
+      {prelude}
+      Type probe {{ Parameters (p: {text}) }}
+    }}
+    """)
+    return dialect.types[-1].parameters[0].constraint
+
+
+class TestBuiltinNames:
+    @pytest.mark.parametrize(
+        "text,cls",
+        [
+            ("!AnyType", C.AnyTypeConstraint),
+            ("#AnyAttr", C.AnyAttrConstraint),
+            ("AnyParam", C.AnyParamConstraint),
+            ("int32_t", C.IntTypeConstraint),
+            ("uint8_t", C.IntTypeConstraint),
+            ("float64_t", C.AnyFloatConstraint),
+            ("string", C.AnyStringConstraint),
+            ("location", C.LocationConstraint),
+            ("type_id", C.TypeIdConstraint),
+            ("array", C.ArrayAnyConstraint),
+            ("array<int32_t>", C.ArrayAnyConstraint),
+            ("[!AnyType, string]", C.ArrayExactConstraint),
+            ("AnyOf<!f32, !f64>", C.AnyOfConstraint),
+            ("And<int32_t, Not<0 : int32_t>>", C.AndConstraint),
+            ("f32_attr", C.FloatAttrConstraint),
+            ("i32_attr", C.IntegerAttrConstraint),
+            ("index_attr", C.IntegerAttrConstraint),
+        ],
+    )
+    def test_builtin_constraint_names(self, text, cls):
+        assert isinstance(resolve_param(text), cls)
+
+    def test_singleton_type_coerces_to_equality(self):
+        constraint = resolve_param("!f32")
+        assert isinstance(constraint, C.EqConstraint)
+        assert constraint.expected is f32
+
+    def test_builtin_prefix_optional(self):
+        # f32 is shorthand for builtin.f32 (§4.2).
+        assert resolve_param("!builtin.f32").expected is f32
+
+    def test_int_signedness_parsed(self):
+        constraint = resolve_param("uint16_t")
+        assert constraint.bitwidth == 16 and not constraint.signed
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ResolutionError, match="unknown name"):
+            resolve_param("!mystery")
+
+    def test_not_requires_one_operand(self):
+        with pytest.raises(ResolutionError):
+            resolve_param("Not<!f32, !f64>")
+
+    def test_any_of_requires_alternatives(self):
+        with pytest.raises(ResolutionError):
+            resolve_param("AnyOf")
+
+
+class TestOwnDialectNames:
+    def test_base_name_for_parametric_type(self):
+        constraint = resolve_param(
+            "!pair", prelude="Type pair { Parameters (a: !AnyType, b: !AnyType) }"
+        )
+        assert isinstance(constraint, C.BaseConstraint)
+        assert constraint.definition.qualified_name == "d.pair"
+
+    def test_parametrized_reference(self):
+        constraint = resolve_param(
+            "!pair<!f32, !f64>",
+            prelude="Type pair { Parameters (a: !AnyType, b: !AnyType) }",
+        )
+        assert isinstance(constraint, C.ParametricConstraint)
+        assert len(constraint.param_constraints) == 2
+
+    def test_param_arity_checked(self):
+        with pytest.raises(ResolutionError, match="2 parameters"):
+            resolve_param(
+                "!pair<!f32>",
+                prelude="Type pair { Parameters (a: !AnyType, b: !AnyType) }",
+            )
+
+    def test_qualified_self_reference(self):
+        constraint = resolve_param(
+            "!d.pair", prelude="Type pair { Parameters (a: !AnyType, b: !AnyType) }"
+        )
+        assert isinstance(constraint, C.BaseConstraint)
+
+    def test_sigil_free_reference(self):
+        # Listing 10 references types without sigils.
+        constraint = resolve_param(
+            "pair<!f32, !f64>",
+            prelude="Type pair { Parameters (a: !AnyType, b: !AnyType) }",
+        )
+        assert isinstance(constraint, C.ParametricConstraint)
+
+
+class TestAliases:
+    def test_simple_alias(self):
+        constraint = resolve_param(
+            "!FloatType", prelude="Alias !FloatType = !AnyOf<!f32, !f64>"
+        )
+        assert isinstance(constraint, C.AnyOfConstraint)
+
+    def test_parametric_alias_substitution(self):
+        constraint = resolve_param(
+            "!ComplexOr<!i32>",
+            prelude="""
+            Type complex { Parameters (e: !AnyType) }
+            Alias !ComplexOr<T> = AnyOf<!complex<!AnyType>, T>
+            """,
+        )
+        assert isinstance(constraint, C.AnyOfConstraint)
+        assert isinstance(constraint.alternatives[1], C.EqConstraint)
+        assert constraint.alternatives[1].expected == i32
+
+    def test_alias_arity_checked(self):
+        with pytest.raises(ResolutionError, match="expects 1 arguments"):
+            resolve_param(
+                "!ComplexOr",
+                prelude="Alias !ComplexOr<T> = AnyOf<!f32, T>",
+            )
+
+    def test_recursive_alias_rejected(self):
+        with pytest.raises(ResolutionError, match="recursively"):
+            resolve_param("!Loop", prelude="Alias !Loop = AnyOf<!f32, !Loop>")
+
+    def test_alias_to_alias(self):
+        constraint = resolve_param(
+            "!B",
+            prelude="""
+            Alias !A = !AnyOf<!f32, !f64>
+            Alias !B = !A
+            """,
+        )
+        assert isinstance(constraint, C.AnyOfConstraint)
+
+    def test_foreign_parametric_alias(self):
+        # A parametric alias in an IRDL "builtin" expands with arguments
+        # resolved against the *user's* namespace, body against its own.
+        ctx = Context()
+        register_irdl(ctx, """
+        Dialect builtin {
+          Type base {}
+          Type pair { Parameters (a: !AnyType, b: !AnyType) }
+          Alias !PairOf<T> = !pair<T, T>
+        }
+        """)
+        (user,) = register_irdl(ctx, """
+        Dialect d {
+          Type mine {}
+          Type probe { Parameters (p: !PairOf<!mine>) }
+        }
+        """)
+        constraint = user.types[-1].parameters[0].constraint
+        assert isinstance(constraint, C.ParametricConstraint)
+        assert constraint.definition.qualified_name == "builtin.pair"
+        inner = constraint.param_constraints[0]
+        assert isinstance(inner, C.EqConstraint)
+        assert inner.expected.attr_name == "d.mine"
+
+    def test_cross_dialect_alias(self):
+        # A dialect registered later can use another's aliases when
+        # referenced through the implicit namespaces — exercised with
+        # an IRDL-defined builtin in corpus loading; here we check the
+        # current-dialect path plus explicit qualification failure.
+        ctx = Context()
+        register_irdl(ctx, "Dialect builtin { Type f99 {} Alias !F = !f99 }")
+        (other,) = register_irdl(ctx, "Dialect d { Type t { Parameters (p: !F) } }")
+        constraint = other.types[0].parameters[0].constraint
+        assert isinstance(constraint, C.EqConstraint)
+
+
+class TestEnums:
+    PRELUDE = "Enum signedness { Signless, Signed, Unsigned }"
+
+    def test_enum_name_resolves_to_any_constructor(self):
+        constraint = resolve_param("signedness", prelude=self.PRELUDE)
+        assert isinstance(constraint, C.EnumConstraint)
+
+    def test_constructor_reference(self):
+        constraint = resolve_param("signedness.Signed", prelude=self.PRELUDE)
+        assert isinstance(constraint, C.EnumConstructorConstraint)
+        assert constraint.infer(None) == EnumParam("d.signedness", "Signed")
+
+    def test_unknown_constructor_rejected(self):
+        with pytest.raises(ResolutionError, match="no constructor"):
+            resolve_param("signedness.Diagonal", prelude=self.PRELUDE)
+
+    def test_builtin_enum_visible(self):
+        constraint = resolve_param("builtin.signedness")
+        assert isinstance(constraint, C.EnumConstraint)
+
+
+class TestNamedConstraintsAndWrappers:
+    def test_named_constraint_resolves(self):
+        constraint = resolve_param(
+            "Bounded",
+            prelude="""
+            Constraint Bounded : uint32_t { PyConstraint "$_self <= 32" }
+            """,
+        )
+        assert isinstance(constraint, C.PyConstraint)
+        constraint.verify(IntegerParam(4, 32, False), C.ConstraintContext())
+
+    def test_constraint_without_code_is_base(self):
+        constraint = resolve_param(
+            "JustBase", prelude="Constraint JustBase : uint32_t {}"
+        )
+        assert isinstance(constraint, C.IntTypeConstraint)
+
+    def test_wrapper_resolves(self):
+        constraint = resolve_param(
+            "StringParam",
+            prelude="""
+            TypeOrAttrParam StringParam { PyClassName "char*" }
+            """,
+        )
+        assert isinstance(constraint, C.ParamWrapperConstraint)
+
+    def test_forward_constraint_reference_rejected(self):
+        with pytest.raises(ResolutionError, match="before its declaration"):
+            resolve_param(
+                "Late",
+                prelude="""
+                Constraint Early : AnyOf<Late> {}
+                Constraint Late : uint32_t {}
+                """,
+            )
+
+
+class TestParamKindClassification:
+    @pytest.mark.parametrize(
+        "text,prelude,kind",
+        [
+            ("int32_t", "", "integer"),
+            ("string", "", "string"),
+            ("float32_t", "", "float"),
+            ("location", "", "location"),
+            ("type_id", "", "type id"),
+            ("!f32", "", "attr/type"),
+            ("!AnyType", "", "attr/type"),
+            ("array<int64_t>", "", "integer"),
+            ("signedness", "Enum signedness { A, B }", "enum"),
+        ],
+    )
+    def test_kinds(self, text, prelude, kind):
+        constraint = resolve_param(text, prelude=prelude)
+        assert classify_param_kind(constraint, "d") == kind
+
+    def test_wrapper_kind_uses_class_namespace(self):
+        constraint = resolve_param(
+            "MapParam",
+            prelude='TypeOrAttrParam MapParam { PyClassName "affine.Map" }',
+        )
+        assert classify_param_kind(constraint, "d") == "affine"
+
+    def test_wrapper_kind_bytes_is_string(self):
+        constraint = resolve_param(
+            "Buffer", prelude='TypeOrAttrParam Buffer { PyClassName "bytes" }'
+        )
+        assert classify_param_kind(constraint, "d") == "string"

@@ -1,0 +1,93 @@
+"""Property test: the sampler and verifier agree on random constraints."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.builtin import f32, f64, i1, i32, index
+from repro.ir.exceptions import VerifyError
+from repro.irdl import constraints as C
+from repro.irdl.constraints import ConstraintContext
+from repro.irdl.sampler import CannotSample, ConstraintSampler
+
+TYPES = (f32, f64, i1, i32, index)
+
+# ---------------------------------------------------------------------------
+# Random constraint trees
+# ---------------------------------------------------------------------------
+
+type_leaves = st.one_of(
+    st.sampled_from(TYPES).map(C.EqConstraint),
+    st.just(C.AnyTypeConstraint()),
+)
+
+param_leaves = st.one_of(
+    st.builds(C.IntTypeConstraint, st.sampled_from([8, 16, 32, 64]),
+              st.booleans()),
+    st.builds(C.IntLiteralConstraint, st.integers(-100, 100)),
+    st.just(C.AnyStringConstraint()),
+    st.builds(C.StringLiteralConstraint, st.text(alphabet="abc", max_size=4)),
+    st.builds(C.AnyFloatConstraint, st.sampled_from([32, 64])),
+)
+
+
+def constraint_trees(depth=2):
+    leaves = st.one_of(type_leaves, param_leaves)
+    if depth == 0:
+        return leaves
+    inner = constraint_trees(depth - 1)
+    return st.one_of(
+        leaves,
+        st.builds(lambda xs: C.AnyOfConstraint(xs),
+                  st.lists(inner, min_size=1, max_size=3)),
+        st.builds(lambda x: C.ArrayAnyConstraint(x), inner),
+        st.builds(lambda xs: C.ArrayExactConstraint(xs),
+                  st.lists(inner, min_size=0, max_size=3)),
+    )
+
+
+class TestSamplerVerifierAgreement:
+    @given(constraint_trees(), st.integers(0, 10_000))
+    @settings(max_examples=300, deadline=None)
+    def test_samples_always_verify(self, constraint, seed):
+        sampler = ConstraintSampler(random.Random(seed))
+        try:
+            value = sampler.sample(constraint)
+        except CannotSample:
+            return  # nothing claimed, nothing to check
+        # sample() self-checks, but assert independently with a fresh
+        # context to catch binding-leak bugs.
+        constraint.verify(value, ConstraintContext())
+
+    @given(st.lists(st.sampled_from(TYPES), min_size=1, max_size=3,
+                    unique_by=id),
+           st.integers(0, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_anyof_sample_is_member(self, alternatives, seed):
+        constraint = C.AnyOfConstraint(
+            [C.EqConstraint(t) for t in alternatives]
+        )
+        sampler = ConstraintSampler(random.Random(seed))
+        assert sampler.sample(constraint) in alternatives
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_var_constraint_consistency_under_resampling(self, seed):
+        var = C.VarConstraint("T", C.AnyTypeConstraint())
+        pair = C.ArrayExactConstraint([var, var])
+        sampler = ConstraintSampler(random.Random(seed))
+        value = sampler.sample(pair)
+        first, second = value.elements
+        assert first == second
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_negative_values_rejected_by_verifier(self, seed):
+        """The dual direction: verifier rejects out-of-palette values."""
+        rng = random.Random(seed)
+        expected = rng.choice(TYPES)
+        other = rng.choice([t for t in TYPES if t is not expected])
+        with pytest.raises(VerifyError):
+            C.EqConstraint(expected).verify(other, ConstraintContext())

@@ -1,0 +1,218 @@
+"""IRDL spec printing: ``parse(print(ast))`` is the identity.
+
+Includes a hypothesis generator over random dialect ASTs, which doubles
+as a fuzzer for the IRDL parser.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import CORPUS_ORDER, dialect_source, parse_corpus_decl
+from repro.irdl import ast, parse_irdl
+from repro.irdl.printer import print_dialect, print_dialects
+
+# ---------------------------------------------------------------------------
+# AST equality (structural, ignoring spans)
+# ---------------------------------------------------------------------------
+
+
+def expr_equal(left, right):
+    if type(left) is not type(right):
+        return False
+    if isinstance(left, ast.RefExpr):
+        if (left.sigil, left.name) != (right.sigil, right.name):
+            return False
+        if (left.params is None) != (right.params is None):
+            return False
+        if left.params is None:
+            return True
+        return len(left.params) == len(right.params) and all(
+            expr_equal(a, b) for a, b in zip(left.params, right.params)
+        )
+    if isinstance(left, ast.IntLiteralExpr):
+        return (left.value, left.type_name) == (right.value, right.type_name)
+    if isinstance(left, ast.StringLiteralExpr):
+        return left.value == right.value
+    if isinstance(left, ast.ListExpr):
+        return len(left.elements) == len(right.elements) and all(
+            expr_equal(a, b) for a, b in zip(left.elements, right.elements)
+        )
+    return False
+
+
+def args_equal(left, right):
+    return (
+        len(left) == len(right)
+        and all(
+            a.name == b.name
+            and a.variadicity == b.variadicity
+            and expr_equal(a.constraint, b.constraint)
+            for a, b in zip(left, right)
+        )
+    )
+
+
+def op_equal(left, right):
+    return (
+        left.name == right.name
+        and args_equal(left.operands, right.operands)
+        and args_equal(left.results, right.results)
+        and args_equal(left.attributes, right.attributes)
+        and left.successors == right.successors
+        and left.format == right.format
+        and left.summary == right.summary
+        and left.py_constraints == right.py_constraints
+        and len(left.regions) == len(right.regions)
+        and all(
+            lr.name == rr.name
+            and lr.terminator == rr.terminator
+            and args_equal(lr.arguments, rr.arguments)
+            for lr, rr in zip(left.regions, right.regions)
+        )
+        and len(left.constraint_vars) == len(right.constraint_vars)
+        and all(
+            lv.name == rv.name and expr_equal(lv.constraint, rv.constraint)
+            for lv, rv in zip(left.constraint_vars, right.constraint_vars)
+        )
+    )
+
+
+def dialect_equal(left, right):
+    return (
+        left.name == right.name
+        and len(left.operations) == len(right.operations)
+        and all(op_equal(a, b) for a, b in zip(left.operations, right.operations))
+        and len(left.types) == len(right.types)
+        and all(
+            a.name == b.name
+            and a.summary == b.summary
+            and a.py_constraints == b.py_constraints
+            and args_equal(
+                [ast.ArgDecl(p.name, p.constraint) for p in a.parameters],
+                [ast.ArgDecl(p.name, p.constraint) for p in b.parameters],
+            )
+            for a, b in zip(left.types, right.types)
+        )
+        and [e.constructors for e in left.enums] == [e.constructors for e in right.enums]
+        and [al.name for al in left.aliases] == [al.name for al in right.aliases]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Corpus round-trips
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", CORPUS_ORDER + ("cmath",))
+def test_corpus_file_roundtrips(name):
+    decl = parse_irdl(dialect_source(name), f"{name}.irdl")[0]
+    printed = print_dialect(decl)
+    reparsed = parse_irdl(printed, f"{name}-printed.irdl")[0]
+    assert dialect_equal(decl, reparsed), name
+
+
+def test_print_dialects_concatenates():
+    decls = [parse_corpus_decl("arith"), parse_corpus_decl("math")]
+    text = print_dialects(decls)
+    assert [d.name for d in parse_irdl(text)] == ["arith", "math"]
+
+
+# ---------------------------------------------------------------------------
+# Property-based: random dialect ASTs round-trip
+# ---------------------------------------------------------------------------
+
+ident = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+upper_ident = st.from_regex(r"[A-Z][A-Za-z0-9]{0,8}", fullmatch=True)
+
+leaf_exprs = st.one_of(
+    st.builds(ast.RefExpr, st.sampled_from(["!", "#", None]),
+              st.sampled_from(["AnyType", "AnyAttr", "f32", "i32", "string",
+                               "int32_t", "uint64_t"]),
+              st.none()),
+    st.builds(ast.IntLiteralExpr, st.integers(-100, 100),
+              st.sampled_from(["int32_t", "uint8_t", None])),
+    st.builds(ast.StringLiteralExpr,
+              st.text(alphabet="abc xyz", max_size=8)),
+)
+
+
+def exprs(depth=2):
+    if depth == 0:
+        return leaf_exprs
+    inner = exprs(depth - 1)
+    return st.one_of(
+        leaf_exprs,
+        st.builds(ast.RefExpr, st.just(None), st.just("AnyOf"),
+                  st.lists(inner, min_size=1, max_size=3)),
+        st.builds(ast.ListExpr, st.lists(inner, max_size=3)),
+    )
+
+
+arg_decls = st.builds(
+    ast.ArgDecl,
+    ident,
+    exprs(),
+    st.sampled_from(list(ast.Variadicity)),
+)
+
+
+@st.composite
+def operations(draw):
+    name = draw(ident)
+    n_operands = draw(st.integers(0, 3))
+    operands = [
+        draw(arg_decls).__class__(f"in{i}", draw(exprs()),
+                                  draw(st.sampled_from(list(ast.Variadicity))))
+        for i in range(n_operands)
+    ]
+    results = [
+        ast.ArgDecl(f"out{i}", draw(exprs()))
+        for i in range(draw(st.integers(0, 2)))
+    ]
+    attributes = [
+        ast.ArgDecl(f"attr{i}", draw(leaf_exprs))
+        for i in range(draw(st.integers(0, 2)))
+    ]
+    successors = draw(st.one_of(st.none(), st.lists(ident, max_size=2,
+                                                    unique=True)))
+    summary = draw(st.text(alphabet="abc ", max_size=10))
+    return ast.OperationDecl(
+        name,
+        operands=operands,
+        results=results,
+        attributes=attributes,
+        successors=successors,
+        summary=summary,
+    )
+
+
+@st.composite
+def dialects(draw):
+    name = draw(ident)
+    ops = draw(st.lists(operations(), max_size=4))
+    seen = set()
+    unique_ops = []
+    for op in ops:
+        if op.name not in seen:
+            seen.add(op.name)
+            unique_ops.append(op)
+    types = [
+        ast.TypeDecl(f"t{i}", is_type=True,
+                     parameters=[ast.ParamDecl("p", draw(leaf_exprs))])
+        for i in range(draw(st.integers(0, 2)))
+    ]
+    enums = [
+        ast.EnumDecl("kind", draw(st.lists(upper_ident, min_size=1,
+                                           max_size=3, unique=True)))
+    ] if draw(st.booleans()) else []
+    return ast.DialectDecl(name, operations=unique_ops, types=types,
+                           enums=enums)
+
+
+@given(dialects())
+@settings(max_examples=120, deadline=None)
+def test_generated_dialects_roundtrip(decl):
+    printed = print_dialect(decl)
+    (reparsed,) = parse_irdl(printed)
+    assert dialect_equal(decl, reparsed), printed

@@ -1,0 +1,275 @@
+"""Derived verifiers: segments, attributes, regions, successors (§3/§4.6)."""
+
+import pytest
+
+from repro.builtin import ArrayAttr, IntegerAttr, StringAttr, default_context, f32, i32
+from repro.ir import Block, Region, VerifyError
+from repro.irdl import register_irdl
+
+
+@pytest.fixture
+def vctx():
+    ctx = default_context()
+    register_irdl(ctx, """
+    Dialect v {
+      Operation pair {
+        Operands (a: !i32, b: !f32)
+        Results (r: !i32)
+      }
+      Operation gather {
+        Operands (base: !i32, indices: Variadic<!i32>)
+        Results (r: !i32)
+      }
+      Operation maybe {
+        Operands (x: !i32, opt: Optional<!f32>)
+      }
+      Operation two_lists {
+        Operands (xs: Variadic<!i32>, ys: Variadic<!f32>)
+      }
+      Operation two_result_lists {
+        Results (xs: Variadic<!i32>, ys: Variadic<!f32>)
+      }
+      Operation annotated {
+        Attributes (name: string_attr, count: i32_attr)
+      }
+      Operation looped {
+        Region body {
+          Arguments (iv: !i32)
+          Terminator v.stop
+        }
+      }
+      Operation stop { Successors () }
+      Operation halt { Successors () }
+      Operation fork { Successors (left, right) }
+      Operation multi_block {
+        Region body {
+        }
+      }
+    }
+    """)
+    return ctx
+
+
+def values(*types):
+    return list(Block(list(types)).args)
+
+
+class TestFixedSegments:
+    def test_exact_count_accepted(self, vctx):
+        op = vctx.create_operation("v.pair", operands=values(i32, f32),
+                                   result_types=[i32])
+        op.verify()
+
+    def test_wrong_count_rejected(self, vctx):
+        op = vctx.create_operation("v.pair", operands=values(i32),
+                                   result_types=[i32])
+        with pytest.raises(VerifyError, match="expects 2 operands"):
+            op.verify()
+
+    def test_wrong_type_rejected(self, vctx):
+        op = vctx.create_operation("v.pair", operands=values(i32, i32),
+                                   result_types=[i32])
+        with pytest.raises(VerifyError, match="operand 'b'"):
+            op.verify()
+
+    def test_result_type_checked(self, vctx):
+        op = vctx.create_operation("v.pair", operands=values(i32, f32),
+                                   result_types=[f32])
+        with pytest.raises(VerifyError, match="result 'r'"):
+            op.verify()
+
+
+class TestVariadicSegments:
+    @pytest.mark.parametrize("extra", [0, 1, 3])
+    def test_variadic_absorbs_remainder(self, vctx, extra):
+        op = vctx.create_operation(
+            "v.gather", operands=values(i32, *([i32] * extra)),
+            result_types=[i32],
+        )
+        op.verify()
+
+    def test_variadic_elements_typechecked(self, vctx):
+        op = vctx.create_operation("v.gather", operands=values(i32, i32, f32),
+                                   result_types=[i32])
+        with pytest.raises(VerifyError, match="indices"):
+            op.verify()
+
+    def test_too_few_for_fixed_part(self, vctx):
+        op = vctx.create_operation("v.gather", operands=[], result_types=[i32])
+        with pytest.raises(VerifyError, match="at least 1"):
+            op.verify()
+
+    @pytest.mark.parametrize("extra,ok", [(0, True), (1, True), (2, False)])
+    def test_optional_is_zero_or_one(self, vctx, extra, ok):
+        op = vctx.create_operation("v.maybe",
+                                   operands=values(i32, *([f32] * extra)))
+        if ok:
+            op.verify()
+        else:
+            with pytest.raises(VerifyError, match="at most"):
+                op.verify()
+
+    def test_multiple_variadics_need_segment_attribute(self, vctx):
+        op = vctx.create_operation("v.two_lists", operands=values(i32, f32))
+        with pytest.raises(VerifyError, match="operand_segment_sizes"):
+            op.verify()
+
+    def test_segment_attribute_drives_matching(self, vctx):
+        sizes = ArrayAttr([IntegerAttr(1), IntegerAttr(1)])
+        op = vctx.create_operation(
+            "v.two_lists", operands=values(i32, f32),
+            attributes={"operand_segment_sizes": sizes},
+        )
+        op.verify()
+
+    def test_segment_sum_mismatch(self, vctx):
+        sizes = ArrayAttr([IntegerAttr(2), IntegerAttr(1)])
+        op = vctx.create_operation(
+            "v.two_lists", operands=values(i32, f32),
+            attributes={"operand_segment_sizes": sizes},
+        )
+        with pytest.raises(VerifyError, match="sums to 3"):
+            op.verify()
+
+    def test_segment_types_checked_per_segment(self, vctx):
+        sizes = ArrayAttr([IntegerAttr(0), IntegerAttr(2)])
+        op = vctx.create_operation(
+            "v.two_lists", operands=values(i32, f32),
+            attributes={"operand_segment_sizes": sizes},
+        )
+        with pytest.raises(VerifyError, match="'ys'"):
+            op.verify()
+
+    def test_result_segments_need_attribute_too(self, vctx):
+        op = vctx.create_operation("v.two_result_lists",
+                                   result_types=[i32, f32])
+        with pytest.raises(VerifyError, match="result_segment_sizes"):
+            op.verify()
+
+    def test_result_segment_attribute_drives_matching(self, vctx):
+        sizes = ArrayAttr([IntegerAttr(1), IntegerAttr(1)])
+        op = vctx.create_operation(
+            "v.two_result_lists", result_types=[i32, f32],
+            attributes={"result_segment_sizes": sizes},
+        )
+        op.verify()
+        empty = vctx.create_operation(
+            "v.two_result_lists", result_types=[],
+            attributes={"result_segment_sizes": ArrayAttr(
+                [IntegerAttr(0), IntegerAttr(0)])},
+        )
+        empty.verify()
+
+    def test_malformed_segment_attribute(self, vctx):
+        op = vctx.create_operation(
+            "v.two_lists", operands=values(i32, f32),
+            attributes={"operand_segment_sizes": ArrayAttr([IntegerAttr(2)])},
+        )
+        with pytest.raises(VerifyError, match="entries"):
+            op.verify()
+
+
+class TestAttributes:
+    def test_all_attributes_required(self, vctx):
+        op = vctx.create_operation(
+            "v.annotated", attributes={"name": StringAttr("x")}
+        )
+        with pytest.raises(VerifyError, match="count"):
+            op.verify()
+
+    def test_attribute_constraints_checked(self, vctx):
+        op = vctx.create_operation(
+            "v.annotated",
+            attributes={"name": StringAttr("x"), "count": StringAttr("y")},
+        )
+        with pytest.raises(VerifyError, match="attribute 'count'"):
+            op.verify()
+
+    def test_valid_attributes(self, vctx):
+        op = vctx.create_operation(
+            "v.annotated",
+            attributes={"name": StringAttr("x"), "count": IntegerAttr(3, i32)},
+        )
+        op.verify()
+
+    def test_extra_attributes_tolerated(self, vctx):
+        op = vctx.create_operation(
+            "v.annotated",
+            attributes={"name": StringAttr("x"), "count": IntegerAttr(3, i32),
+                        "extra": StringAttr("fine")},
+        )
+        op.verify()
+
+
+class TestRegions:
+    def make_loop(self, vctx, arg_types=(i32,), with_stop=True, blocks=1):
+        body = Block(list(arg_types))
+        if with_stop:
+            body.add_op(vctx.create_operation("v.stop"))
+        region_blocks = [body] + [Block() for _ in range(blocks - 1)]
+        return vctx.create_operation("v.looped",
+                                     regions=[Region(region_blocks)])
+
+    def test_valid_region(self, vctx):
+        self.make_loop(vctx).verify()
+
+    def test_region_count_checked(self, vctx):
+        op = vctx.create_operation("v.looped")
+        with pytest.raises(VerifyError, match="expects 1 regions"):
+            op.verify()
+
+    def test_entry_argument_type_checked(self, vctx):
+        op = self.make_loop(vctx, arg_types=(f32,))
+        with pytest.raises(VerifyError, match="'iv'"):
+            op.verify()
+
+    def test_terminator_name_checked(self, vctx):
+        body = Block([i32])
+        body.add_op(vctx.create_operation("v.halt"))
+        op = vctx.create_operation("v.looped", regions=[Region([body])])
+        with pytest.raises(VerifyError, match="must end with v.stop"):
+            op.verify()
+
+    def test_terminator_requires_single_block(self, vctx):
+        op = self.make_loop(vctx, blocks=2)
+        with pytest.raises(VerifyError, match="single basic block"):
+            op.verify()
+
+    def test_empty_region_with_terminator_rejected(self, vctx):
+        op = vctx.create_operation("v.looped", regions=[Region()])
+        with pytest.raises(VerifyError, match="must not be empty"):
+            op.verify()
+
+    def test_region_without_constraints_accepts_blocks(self, vctx):
+        region = Region([Block(), Block()])
+        vctx.create_operation("v.multi_block", regions=[region]).verify()
+
+
+class TestSuccessors:
+    def test_successor_count(self, vctx):
+        region = Region([Block(), Block(), Block()])
+        entry, left, right = region.blocks
+        fork = vctx.create_operation("v.fork", successors=[left, right])
+        entry.add_op(fork)
+        fork.verify()
+
+    def test_wrong_successor_count(self, vctx):
+        region = Region([Block(), Block()])
+        entry, left = region.blocks
+        fork = vctx.create_operation("v.fork", successors=[left])
+        entry.add_op(fork)
+        with pytest.raises(VerifyError, match="expects 2 successors"):
+            fork.verify()
+
+    def test_terminator_flag_from_empty_successors(self, vctx):
+        assert vctx.get_op_def("v.stop").is_terminator
+        assert not vctx.get_op_def("v.pair").is_terminator
+
+    def test_non_terminator_rejects_successors(self, vctx):
+        region = Region([Block(), Block()])
+        entry, other = region.blocks
+        op = vctx.create_operation("v.pair", operands=values(i32, f32),
+                                   result_types=[i32], successors=[other])
+        entry.add_op(op)
+        with pytest.raises(VerifyError, match="expects 0 successors"):
+            op.verify()

@@ -1,0 +1,196 @@
+"""The declarative pattern language: parse, match, rewrite, infer."""
+
+import pytest
+
+from repro.builtin import IntegerAttr, default_context, f32, f64, i32
+from repro.corpus import cmath_source
+from repro.ir import Block, Region, VerifyError
+from repro.irdl import register_irdl
+from repro.rewriting import DeadCodeElimination, apply_patterns_greedily
+from repro.rewriting.declarative import (
+    DeclarativePattern,
+    PatternParser,
+    infer_result_types,
+    parse_patterns,
+)
+from repro.textir import parse_module, print_op
+from repro.utils import DiagnosticError
+
+CONORM_PATTERN = """
+Pattern norm_of_product {
+  Match {
+    %na = cmath.norm(%a)
+    %nb = cmath.norm(%b)
+    %r = arith.mulf(%na, %nb)
+  }
+  Rewrite {
+    %m = cmath.mul(%a, %b)
+    %r = cmath.norm(%m)
+  }
+}
+"""
+
+CONORM_IR = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %np = cmath.norm %p : f32
+  %nq = cmath.norm %q : f32
+  %pq = "arith.mulf"(%np, %nq) : (f32, f32) -> (f32)
+  "func.return"(%pq) : (f32) -> ()
+}) {sym_name = "conorm",
+    function_type = (!cmath.complex<f32>, !cmath.complex<f32>) -> f32}
+   : () -> ()
+"""
+
+
+class TestParsing:
+    def test_pattern_structure(self):
+        (decl,) = PatternParser(CONORM_PATTERN).parse_file()
+        assert decl.name == "norm_of_product"
+        assert [t.op_name for t in decl.match_ops] == [
+            "cmath.norm", "cmath.norm", "arith.mulf",
+        ]
+        assert decl.root.op_name == "arith.mulf"
+        assert decl.rewrite_ops[0].operand_names == ["a", "b"]
+
+    def test_unbound_rewrite_operand_rejected(self):
+        with pytest.raises(DiagnosticError, match="not bound"):
+            PatternParser("""
+            Pattern p {
+              Match { %r = cmath.norm(%a) }
+              Rewrite { %r = cmath.norm(%ghost) }
+            }
+            """).parse_file()
+
+    def test_root_results_must_be_redefined(self):
+        with pytest.raises(DiagnosticError, match="must redefine"):
+            PatternParser("""
+            Pattern p {
+              Match { %r = cmath.norm(%a) }
+              Rewrite { %other = cmath.norm(%a) }
+            }
+            """).parse_file()
+
+    def test_rebinding_non_root_match_value_rejected(self):
+        with pytest.raises(DiagnosticError, match="rebinds"):
+            PatternParser("""
+            Pattern p {
+              Match {
+                %na = cmath.norm(%a)
+                %r = arith.mulf(%na, %na)
+              }
+              Rewrite {
+                %na = cmath.norm(%a)
+                %r = arith.mulf(%na, %na)
+              }
+            }
+            """).parse_file()
+
+    def test_unknown_op_rejected_at_registration(self, cmath_ctx):
+        with pytest.raises(DiagnosticError, match="unknown operation"):
+            parse_patterns(cmath_ctx, """
+            Pattern p {
+              Match { %r = cmath.nothing(%a) }
+              Rewrite { %r = cmath.norm(%a) }
+            }
+            """)
+
+    def test_empty_section_rejected(self):
+        with pytest.raises(DiagnosticError, match="at least one"):
+            PatternParser("Pattern p { Match { } Rewrite { } }").parse_file()
+
+
+class TestMatching:
+    @pytest.fixture
+    def applied(self, cmath_ctx):
+        patterns = parse_patterns(cmath_ctx, CONORM_PATTERN)
+        module = parse_module(cmath_ctx, CONORM_IR)
+        changed = apply_patterns_greedily(cmath_ctx, module, patterns)
+        DeadCodeElimination().run(module)
+        module.verify()
+        return changed, module
+
+    def test_listing1_fires(self, applied):
+        changed, module = applied
+        assert changed
+        names = [
+            op.name for op in module.walk()
+            if op.dialect_name in ("cmath", "arith")
+        ]
+        assert names == ["cmath.mul", "cmath.norm"]
+
+    def test_placeholder_unification(self, cmath_ctx):
+        # norm(x) * norm(x): %a and %b bind the same value — still legal.
+        patterns = parse_patterns(cmath_ctx, CONORM_PATTERN)
+        module = parse_module(cmath_ctx, """
+        "func.func"() ({
+        ^bb0(%p: !cmath.complex<f32>):
+          %np = cmath.norm %p : f32
+          %sq = "arith.mulf"(%np, %np) : (f32, f32) -> (f32)
+          "func.return"(%sq) : (f32) -> ()
+        }) {sym_name = "f", function_type = (!cmath.complex<f32>) -> f32}
+           : () -> ()
+        """)
+        assert apply_patterns_greedily(cmath_ctx, module, patterns)
+        module.verify()
+
+    def test_no_match_on_wrong_producers(self, cmath_ctx):
+        patterns = parse_patterns(cmath_ctx, CONORM_PATTERN)
+        module = parse_module(cmath_ctx, """
+        "func.func"() ({
+        ^bb0(%x: f32, %y: f32):
+          %m = "arith.mulf"(%x, %y) : (f32, f32) -> (f32)
+          "func.return"(%m) : (f32) -> ()
+        }) {sym_name = "f", function_type = (f32, f32) -> f32} : () -> ()
+        """)
+        assert not apply_patterns_greedily(cmath_ctx, module, patterns)
+
+    def test_shared_subexpressions_survive(self, cmath_ctx):
+        # %np has a second user, so DCE must keep its producer.
+        patterns = parse_patterns(cmath_ctx, CONORM_PATTERN)
+        module = parse_module(cmath_ctx, """
+        "func.func"() ({
+        ^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+          %np = cmath.norm %p : f32
+          %nq = cmath.norm %q : f32
+          %pq = "arith.mulf"(%np, %nq) : (f32, f32) -> (f32)
+          %keep = "arith.addf"(%np, %pq) : (f32, f32) -> (f32)
+          "func.return"(%keep) : (f32) -> ()
+        }) {sym_name = "f", function_type = (!cmath.complex<f32>,
+            !cmath.complex<f32>) -> f32} : () -> ()
+        """)
+        apply_patterns_greedily(cmath_ctx, module, patterns)
+        DeadCodeElimination().run(module)
+        module.verify()
+        names = [op.name for op in module.walk() if op.name == "cmath.norm"]
+        assert len(names) == 2  # the shared one plus the new one
+
+
+class TestResultTypeInference:
+    def test_infer_from_constraint_variables(self, cmath_ctx):
+        op_def = cmath_ctx.get_op_def("cmath.norm").op_def
+        complex_f64 = cmath_ctx.make_type("cmath.complex", [f64])
+        assert infer_result_types(op_def, [complex_f64]) == [f64]
+
+    def test_inference_rejects_ill_typed_operands(self, cmath_ctx):
+        op_def = cmath_ctx.get_op_def("cmath.norm").op_def
+        with pytest.raises(VerifyError):
+            infer_result_types(op_def, [f32])
+
+    def test_native_fallback_uses_first_operand_type(self, cmath_ctx):
+        patterns = parse_patterns(cmath_ctx, """
+        Pattern double_to_shift {
+          Match { %r = arith.addf(%x, %x) }
+          Rewrite { %r = arith.mulf(%x, %x) }
+        }
+        """)
+        module = parse_module(cmath_ctx, """
+        "func.func"() ({
+        ^bb0(%x: f32):
+          %two = "arith.addf"(%x, %x) : (f32, f32) -> (f32)
+          "func.return"(%two) : (f32) -> ()
+        }) {sym_name = "f", function_type = (f32) -> f32} : () -> ()
+        """)
+        assert apply_patterns_greedily(cmath_ctx, module, patterns)
+        module.verify()
+        assert any(op.name == "arith.mulf" for op in module.walk())

@@ -1,0 +1,168 @@
+"""Pattern rewriting: patterns, the rewriter handle, the greedy driver."""
+
+import pytest
+
+from repro.builtin import IntegerAttr, default_context, i32
+from repro.ir import Block, Operation, Region
+from repro.rewriting import (
+    GreedyPatternDriver,
+    PatternRewriter,
+    apply_patterns_greedily,
+    pattern,
+)
+
+
+def make_module(ctx, ops):
+    block = Block(ops=ops)
+    return ctx.create_operation("builtin.module", regions=[Region([block])])
+
+
+def constant(ctx, value):
+    return ctx.create_operation(
+        "arith.constant", result_types=[i32],
+        attributes={"value": IntegerAttr(value, i32)},
+    )
+
+
+@pattern(op_name="arith.addi")
+def fold_add_of_constants(op, rewriter):
+    lhs, rhs = (operand.owner for operand in op.operands)
+    if not (isinstance(lhs, Operation) and lhs.name == "arith.constant"):
+        return False
+    if not (isinstance(rhs, Operation) and rhs.name == "arith.constant"):
+        return False
+    total = lhs.attributes["value"].value + rhs.attributes["value"].value
+    folded = rewriter.create(
+        "arith.constant", result_types=[i32],
+        attributes={"value": IntegerAttr(total, i32)}, before=op,
+    )
+    rewriter.replace_op(op, folded)
+    return True
+
+
+@pattern(op_name="arith.constant")
+def drop_dead_constants(op, rewriter):
+    if any(result.has_uses for result in op.results):
+        return False
+    rewriter.erase_op(op)
+    return True
+
+
+class TestDriver:
+    def test_constant_folding_to_fixpoint(self, ctx):
+        a, b, c = constant(ctx, 1), constant(ctx, 2), constant(ctx, 3)
+        add_ab = ctx.create_operation(
+            "arith.addi", operands=[a.results[0], b.results[0]],
+            result_types=[i32],
+        )
+        add_abc = ctx.create_operation(
+            "arith.addi", operands=[add_ab.results[0], c.results[0]],
+            result_types=[i32],
+        )
+        keep = ctx.create_operation("func.return",
+                                    operands=[add_abc.results[0]])
+        module = make_module(ctx, [a, b, c, add_ab, add_abc, keep])
+        changed = apply_patterns_greedily(
+            ctx, module, [fold_add_of_constants, drop_dead_constants]
+        )
+        assert changed
+        module.verify()
+        remaining = [op for op in module.walk(include_self=False)]
+        assert [op.name for op in remaining] == ["arith.constant", "func.return"]
+        assert remaining[0].attributes["value"].value == 6
+
+    def test_no_change_returns_false(self, ctx):
+        keep = constant(ctx, 1)
+        user = ctx.create_operation("func.return", operands=[keep.results[0]])
+        module = make_module(ctx, [keep, user])
+        assert not apply_patterns_greedily(ctx, module, [fold_add_of_constants])
+
+    def test_rewrite_count_tracked(self, ctx):
+        a, b = constant(ctx, 1), constant(ctx, 2)
+        add = ctx.create_operation(
+            "arith.addi", operands=[a.results[0], b.results[0]],
+            result_types=[i32],
+        )
+        keep = ctx.create_operation("func.return", operands=[add.results[0]])
+        module = make_module(ctx, [a, b, add, keep])
+        driver = GreedyPatternDriver(
+            ctx, [fold_add_of_constants, drop_dead_constants]
+        )
+        driver.run(module)
+        assert driver.rewrites_applied == 3  # one fold + two dead constants
+
+    def test_benefit_orders_patterns(self, ctx):
+        fired = []
+
+        @pattern(op_name="arith.constant", benefit=5)
+        def high(op, rewriter):
+            fired.append("high")
+            return False
+
+        @pattern(op_name="arith.constant", benefit=1)
+        def low(op, rewriter):
+            fired.append("low")
+            return False
+
+        module = make_module(ctx, [constant(ctx, 1)])
+        apply_patterns_greedily(ctx, module, [low, high])
+        assert fired[:2] == ["high", "low"]
+
+    def test_max_iterations_bounds_infinite_rewrites(self, ctx):
+        @pattern(op_name="arith.constant")
+        def ping(op, rewriter):
+            value = op.attributes["value"].value
+            replacement = rewriter.create(
+                "arith.constant", result_types=[i32],
+                attributes={"value": IntegerAttr(1 - value, i32)}, before=op,
+            )
+            rewriter.replace_op(op, replacement)
+            return True
+
+        keep = constant(ctx, 0)
+        user = ctx.create_operation("func.return", operands=[keep.results[0]])
+        module = make_module(ctx, [keep, user])
+        apply_patterns_greedily(ctx, module, [ping], max_iterations=7)
+        module.verify()
+
+    def test_op_name_filter(self, ctx):
+        calls = []
+
+        @pattern(op_name="arith.addi")
+        def only_add(op, rewriter):
+            calls.append(op.name)
+            return False
+
+        module = make_module(ctx, [constant(ctx, 1)])
+        apply_patterns_greedily(ctx, module, [only_add])
+        assert calls == []
+
+
+class TestRewriter:
+    def test_insert_before_and_after(self, ctx):
+        anchor = constant(ctx, 1)
+        module = make_module(ctx, [anchor])
+        rewriter = PatternRewriter(ctx)
+        before = constant(ctx, 0)
+        after = constant(ctx, 2)
+        rewriter.insert_before(anchor, before)
+        rewriter.insert_after(anchor, after)
+        values = [
+            op.attributes["value"].value
+            for op in module.walk(include_self=False)
+        ]
+        assert values == [0, 1, 2]
+        assert rewriter.changed
+
+    def test_replace_with_values(self, ctx):
+        block = Block([i32])
+        produced = ctx.create_operation("arith.addi",
+                                        operands=[block.args[0], block.args[0]],
+                                        result_types=[i32])
+        block.add_op(produced)
+        user = ctx.create_operation("func.return",
+                                    operands=[produced.results[0]])
+        block.add_op(user)
+        rewriter = PatternRewriter(ctx)
+        rewriter.replace_op(produced, [block.args[0]])
+        assert user.operands[0] is block.args[0]

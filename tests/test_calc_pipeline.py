@@ -1,0 +1,63 @@
+"""The calc example as a library: source → IRDL dialect → answer.
+
+Property: the whole compiler pipeline (frontend, declarative lowering,
+constant folding) agrees with Python's own arithmetic.
+"""
+
+import os
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "examples"))
+
+from calc_compiler import Frontend, compile_and_run  # noqa: E402
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("1", 1.0),
+        ("1 + 2", 3.0),
+        ("2 * 3 + 4", 10.0),
+        ("2 * (3 + 4)", 14.0),
+        ("2 * (3 + 4) - 5", 9.0),
+        ("-3 + 10", 7.0),
+        ("1.5 * 4", 6.0),
+        ("((((7))))", 7.0),
+    ],
+)
+def test_known_expressions(text, expected):
+    assert compile_and_run(text, verbose=False) == pytest.approx(expected)
+
+
+def test_syntax_errors_reported():
+    with pytest.raises(SyntaxError):
+        compile_and_run("1 +", verbose=False)
+    with pytest.raises(SyntaxError):
+        compile_and_run("(1", verbose=False)
+    with pytest.raises(SyntaxError):
+        compile_and_run("a + b", verbose=False)
+
+
+# ---------------------------------------------------------------------------
+# Differential property test against Python's evaluator
+# ---------------------------------------------------------------------------
+
+@st.composite
+def expressions(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return str(draw(st.integers(0, 99)))
+    left = draw(expressions(depth=depth - 1))
+    right = draw(expressions(depth=depth - 1))
+    operator = draw(st.sampled_from(["+", "-", "*"]))
+    return f"({left} {operator} {right})"
+
+
+@given(expressions())
+@settings(max_examples=40, deadline=None)
+def test_pipeline_matches_python_eval(text):
+    compiled = compile_and_run(text, verbose=False)
+    assert compiled == pytest.approx(float(eval(text)))

@@ -1,0 +1,99 @@
+"""Token-level behaviour of the shared lexer."""
+
+import pytest
+
+from repro.textir import Lexer, TokenKind
+from repro.utils import DiagnosticError, SourceFile
+
+
+def lex(text):
+    return [t for t in Lexer(SourceFile(text)).tokenize()[:-1]]
+
+
+def kinds(text):
+    return [t.kind for t in lex(text)]
+
+
+class TestSigils:
+    @pytest.mark.parametrize(
+        "text,kind,value",
+        [
+            ("%value", TokenKind.PERCENT_IDENT, "value"),
+            ("^bb0", TokenKind.CARET_IDENT, "bb0"),
+            ("@func", TokenKind.AT_IDENT, "func"),
+            ("!cmath.complex", TokenKind.BANG_IDENT, "cmath.complex"),
+            ("#attr", TokenKind.HASH_IDENT, "attr"),
+        ],
+    )
+    def test_sigil_tokens(self, text, kind, value):
+        (token,) = lex(text)
+        assert token.kind is kind
+        assert token.value == value
+
+    def test_sigil_without_ident_rejected(self):
+        with pytest.raises(DiagnosticError):
+            lex("% ")
+
+
+class TestNumbers:
+    def test_integer(self):
+        (token,) = lex("42")
+        assert token.kind is TokenKind.INTEGER
+
+    def test_negative_integer(self):
+        (token,) = lex("-42")
+        assert token.kind is TokenKind.INTEGER and token.text == "-42"
+
+    def test_float(self):
+        (token,) = lex("4.25")
+        assert token.kind is TokenKind.FLOAT
+
+    def test_float_exponent(self):
+        (token,) = lex("1e10")
+        assert token.kind is TokenKind.FLOAT
+
+    def test_minus_alone_is_punct(self):
+        assert kinds("- x") == [TokenKind.MINUS, TokenKind.BARE_IDENT]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        (token,) = lex('"hello"')
+        assert token.kind is TokenKind.STRING and token.value == "hello"
+
+    def test_escapes(self):
+        (token,) = lex(r'"a\"b\\c"')
+        assert token.value == 'a"b\\c'
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(DiagnosticError):
+            lex('"oops')
+
+    def test_newline_in_string_rejected(self):
+        with pytest.raises(DiagnosticError):
+            lex('"a\nb"')
+
+
+class TestTrivia:
+    def test_comments_skipped(self):
+        assert kinds("a // comment\n b") == [TokenKind.BARE_IDENT] * 2
+
+    def test_arrow(self):
+        assert kinds("->") == [TokenKind.ARROW]
+
+    def test_punctuation(self):
+        assert kinds("(){}[]<>,:=?") == [
+            TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.LBRACE,
+            TokenKind.RBRACE, TokenKind.LBRACKET, TokenKind.RBRACKET,
+            TokenKind.LESS, TokenKind.GREATER, TokenKind.COMMA,
+            TokenKind.COLON, TokenKind.EQUAL, TokenKind.QUESTION,
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(DiagnosticError):
+            lex("§")
+
+    def test_spans_track_positions(self):
+        tokens = lex("a\n  b")
+        assert tokens[1].span.start_position.line == 2
+        assert tokens[1].span.start_position.column == 3

@@ -1,0 +1,92 @@
+"""Printer behaviour: value naming, block labels, layout."""
+
+import pytest
+
+from repro.builtin import IntegerAttr, StringAttr, f32, i32
+from repro.ir import Block, Operation, Region
+from repro.textir.printer import Printer, print_op
+
+
+class TestValueNaming:
+    def test_sequential_numbering(self):
+        first = Operation("t.a", result_types=[i32])
+        second = Operation("t.b", result_types=[i32])
+        printer = Printer()
+        printer.print_op(first)
+        printer.print_op(second)
+        text = printer.getvalue()
+        assert "%0" in text and "%1" in text
+
+    def test_name_hint_used(self):
+        op = Operation("t.a", result_types=[i32])
+        op.results[0].name_hint = "answer"
+        assert print_op(op).startswith("%answer = ")
+
+    def test_duplicate_hints_fall_back_to_numbers(self):
+        first = Operation("t.a", result_types=[i32])
+        second = Operation("t.b", result_types=[i32])
+        first.results[0].name_hint = "x"
+        second.results[0].name_hint = "x"
+        printer = Printer()
+        printer.print_op(first)
+        printer.write("\n")
+        printer.print_op(second)
+        text = printer.getvalue()
+        assert "%x" in text and "%0" in text
+
+    def test_stable_name_per_value(self):
+        block = Block([i32])
+        use1 = Operation("t.u", operands=[block.args[0]])
+        use2 = Operation("t.v", operands=[block.args[0]])
+        printer = Printer()
+        printer.print_op(use1)
+        printer.print_op(use2)
+        text = printer.getvalue()
+        assert text.count("%0") == 2
+
+
+class TestBlockLayout:
+    def test_entry_block_header_omitted_when_plain(self):
+        region = Region([Block(ops=[Operation("t.a")])])
+        op = Operation("t.outer", regions=[region])
+        text = print_op(op)
+        assert "^bb" not in text
+
+    def test_entry_header_printed_with_args(self):
+        region = Region([Block([i32])])
+        op = Operation("t.outer", regions=[region])
+        text = print_op(op)
+        assert "^bb0(%0: i32):" in text
+
+    def test_multi_block_labels(self):
+        region = Region([Block(), Block()])
+        region.blocks[0].add_op(Operation("t.br",
+                                          successors=[region.blocks[1]]))
+        op = Operation("t.outer", regions=[region])
+        text = print_op(op)
+        assert "^bb0" in text and "^bb1" in text
+        assert "[^bb1]" in text
+
+    def test_indentation_nests(self):
+        inner = Operation("t.inner", regions=[Region([Block(ops=[
+            Operation("t.leaf")
+        ])])])
+        outer = Operation("t.outer", regions=[Region([Block(ops=[inner])])])
+        lines = print_op(outer).splitlines()
+        leaf_line = next(line for line in lines if "t.leaf" in line)
+        assert leaf_line.startswith("    ")
+
+
+class TestAttributesAndTypes:
+    def test_attributes_sorted_by_key(self):
+        op = Operation("t.a", attributes={"z": IntegerAttr(1),
+                                          "a": StringAttr("s")})
+        text = print_op(op)
+        assert text.index("a =") < text.index("z =")
+
+    def test_empty_everything(self):
+        assert print_op(Operation("t.nop")) == '"t.nop"() : () -> ()'
+
+    def test_multiple_results(self):
+        op = Operation("t.two", result_types=[i32, f32])
+        assert print_op(op).startswith("%0, %1 = ")

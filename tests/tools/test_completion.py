@@ -1,0 +1,86 @@
+"""Completion and signature-help queries (the LSP foundation)."""
+
+import pytest
+
+from repro.builtin import f32, i32
+from repro.tools.completion import (
+    complete_attr_name,
+    complete_op_name,
+    complete_type_name,
+    ops_accepting_type,
+    signature_help,
+)
+
+
+class TestNameCompletion:
+    def test_op_prefix_completion(self, cmath_ctx):
+        items = complete_op_name(cmath_ctx, "cmath.")
+        names = [item.text for item in items]
+        assert names == ["cmath.create_constant", "cmath.log", "cmath.mul",
+                         "cmath.norm"]
+
+    def test_op_completion_includes_summaries(self, cmath_ctx):
+        items = complete_op_name(cmath_ctx, "cmath.mul")
+        assert items[0].detail == "Multiply two complex numbers"
+
+    def test_cross_dialect_prefix(self, cmath_ctx):
+        names = [i.text for i in complete_op_name(cmath_ctx, "arith.add")]
+        assert "arith.addi" in names and "arith.addf" in names
+
+    def test_type_completion_shows_parameters(self, cmath_ctx):
+        items = complete_type_name(cmath_ctx, "cmath.")
+        assert items[0].text == "!cmath.complex"
+        assert items[0].detail == "<elementType>"
+
+    def test_attr_completion(self, cmath_ctx):
+        names = [i.text for i in complete_attr_name(cmath_ctx, "builtin.s")]
+        assert "#builtin.string" in names
+
+    def test_empty_prefix_lists_everything(self, cmath_ctx):
+        assert len(complete_op_name(cmath_ctx, "")) > 10
+
+
+class TestSignatureHelp:
+    def test_irdl_op_signature(self, cmath_ctx):
+        signature = signature_help(cmath_ctx, "cmath.mul")
+        assert signature.startswith("cmath.mul(lhs:")
+        assert "-> (res:" in signature
+
+    def test_optional_marked(self, cmath_ctx):
+        signature = signature_help(cmath_ctx, "cmath.log")
+        assert "base:" in signature and "?" in signature
+
+    def test_attributes_in_signature(self, cmath_ctx):
+        signature = signature_help(cmath_ctx, "cmath.create_constant")
+        assert "{re:" in signature
+
+    def test_native_op_has_no_structured_signature(self, cmath_ctx):
+        assert signature_help(cmath_ctx, "arith.addi") is None
+
+    def test_unknown_op(self, cmath_ctx):
+        assert signature_help(cmath_ctx, "nope.op") is None
+
+    def test_terminator_annotated(self, ctx):
+        from repro.irdl import register_irdl
+
+        register_irdl(ctx, "Dialect d { Operation stop { Successors () } }")
+        assert "// terminator" in signature_help(ctx, "d.stop")
+
+
+class TestReverseLookup:
+    def test_ops_accepting_complex(self, cmath_ctx):
+        complex_f32 = cmath_ctx.make_type("cmath.complex", [f32])
+        names = ops_accepting_type(cmath_ctx, complex_f32)
+        assert names == ["cmath.log", "cmath.mul", "cmath.norm"]
+
+    def test_ops_accepting_f32(self, cmath_ctx):
+        names = ops_accepting_type(cmath_ctx, f32)
+        # norm's operand requires complex; log's optional base takes f32.
+        assert "cmath.log" in names and "cmath.norm" not in names
+
+    def test_no_matches(self, cmath_ctx):
+        from repro.builtin import TensorType
+
+        assert ops_accepting_type(
+            cmath_ctx, TensorType([2], i32)
+        ) == []

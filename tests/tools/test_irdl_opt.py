@@ -1,0 +1,205 @@
+"""The irdl-opt command-line driver."""
+
+import pytest
+
+from repro.corpus import cmath_source, dialect_source_path
+from repro.tools.irdl_opt import main
+
+GOOD_IR = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>):
+  %n = cmath.norm %p : f32
+  "func.return"(%n) : (f32) -> ()
+}) {sym_name = "n", function_type = (!cmath.complex<f32>) -> f32} : () -> ()
+"""
+
+BAD_IR = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f64>):
+  %m = "cmath.mul"(%p, %q) : (!cmath.complex<f32>, !cmath.complex<f64>)
+       -> (!cmath.complex<f32>)
+  "func.return"() : () -> ()
+}) {sym_name = "bad",
+    function_type = (!cmath.complex<f32>, !cmath.complex<f64>) -> ()}
+   : () -> ()
+"""
+
+
+@pytest.fixture
+def cmath_irdl(tmp_path):
+    path = tmp_path / "cmath.irdl"
+    path.write_text(cmath_source())
+    return str(path)
+
+
+def write_ir(tmp_path, text):
+    path = tmp_path / "input.mlir"
+    path.write_text(text)
+    return str(path)
+
+
+class TestDriver:
+    def test_parse_verify_print(self, tmp_path, cmath_irdl, capsys):
+        exit_code = main(["--irdl", cmath_irdl, write_ir(tmp_path, GOOD_IR)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "cmath.norm %p : f32" in out
+
+    def test_verification_failure_is_an_error(self, tmp_path, cmath_irdl, capsys):
+        exit_code = main(["--irdl", cmath_irdl, write_ir(tmp_path, BAD_IR)])
+        assert exit_code == 1
+        assert "verification failed" in capsys.readouterr().err
+
+    def test_verify_diagnostics_mode(self, tmp_path, cmath_irdl, capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl, "--verify-diagnostics",
+            write_ir(tmp_path, BAD_IR),
+        ])
+        assert exit_code == 0
+        assert "as expected" in capsys.readouterr().out
+
+    def test_verify_diagnostics_rejects_valid_ir(self, tmp_path, cmath_irdl):
+        exit_code = main([
+            "--irdl", cmath_irdl, "--verify-diagnostics",
+            write_ir(tmp_path, GOOD_IR),
+        ])
+        assert exit_code == 1
+
+    def test_no_verify_skips_checks(self, tmp_path, cmath_irdl):
+        exit_code = main([
+            "--irdl", cmath_irdl, "--no-verify", write_ir(tmp_path, BAD_IR)
+        ])
+        assert exit_code == 0
+
+    def test_parse_error_reported(self, tmp_path, cmath_irdl, capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl, write_ir(tmp_path, '"cmath.nope"() :')
+        ])
+        assert exit_code == 1
+
+    def test_bad_irdl_file_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.irdl"
+        bad.write_text("Dialect { }")
+        exit_code = main([str(bad), "--irdl", str(bad)])
+        assert exit_code == 1
+
+    def test_missing_input(self, capsys):
+        assert main([]) == 1
+
+    def test_dump_dialect(self, cmath_irdl, capsys):
+        exit_code = main(["--dump-dialect", cmath_irdl])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Dialect cmath:" in out
+        assert "Type complex(elementType)" in out
+        assert "Operation mul: 2 operands, 1 results" in out
+
+    def test_dump_corpus_dialect(self, capsys):
+        exit_code = main(["--dump-dialect", dialect_source_path("scf")])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Operation yield" in out and "terminator" in out
+
+    def test_doc_rendering(self, cmath_irdl, capsys):
+        exit_code = main(["--doc", cmath_irdl])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "# Dialect `cmath`" in out and "### `cmath.mul`" in out
+
+    def test_complete(self, cmath_irdl, capsys):
+        exit_code = main(["--irdl", cmath_irdl, "--complete", "cmath.n"])
+        assert exit_code == 0
+        assert "cmath.norm" in capsys.readouterr().out
+
+    def test_generate(self, cmath_irdl, capsys):
+        exit_code = main(["--irdl", cmath_irdl, "--generate", "8",
+                          "--seed", "2"])
+        assert exit_code == 0
+        assert "builtin.module" in capsys.readouterr().out
+
+
+CONORM = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %np = cmath.norm %p : f32
+  %nq = cmath.norm %q : f32
+  %pq = "arith.mulf"(%np, %nq) : (f32, f32) -> (f32)
+  "func.return"(%pq) : (f32) -> ()
+}) {sym_name = "conorm",
+    function_type = (!cmath.complex<f32>, !cmath.complex<f32>) -> f32}
+   : () -> ()
+"""
+
+PATTERN = """
+Pattern norm_of_product {
+  Match {
+    %na = cmath.norm(%a)
+    %nb = cmath.norm(%b)
+    %r = arith.mulf(%na, %nb)
+  }
+  Rewrite {
+    %m = cmath.mul(%a, %b)
+    %r = cmath.norm(%m)
+  }
+}
+"""
+
+
+class TestCorpusStats:
+    def test_corpus_stats_prints_every_figure(self, capsys):
+        exit_code = main(["--corpus-stats"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 1", "Figure 3", "Figure 4", "Figure 5a",
+                       "Figure 6a", "Figure 7a", "Figure 8a", "Figure 9",
+                       "Figure 11", "Figure 12"):
+            assert marker in out, marker
+        assert "total 942" in out
+
+
+class TestCfgEmission:
+    def test_emit_cfg(self, tmp_path, cmath_irdl, capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl, "--emit-cfg", write_ir(tmp_path, GOOD_IR)
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "n.0"')
+        assert "cmath.norm" in out
+
+
+class TestPatternApplication:
+    def test_patterns_applied_and_cleaned(self, tmp_path, cmath_irdl, capsys):
+        pattern_file = tmp_path / "conorm.pattern"
+        pattern_file.write_text(PATTERN)
+        exit_code = main([
+            "--irdl", cmath_irdl, "--patterns", str(pattern_file),
+            write_ir(tmp_path, CONORM),
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "cmath.mul" in out
+        assert out.count("cmath.norm") == 1
+
+    def test_bad_pattern_file_reported(self, tmp_path, cmath_irdl, capsys):
+        pattern_file = tmp_path / "bad.pattern"
+        pattern_file.write_text("Pattern broken { Match { } Rewrite { } }")
+        exit_code = main([
+            "--irdl", cmath_irdl, "--patterns", str(pattern_file),
+            write_ir(tmp_path, CONORM),
+        ])
+        assert exit_code == 1
+
+    def test_shipped_example_pattern_file(self, tmp_path, cmath_irdl, capsys):
+        import os
+
+        shipped = os.path.join(
+            os.path.dirname(__file__), "..", "..", "examples", "patterns",
+            "conorm.pattern",
+        )
+        exit_code = main([
+            "--irdl", cmath_irdl, "--patterns", shipped,
+            write_ir(tmp_path, CONORM),
+        ])
+        assert exit_code == 0
+        assert "cmath.mul" in capsys.readouterr().out

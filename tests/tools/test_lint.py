@@ -1,0 +1,135 @@
+"""The IRDL linter: definition-level diagnostics."""
+
+import pytest
+
+from repro.builtin import default_context
+from repro.corpus import parse_corpus_decl
+from repro.irdl import register_dialect, register_irdl
+from repro.irdl.parser import parse_irdl
+from repro.tools.lint import LintFinding, lint_dialect, render_findings
+
+
+def lint(text):
+    ctx = default_context()
+    (decl,) = parse_irdl(text)
+    dialect = register_dialect(ctx, decl)
+    return lint_dialect(dialect, decl)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestSatisfiability:
+    def test_contradictory_and_reported(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            Operands (a: And<!f32, !f64>)
+            Summary "doc"
+          }
+        }
+        """)
+        assert "unsatisfiable-constraint" in codes(findings)
+
+    def test_not_anytype_reported(self):
+        findings = lint("""
+        Dialect d {
+          Type t {
+            Parameters (p: Not<AnyParam>)
+            Summary "doc"
+          }
+        }
+        """)
+        assert "unsatisfiable-constraint" in codes(findings)
+
+    def test_satisfiable_ops_clean(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            Operands (a: AnyOf<!f32, !f64>)
+            Summary "doc"
+          }
+        }
+        """)
+        assert "unsatisfiable-constraint" not in codes(findings)
+
+    def test_false_predicate_reported(self):
+        findings = lint("""
+        Dialect d {
+          Constraint Impossible : uint32_t { PyConstraint "False" Summary "s" }
+          Operation op { Attributes (a: Impossible) Summary "doc" }
+        }
+        """)
+        assert "unsatisfiable-constraint" in codes(findings)
+
+
+class TestStructuralLints:
+    def test_segment_note_for_multi_variadic(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            Operands (xs: Variadic<!f32>, ys: Variadic<!f32>)
+            Summary "doc"
+          }
+        }
+        """)
+        segment = [f for f in findings if f.code == "segment-attribute-required"]
+        assert len(segment) == 1
+        assert segment[0].severity == "note"
+        assert "operand_segment_sizes" in segment[0].message
+
+    def test_missing_summary_warning(self):
+        findings = lint("Dialect d { Operation quiet {} }")
+        assert codes(findings) == ["missing-summary"]
+
+    def test_unused_declarations(self):
+        findings = lint("""
+        Dialect d {
+          Alias !Unused = !f32
+          Constraint UnusedC : uint32_t { Summary "s" }
+          TypeOrAttrParam UnusedW { PyClassName "str" Summary "s" }
+          Operation op { Summary "doc" }
+        }
+        """)
+        assert set(codes(findings)) == {
+            "unused-alias", "unused-constraint", "unused-wrapper",
+        }
+
+    def test_used_declarations_not_reported(self):
+        findings = lint("""
+        Dialect d {
+          Alias !F = !f32
+          Operation op { Operands (a: !F) Summary "doc" }
+        }
+        """)
+        assert "unused-alias" not in codes(findings)
+
+
+class TestCorpusLint:
+    def test_cmath_is_clean(self, cmath_ctx):
+        dialect = cmath_ctx.get_dialect("cmath").irdl_def
+        decl = parse_irdl(__import__("repro.corpus", fromlist=["cmath_source"])
+                          .cmath_source())[0]
+        findings = lint_dialect(dialect, decl)
+        assert [f for f in findings if f.severity == "error"] == []
+
+    def test_hand_corpus_has_no_errors(self, hand_corpus):
+        _, defs = hand_corpus
+        for dialect in defs:
+            decl = parse_corpus_decl(dialect.name)
+            errors = [
+                f for f in lint_dialect(dialect, decl)
+                if f.severity == "error"
+            ]
+            assert errors == [], (dialect.name, errors)
+
+
+class TestRendering:
+    def test_render_empty(self):
+        assert render_findings([]) == "no findings\n"
+
+    def test_render_line_format(self):
+        finding = LintFinding("missing-summary", "warning", "d.op", "msg")
+        assert finding.render() == "warning[missing-summary] d.op: msg"
+        assert "warning[missing-summary]" in render_findings([finding])

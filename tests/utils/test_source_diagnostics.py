@@ -1,0 +1,59 @@
+"""Source positions and diagnostic rendering."""
+
+import pytest
+
+from repro.utils import Diagnostic, DiagnosticError, Position, SourceFile
+
+
+class TestSourceFile:
+    def test_position_of_offsets(self):
+        source = SourceFile("ab\ncd\n", "f.irdl")
+        assert source.position_of(0) == Position(1, 1)
+        assert source.position_of(1) == Position(1, 2)
+        assert source.position_of(3) == Position(2, 1)
+        assert source.position_of(4) == Position(2, 2)
+
+    def test_position_clamps_out_of_range(self):
+        source = SourceFile("ab")
+        assert source.position_of(99).line == 1
+        assert source.position_of(-5) == Position(1, 1)
+
+    def test_line_text(self):
+        source = SourceFile("first\nsecond")
+        assert source.line_text(1) == "first"
+        assert source.line_text(2) == "second"
+        assert source.line_text(3) == ""
+        assert source.line_text(0) == ""
+
+    def test_span_text_and_until(self):
+        source = SourceFile("hello world")
+        first = source.span(0, 5)
+        second = source.span(6, 11)
+        assert first.text == "hello"
+        assert first.until(second).text == "hello world"
+
+    def test_empty_file(self):
+        source = SourceFile("")
+        assert source.position_of(0) == Position(1, 1)
+
+
+class TestDiagnostics:
+    def test_render_with_caret(self):
+        source = SourceFile("Type complex {\n", "cmath.irdl")
+        diagnostic = Diagnostic("unknown keyword", source.span(5, 12))
+        rendered = diagnostic.render()
+        assert "cmath.irdl:1:6: error: unknown keyword" in rendered
+        assert "^~~~~~~" in rendered
+
+    def test_render_without_span(self):
+        assert Diagnostic("oops").render() == "error: oops"
+
+    def test_error_carries_diagnostics(self):
+        source = SourceFile("x", "f")
+        error = DiagnosticError.at("bad", source.span(0, 1))
+        assert len(error.diagnostics) == 1
+        assert "f:1:1" in str(error)
+
+    def test_severity_label(self):
+        diagnostic = Diagnostic("heads up", severity="warning")
+        assert diagnostic.render().startswith("warning:")
