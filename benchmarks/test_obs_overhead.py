@@ -1,0 +1,102 @@
+"""Disabled-instrumentation overhead: the observability guards are free.
+
+The repro.obs hooks in the hot layers (textual parse, derived
+verifiers, the rewrite driver) are guarded by a couple of attribute
+loads when observability is off.  This smoke check runs the same
+parse+verify pipeline through the instrumented entry point and through
+the raw internals, and asserts the instrumented path stays within 5%
+— the acceptance bound for the observability PR and the budget every
+future perf PR inherits.
+
+Timing is done with best-of-N ``perf_counter`` loops (not
+pytest-benchmark) so the check also runs in the CI smoke job, and the
+comparison retries a few times to ride out scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.builtin import default_context
+from repro.corpus import cmath_source
+from repro.irdl import register_irdl
+from repro.obs import OBS
+from repro.textir import parse_module
+from repro.textir.parser import IRParser
+
+CONORM = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %norm_p = cmath.norm %p : f32
+  %norm_q = cmath.norm %q : f32
+  %pq = "arith.mulf"(%norm_p, %norm_q) : (f32, f32) -> (f32)
+  "func.return"(%pq) : (f32) -> ()
+}) {sym_name = "conorm",
+    function_type = (!cmath.complex<f32>, !cmath.complex<f32>) -> f32}
+   : () -> ()
+"""
+
+MAX_OVERHEAD = 1.05
+ATTEMPTS = 4
+LOOPS = 30
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(LOOPS):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_disabled_instrumentation_overhead_under_5_percent():
+    assert not OBS.active, "observability must be off for this benchmark"
+    ctx = default_context()
+    register_irdl(ctx, cmath_source())
+
+    def instrumented():
+        scratch = ctx.clone()
+        module = parse_module(scratch, CONORM)
+        module.verify()
+
+    def raw():
+        scratch = ctx.clone()
+        module = IRParser(scratch, CONORM).parse_module()
+        module.verify()
+
+    # Warm up caches and code paths once each.
+    instrumented()
+    raw()
+
+    ratios = []
+    for _ in range(ATTEMPTS):
+        baseline = _best_of(raw)
+        guarded = _best_of(instrumented)
+        ratios.append(guarded / baseline)
+        if ratios[-1] <= MAX_OVERHEAD:
+            break
+    assert min(ratios) <= MAX_OVERHEAD, (
+        f"disabled-instrumentation overhead {min(ratios):.3f}x exceeds "
+        f"{MAX_OVERHEAD}x (ratios per attempt: "
+        f"{', '.join(f'{r:.3f}' for r in ratios)})"
+    )
+
+
+def test_enabling_metrics_does_not_change_results():
+    """Sanity: the instrumented pipeline computes the same IR either way."""
+    from repro.obs import MetricsRegistry, enable_metrics, reset
+    from repro.textir import print_op
+
+    ctx = default_context()
+    register_irdl(ctx, cmath_source())
+    plain = print_op(parse_module(ctx.clone(), CONORM))
+    enable_metrics(MetricsRegistry())
+    try:
+        observed = print_op(parse_module(ctx.clone(), CONORM))
+    finally:
+        reset()
+    assert observed == plain

@@ -73,3 +73,55 @@ def test_bench_derived_verifier_throughput(benchmark):
                               result_types=[ty])
     block.add_op(op)
     benchmark(op.verify)
+
+
+def test_pipeline_metrics_export():
+    """Run the instrumented pipeline once and emit BENCH_obs.json.
+
+    The machine-readable snapshot comes straight from the metrics
+    registry (repro.obs), so perf PRs can diff counters (tokens lexed,
+    ops verified, rewrites applied) alongside wall times.
+    """
+    import json
+    import os
+
+    from repro.obs import MetricsRegistry, enable_metrics, reset
+    from repro.rewriting import (
+        Canonicalizer,
+        DeadCodeElimination,
+        PassManager,
+        parse_patterns,
+    )
+
+    pattern_path = os.path.join(
+        os.path.dirname(__file__), "..", "examples", "patterns",
+        "conorm.pattern",
+    )
+    registry = enable_metrics(MetricsRegistry())
+    try:
+        ctx = default_context()
+        register_irdl(ctx, cmath_source())
+        module = parse_module(ctx, CONORM)
+        module.verify()
+        with open(pattern_path, encoding="utf-8") as handle:
+            patterns = parse_patterns(ctx, handle.read(), pattern_path)
+        manager = PassManager([
+            Canonicalizer(ctx, patterns), DeadCodeElimination(),
+        ])
+        manager.run(module)
+    finally:
+        reset()
+
+    snapshot = registry.snapshot()
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    out_path = os.path.join(results_dir, "BENCH_obs.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    counters = snapshot["counters"]
+    assert counters["irdl.instantiate.dialects_loaded"] == 1
+    assert counters["textir.parser.ops_parsed"] > 0
+    assert counters["rewriting.driver.rewrites_applied"] >= 1
+    assert "textir.parser.parse_time" in snapshot["timers"]

@@ -42,6 +42,8 @@ from repro.irdl.irdl_py import AttrProxy, compile_predicate
 from repro.irdl.parser import parse_irdl
 from repro.irdl.resolver import Scope, resolve_dialect_body
 from repro.irdl.verifier import make_op_verifier
+from repro.obs import timing as _timing
+from repro.obs.instrument import OBS
 
 
 class DynamicAttrDef(AttrDefBinding):
@@ -141,6 +143,24 @@ def register_dialect(context: Context, decl: ast.DialectDecl) -> DialectDef:
     Returns the resolved :class:`DialectDef` (also stored on the binding
     as ``binding.irdl_def`` for introspection and analysis tooling).
     """
+    if not OBS.active:
+        return _register_dialect(context, decl)
+    start = _timing.now()
+    with OBS.tracer.span(f"irdl.register:{decl.name}", category="irdl"):
+        dialect_def = _register_dialect(context, decl)
+    metrics = OBS.metrics
+    if metrics.enabled:
+        scope = metrics.scope("irdl.instantiate")
+        scope.counter("dialects_loaded").inc()
+        scope.counter("ops_instantiated").inc(len(dialect_def.operations))
+        scope.counter("types_instantiated").inc(
+            len(dialect_def.types) + len(dialect_def.attributes)
+        )
+        scope.timer("register_time").record(_timing.now() - start)
+    return dialect_def
+
+
+def _register_dialect(context: Context, decl: ast.DialectDecl) -> DialectDef:
     if context.get_dialect(decl.name) is not None:
         raise UnregisteredConstructError(
             f"dialect {decl.name!r} is already registered"

@@ -28,6 +28,7 @@ from repro.irdl.ast import Variadicity
 from repro.irdl.constraints import ConstraintContext
 from repro.irdl.defs import ArgDef, OpDef
 from repro.irdl.irdl_py import compile_op_predicate, run_op_predicate
+from repro.obs.instrument import OBS
 
 if TYPE_CHECKING:
     from repro.ir.operation import Operation
@@ -128,7 +129,7 @@ def make_op_verifier(op_def: OpDef) -> Callable[["Operation"], None]:
         (code, compile_op_predicate(code)) for code in op_def.py_constraints
     ]
 
-    def verify(op: "Operation") -> None:
+    def run_checks(op: "Operation") -> None:
         cctx = ConstraintContext()
         _verify_values(op, op.operands, op_def.operands, "operand", cctx)
         _verify_values(op, op.results, op_def.results, "result", cctx)
@@ -137,6 +138,18 @@ def make_op_verifier(op_def: OpDef) -> Callable[["Operation"], None]:
         _verify_successors(op, op_def)
         for code, predicate in predicates:
             run_op_predicate(predicate, code, op, op_def)
+
+    def verify(op: "Operation") -> None:
+        metrics = OBS.metrics
+        if not metrics.enabled:
+            run_checks(op)
+            return
+        metrics.counter("irdl.verifier.ops_verified").inc()
+        try:
+            run_checks(op)
+        except VerifyError:
+            metrics.counter(f"irdl.verifier.failures.{op.name}").inc()
+            raise
 
     return verify
 
@@ -157,9 +170,17 @@ def _verify_values(
                 raise VerifyError(
                     f"{op.name}: {kind} {arg_def.name!r}: {err}", obj=op
                 ) from err
+    if OBS.metrics.enabled:
+        OBS.metrics.counter("irdl.verifier.constraint_checks").inc(
+            sum(len(segment) for segment in segments)
+        )
 
 
 def _verify_attributes(op: "Operation", op_def: OpDef, cctx: ConstraintContext) -> None:
+    if op_def.attributes and OBS.metrics.enabled:
+        OBS.metrics.counter("irdl.verifier.constraint_checks").inc(
+            len(op_def.attributes)
+        )
     for attr_def in op_def.attributes:
         attr = op.attributes.get(attr_def.name)
         if attr is None:

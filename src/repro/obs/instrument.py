@@ -1,0 +1,103 @@
+"""The global observability switchboard the pipeline layers consult.
+
+Hot code imports the singleton :data:`OBS` once and guards with
+``OBS.active`` (or ``OBS.metrics.enabled``), so the disabled pipeline
+pays a couple of attribute loads per instrumented region — nothing is
+allocated and no names are formatted.  Enabling observability swaps the
+fields of the singleton in place, which every importer observes
+immediately (the object identity never changes).
+
+Typical instrumentation site::
+
+    from repro.obs.instrument import OBS
+
+    def parse(...):
+        if not OBS.active:
+            return _parse(...)            # the untouched fast path
+        with OBS.tracer.span("textir.parse"):
+            result = _parse(...)
+        OBS.metrics.counter("textir.parser.ops_parsed").inc(n)
+        return result
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.obs import timing
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
+
+if TYPE_CHECKING:
+    from repro.ir.operation import Operation
+
+
+class Observability:
+    """The pair of global sinks: a metrics registry and a tracer."""
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(self):
+        self.metrics = MetricsRegistry(enabled=False)
+        self.tracer: Tracer | NullTracer = NULL_TRACER
+
+    @property
+    def active(self) -> bool:
+        return self.metrics.enabled or self.tracer.enabled
+
+
+#: The process-wide observability state.  Mutated in place — never rebound.
+OBS = Observability()
+
+
+def enable_metrics(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install (and enable) a metrics registry; returns it."""
+    OBS.metrics = registry if registry is not None else MetricsRegistry()
+    OBS.metrics.enable()
+    return OBS.metrics
+
+
+def disable_metrics() -> MetricsRegistry:
+    """Disable metric collection, keeping recorded values readable."""
+    OBS.metrics.disable()
+    return OBS.metrics
+
+
+def install_tracer(tracer: Tracer | None = None) -> Tracer:
+    """Install (and return) a tracer; spans start recording immediately."""
+    installed = tracer if tracer is not None else Tracer()
+    OBS.tracer = installed
+    return installed
+
+
+def uninstall_tracer() -> Tracer | NullTracer:
+    """Stop tracing; returns the tracer that was collecting events."""
+    previous = OBS.tracer
+    OBS.tracer = NULL_TRACER
+    return previous
+
+
+def reset() -> None:
+    """Return the global state to its fully disabled default."""
+    OBS.metrics = MetricsRegistry(enabled=False)
+    OBS.tracer = NULL_TRACER
+
+
+@contextmanager
+def observed(span_name: str, timer_name: str | None = None,
+             category: str = "repro") -> Iterator[None]:
+    """Span + timer in one guard, for call sites outside the hot loops."""
+    if not OBS.active:
+        yield
+        return
+    start = timing.now()
+    with OBS.tracer.span(span_name, category=category):
+        yield
+    if timer_name is not None and OBS.metrics.enabled:
+        OBS.metrics.timer(timer_name).record(timing.now() - start)
+
+
+def count_ops(root: "Operation") -> int:
+    """The number of operations under (and including) ``root``."""
+    return sum(1 for _ in root.walk())

@@ -1,0 +1,316 @@
+"""Counters, timers, and histograms behind a toggleable registry.
+
+The observability layer (``repro.obs``) mirrors MLIR's pass statistics
+and ``-mlir-timing`` infrastructure: the pipeline layers record *named*
+metrics into a :class:`MetricsRegistry`, and reporting is a separate
+concern (:mod:`repro.obs.report`).
+
+The registry has a **zero-overhead no-op mode**: when disabled, every
+``counter()``/``timer()``/``histogram()`` lookup returns a shared null
+instrument whose mutators do nothing, so instrumented code pays only an
+attribute check.  Hot paths additionally guard on ``registry.enabled``
+so they skip even the argument construction when observability is off.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Timer:
+    """Accumulated wall time over any number of recorded intervals."""
+
+    __slots__ = ("name", "total", "count", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.total += seconds
+        self.count += 1
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @contextmanager
+    def time(self) -> Iterator["Timer"]:
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(time.perf_counter() - start)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"Timer({self.name!r}, total={self.total:.6f}, n={self.count})"
+
+
+class Histogram:
+    """A power-of-two bucketed distribution of non-negative samples.
+
+    Buckets are keyed by their inclusive upper bound ``2**k`` (plus a
+    dedicated ``0`` bucket), which is compact, deterministic, and enough
+    to answer "are parses mostly 100 ops or 100k ops" questions without
+    storing every sample.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self.buckets: dict[float, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        bound = 0.0 if value <= 0 else 2.0 ** math.ceil(math.log2(value))
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class _NullContext:
+    """A reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullCounter:
+    """Shared no-op counter returned by a disabled registry."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+
+class NullTimer:
+    """Shared no-op timer returned by a disabled registry."""
+
+    __slots__ = ()
+    name = "<null>"
+    total = 0.0
+    count = 0
+    mean = 0.0
+
+    def record(self, seconds: float) -> None:
+        return None
+
+    def time(self) -> _NullContext:
+        return _NULL_CONTEXT
+
+
+class NullHistogram:
+    """Shared no-op histogram returned by a disabled registry."""
+
+    __slots__ = ()
+    name = "<null>"
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+NULL_COUNTER = NullCounter()
+NULL_TIMER = NullTimer()
+NULL_HISTOGRAM = NullHistogram()
+
+
+class MetricsRegistry:
+    """A named collection of counters, timers, and histograms.
+
+    Instruments are created on first use and identified by dotted names
+    (``textir.parser.ops_parsed``).  Use :meth:`scope` to hand a
+    component a view that prefixes every name it records under.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def enable(self) -> "MetricsRegistry":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "MetricsRegistry":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        """Drop every recorded instrument (the enabled flag is kept)."""
+        self._counters.clear()
+        self._timers.clear()
+        self._histograms.clear()
+
+    # -- instrument lookup ---------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        if not self.enabled:
+            return NULL_TIMER  # type: ignore[return-value]
+        instrument = self._timers.get(name)
+        if instrument is None:
+            instrument = self._timers[name] = Timer(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        return MetricsScope(self, prefix)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def counters(self) -> list[Counter]:
+        return [self._counters[k] for k in sorted(self._counters)]
+
+    @property
+    def timers(self) -> list[Timer]:
+        return [self._timers[k] for k in sorted(self._timers)]
+
+    @property
+    def histograms(self) -> list[Histogram]:
+        return [self._histograms[k] for k in sorted(self._histograms)]
+
+    def value_of(self, name: str) -> int | float | None:
+        """The current value of a counter (or total of a timer), if any."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._timers:
+            return self._timers[name].total
+        if name in self._histograms:
+            return self._histograms[name].total
+        return None
+
+    def snapshot(self) -> dict[str, Any]:
+        """A machine-readable dump of every instrument."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "timers": {
+                name: {
+                    "total_s": t.total,
+                    "count": t.count,
+                    "mean_s": t.mean,
+                    "min_s": t.min if t.count else 0.0,
+                    "max_s": t.max,
+                }
+                for name, t in sorted(self._timers.items())
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "mean": h.mean,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max,
+                    "buckets": {
+                        str(bound): n for bound, n in sorted(h.buckets.items())
+                    },
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+class MetricsScope:
+    """A registry view that prefixes every instrument name it touches."""
+
+    __slots__ = ("registry", "prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str):
+        self.registry = registry
+        self.prefix = prefix
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(f"{self.prefix}.{name}")
+
+    def timer(self, name: str) -> Timer:
+        return self.registry.timer(f"{self.prefix}.{name}")
+
+    def histogram(self, name: str) -> Histogram:
+        return self.registry.histogram(f"{self.prefix}.{name}")
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        return MetricsScope(self.registry, f"{self.prefix}.{prefix}")

@@ -1,0 +1,102 @@
+"""Text renderers for the observability layer.
+
+Three MLIR-flavoured reports:
+
+* :func:`render_timing_report` — the ``--timing`` execution-time table
+  (the shape of ``-mlir-timing``), with IR op-count deltas per pass when
+  the pipeline collected them;
+* :func:`render_pass_statistics` — the ``--pass-statistics`` report,
+  ``(S)``-prefixed statistic lines grouped per pass;
+* :func:`render_metrics` — a catalog dump of a
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timing import PassRunRecord
+
+_WIDTH = 79
+
+
+def _banner(title: str) -> list[str]:
+    bar = "===" + "-" * (_WIDTH - 6) + "==="
+    return [bar, f"... {title} ...".center(_WIDTH).rstrip(), bar]
+
+
+def render_timing_report(records: Sequence[PassRunRecord],
+                         total: float | None = None) -> str:
+    """Render per-pass wall times in the style of ``-mlir-timing``."""
+    lines = _banner("Execution time report")
+    if total is None:
+        total = sum(record.wall_time for record in records)
+    lines.append(f"  Total Execution Time: {total:.4f} seconds")
+    lines.append("")
+    lines.append("  ----Wall Time----  ----Name----")
+
+    def row(seconds: float, name: str) -> str:
+        percent = 100.0 * seconds / total if total > 0 else 0.0
+        return f"  {seconds:9.4f} ({percent:5.1f}%)  {name}"
+
+    for record in records:
+        name = record.name
+        delta = record.ops_delta
+        if delta is not None:
+            name += f" (ops: {record.ops_before} -> {record.ops_after})"
+        lines.append(row(record.wall_time, name))
+    lines.append(row(total, "Total"))
+    return "\n".join(lines)
+
+
+def render_pass_statistics(
+    sections: Sequence[tuple[str, Sequence[tuple[str, int]]]],
+) -> str:
+    """Render ``(S)`` statistic lines grouped per pass, as MLIR does."""
+    lines = _banner("Pass statistics report")
+    width = max(
+        (len(str(value)) for _, stats in sections for _, value in stats),
+        default=1,
+    )
+    for pass_name, stats in sections:
+        lines.append(f"'{pass_name}'")
+        for label, value in stats:
+            lines.append(f"  (S) {value:>{width}} {label}")
+    return "\n".join(lines)
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Render the full metric catalog of a registry, sorted by name."""
+    lines = _banner("Metrics report")
+    counters = registry.counters
+    timers = registry.timers
+    histograms = registry.histograms
+    if not (counters or timers or histograms):
+        lines.append("  (no metrics recorded)")
+        return "\n".join(lines)
+
+    def pad(name: str) -> str:
+        dots = max(2, 46 - len(name))
+        return f"  {name} {'.' * dots}"
+
+    if counters:
+        lines.append("Counters:")
+        for counter in counters:
+            lines.append(f"{pad(counter.name)} {counter.value}")
+    if timers:
+        lines.append("Timers:")
+        for timer in timers:
+            lines.append(
+                f"{pad(timer.name)} {timer.total:.4f} s "
+                f"(n={timer.count}, mean {timer.mean:.4f} s)"
+            )
+    if histograms:
+        lines.append("Histograms:")
+        for histogram in histograms:
+            lines.append(
+                f"{pad(histogram.name)} n={histogram.count} "
+                f"min={histogram.min if histogram.count else 0:g} "
+                f"mean={histogram.mean:g} max={histogram.max:g}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Wall-clock bookkeeping for pass pipelines.
+
+:class:`PassRunRecord` is the unit the :class:`~repro.rewriting.passes.
+PassManager` emits per pass execution; :func:`repro.obs.report.
+render_timing_report` turns a sequence of them into the MLIR-style
+``--timing`` report.
+
+The clock is the module attribute :data:`now` so tests can monkeypatch
+``repro.obs.timing.now`` with a deterministic counter and golden-test
+the rendered report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+#: The pipeline clock.  Monkeypatchable: ``repro.obs.timing.now = fake``.
+now = time.perf_counter
+
+
+@dataclass(frozen=True)
+class PassRunRecord:
+    """One timed execution of a named pipeline phase."""
+
+    name: str
+    wall_time: float
+    changed: bool | None = None
+    ops_before: int | None = None
+    ops_after: int | None = None
+
+    @property
+    def ops_delta(self) -> int | None:
+        """IR op-count change (negative when the pass shrank the IR)."""
+        if self.ops_before is None or self.ops_after is None:
+            return None
+        return self.ops_after - self.ops_before

@@ -1,0 +1,127 @@
+"""Chrome trace-event emission: nested spans over the pipeline.
+
+A :class:`Tracer` records *complete* events (``"ph": "X"``) in the
+`Trace Event Format`_ that ``chrome://tracing`` and Perfetto load
+directly.  Spans nest lexically via :meth:`Tracer.span`; because
+complete events carry a start timestamp and a duration on one thread
+track, the viewers reconstruct the nesting from timing alone.
+
+The shared :class:`NullTracer` keeps the disabled path allocation-free:
+its ``span``/``instant`` cost one method call returning a reusable
+no-op context manager.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.metrics import _NULL_CONTEXT, _NullContext
+
+
+class Tracer:
+    """Collects trace events with timestamps relative to its creation."""
+
+    enabled = True
+
+    def __init__(self, process_name: str = "repro"):
+        self.process_name = process_name
+        self.events: list[dict[str, Any]] = []
+        self._origin = time.perf_counter()
+        self._depth = 0
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._origin) * 1e6
+
+    @contextmanager
+    def span(self, name: str, category: str = "repro",
+             **args: Any) -> Iterator[None]:
+        """Record a complete event covering the ``with`` body.
+
+        Spans opened inside the body become visually nested children in
+        the trace viewer.
+        """
+        start = self._now_us()
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            event: dict[str, Any] = {
+                "name": name,
+                "cat": category,
+                "ph": "X",
+                "pid": 1,
+                "tid": 1,
+                "ts": round(start, 3),
+                "dur": round(self._now_us() - start, 3),
+            }
+            if args:
+                event["args"] = args
+            self.events.append(event)
+
+    def instant(self, name: str, category: str = "repro",
+                **args: Any) -> None:
+        """Record a zero-duration marker (rendered as a tick)."""
+        event: dict[str, Any] = {
+            "name": name,
+            "cat": category,
+            "ph": "i",
+            "s": "t",
+            "pid": 1,
+            "tid": 1,
+            "ts": round(self._now_us(), 3),
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-object form of the trace (``traceEvents`` container)."""
+        metadata = {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": self.process_name},
+        }
+        events = sorted(
+            self.events, key=lambda e: (e.get("ts", 0.0), -e.get("dur", 0.0))
+        )
+        return {
+            "traceEvents": [metadata, *events],
+            "displayTimeUnit": "ms",
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a cheap no-op."""
+
+    enabled = False
+    events: list[dict[str, Any]] = []
+
+    __slots__ = ()
+
+    def span(self, name: str, category: str = "repro",
+             **args: Any) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def instant(self, name: str, category: str = "repro",
+                **args: Any) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()

@@ -12,7 +12,11 @@ from repro.rewriting.declarative import (
     infer_result_types,
     parse_patterns,
 )
-from repro.rewriting.driver import GreedyPatternDriver, apply_patterns_greedily
+from repro.rewriting.driver import (
+    GreedyPatternDriver,
+    PatternStatistics,
+    apply_patterns_greedily,
+)
 from repro.rewriting.passes import (
     Canonicalizer,
     CommonSubexpressionElimination,
@@ -39,6 +43,7 @@ __all__ = [
     "infer_result_types",
     "parse_patterns",
     "GreedyPatternDriver",
+    "PatternStatistics",
     "apply_patterns_greedily",
     "Canonicalizer",
     "CommonSubexpressionElimination",

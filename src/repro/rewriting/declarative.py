@@ -242,6 +242,10 @@ class DeclarativePattern(RewritePattern):
         self.decl = decl
         self.op_name = decl.root.op_name
 
+    @property
+    def label(self) -> str:
+        return self.decl.name
+
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         bindings: dict[str, SSAValue] = {}
         if not self._match(op, self.decl.root, bindings):

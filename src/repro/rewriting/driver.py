@@ -2,11 +2,21 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.ir.context import Context
 from repro.ir.operation import Operation
+from repro.obs.instrument import OBS
 from repro.rewriting.pattern import PatternRewriter, RewritePattern
+
+
+@dataclass
+class PatternStatistics:
+    """Match/apply tallies for one pattern label."""
+
+    attempts: int = 0
+    applications: int = 0
 
 
 class GreedyPatternDriver:
@@ -15,6 +25,11 @@ class GreedyPatternDriver:
     Patterns are sorted by descending benefit.  Each round walks every
     operation under the root and offers it to each applicable pattern;
     rounds repeat until no pattern fires or ``max_iterations`` is hit.
+
+    The driver keeps running statistics (match attempts vs. rewrites per
+    pattern, rounds to fixpoint) which accumulate across :meth:`run`
+    calls; they feed ``irdl-opt --pass-statistics`` and, when the
+    observability layer is enabled, the global metrics registry.
     """
 
     def __init__(
@@ -27,31 +42,66 @@ class GreedyPatternDriver:
         self.patterns = sorted(patterns, key=lambda p: -p.benefit)
         self.max_iterations = max_iterations
         self.rewrites_applied = 0
+        self.match_attempts = 0
+        self.rounds = 0
+        #: Per-pattern tallies, keyed by :attr:`RewritePattern.label`.
+        self.pattern_stats: dict[str, PatternStatistics] = {}
+        self._pattern_slots: list[tuple[RewritePattern, PatternStatistics]] = []
+        for rewrite_pattern in self.patterns:
+            stats = self.pattern_stats.setdefault(
+                rewrite_pattern.label, PatternStatistics()
+            )
+            self._pattern_slots.append((rewrite_pattern, stats))
 
     def run(self, root: Operation) -> bool:
         """Apply patterns under ``root``; returns True if anything changed."""
         any_change = False
-        for _ in range(self.max_iterations):
-            rewriter = PatternRewriter(self.context)
-            self._one_round(root, rewriter)
-            if not rewriter.changed:
-                return any_change
-            any_change = True
+        with OBS.tracer.span("rewriting.greedy_driver", category="rewriting"):
+            for _ in range(self.max_iterations):
+                self.rounds += 1
+                rewriter = PatternRewriter(self.context)
+                self._one_round(root, rewriter)
+                if not rewriter.changed:
+                    break
+                any_change = True
+        if OBS.metrics.enabled:
+            scope = OBS.metrics.scope("rewriting.driver")
+            scope.counter("rounds").inc(self.rounds)
+            scope.counter("match_attempts").inc(self.match_attempts)
+            scope.counter("rewrites_applied").inc(self.rewrites_applied)
         return any_change
 
     def _one_round(self, root: Operation, rewriter: PatternRewriter) -> None:
+        attempts = 0
         for op in list(root.walk(include_self=False)):
             if op.parent is None and op is not root:
                 continue  # erased by an earlier rewrite this round
-            for rewrite_pattern in self.patterns:
+            for rewrite_pattern, stats in self._pattern_slots:
                 if (
                     rewrite_pattern.op_name is not None
                     and op.name != rewrite_pattern.op_name
                 ):
                     continue
+                attempts += 1
+                stats.attempts += 1
                 if rewrite_pattern.match_and_rewrite(op, rewriter):
                     self.rewrites_applied += 1
+                    stats.applications += 1
                     break
+        self.match_attempts += attempts
+
+    def statistics(self) -> list[tuple[str, int]]:
+        """``(label, value)`` statistic rows for ``--pass-statistics``."""
+        rows = [
+            ("pattern-match-attempts", self.match_attempts),
+            ("pattern-rewrites", self.rewrites_applied),
+            ("rounds-to-fixpoint", self.rounds),
+        ]
+        for label in sorted(self.pattern_stats):
+            stats = self.pattern_stats[label]
+            rows.append((f"{label}.match-attempts", stats.attempts))
+            rows.append((f"{label}.rewrites", stats.applications))
+        return rows
 
 
 def apply_patterns_greedily(

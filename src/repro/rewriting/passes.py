@@ -26,6 +26,9 @@ from typing import Callable, Iterable, Sequence
 from repro.ir.attributes import Attribute
 from repro.ir.context import Context
 from repro.ir.operation import Operation
+from repro.obs import timing as _timing
+from repro.obs.instrument import OBS, count_ops
+from repro.obs.timing import PassRunRecord
 from repro.rewriting.driver import GreedyPatternDriver
 from repro.rewriting.pattern import RewritePattern
 
@@ -47,6 +50,10 @@ class Pass:
     def run(self, root: Operation) -> bool:
         """Transform ``root``; return True when anything changed."""
         raise NotImplementedError
+
+    def statistics(self) -> list[tuple[str, int]]:
+        """``(label, value)`` rows for the ``--pass-statistics`` report."""
+        return []
 
 
 class DeadCodeElimination(Pass):
@@ -181,11 +188,16 @@ class Canonicalizer(Pass):
         self.context = context
         self.patterns = list(patterns)
         self.max_iterations = max_iterations
+        #: The persistent driver; its statistics accumulate across runs
+        #: and back this pass's :meth:`statistics`.
+        self.driver = GreedyPatternDriver(context, self.patterns,
+                                          max_iterations)
 
     def run(self, root: Operation) -> bool:
-        driver = GreedyPatternDriver(self.context, self.patterns,
-                                     self.max_iterations)
-        return driver.run(root)
+        return self.driver.run(root)
+
+    def statistics(self) -> list[tuple[str, int]]:
+        return self.driver.statistics()
 
 
 class VerifyPass(Pass):
@@ -202,7 +214,16 @@ class VerifyPass(Pass):
 
 
 class PassManager:
-    """Runs a pipeline of passes, optionally verifying between them."""
+    """Runs a pipeline of passes, optionally verifying between them.
+
+    Every run produces two logs: :attr:`history`, the compact
+    ``(pass name, changed)`` pairs, and :attr:`records`, the
+    :class:`~repro.obs.timing.PassRunRecord` list carrying per-pass wall
+    time (always) and IR op-count deltas (when the observability layer
+    is active).  ``verify_each`` interleaves a :class:`VerifyPass` after
+    every pass; its cost shows up as ``verify`` rows in :attr:`records`
+    and hence in the ``--timing`` report.
+    """
 
     def __init__(self, passes: Iterable[Pass] = (),
                  verify_each: bool = False):
@@ -210,6 +231,8 @@ class PassManager:
         self.verify_each = verify_each
         #: (pass name, changed) log of the last run.
         self.history: list[tuple[str, bool]] = []
+        #: Timed per-pass records of the last run (incl. ``verify`` rows).
+        self.records: list[PassRunRecord] = []
 
     def add(self, new_pass: Pass) -> "PassManager":
         self.passes.append(new_pass)
@@ -217,12 +240,51 @@ class PassManager:
 
     def run(self, root: Operation) -> bool:
         self.history = []
+        self.records = []
         verifier = VerifyPass()
         changed_any = False
         for pipeline_pass in self.passes:
-            changed = pipeline_pass.run(root)
+            changed = self._run_timed(pipeline_pass, root)
             self.history.append((pipeline_pass.name, changed))
             changed_any |= changed
             if self.verify_each:
-                verifier.run(root)
+                self._run_timed(verifier, root)
         return changed_any
+
+    def _run_timed(self, pipeline_pass: Pass, root: Operation) -> bool:
+        active = OBS.active
+        ops_before = count_ops(root) if active else None
+        start = _timing.now()
+        if active:
+            with OBS.tracer.span(f"pass:{pipeline_pass.name}",
+                                 category="pass"):
+                changed = pipeline_pass.run(root)
+        else:
+            changed = pipeline_pass.run(root)
+        wall_time = _timing.now() - start
+        ops_after = count_ops(root) if active else None
+        self.records.append(PassRunRecord(
+            pipeline_pass.name, wall_time, changed, ops_before, ops_after,
+        ))
+        if OBS.metrics.enabled:
+            OBS.metrics.timer(
+                f"rewriting.passes.{pipeline_pass.name}"
+            ).record(wall_time)
+        return changed
+
+    def timing_report(self) -> str:
+        """The MLIR-style execution-time report of the last run."""
+        from repro.obs.report import render_timing_report
+
+        return render_timing_report(self.records)
+
+    def statistics_report(self) -> str:
+        """The ``--pass-statistics`` report over passes that have stats."""
+        from repro.obs.report import render_pass_statistics
+
+        sections = [
+            (pipeline_pass.name, pipeline_pass.statistics())
+            for pipeline_pass in self.passes
+            if pipeline_pass.statistics()
+        ]
+        return render_pass_statistics(sections)

@@ -95,6 +95,11 @@ class RewritePattern:
     #: Patterns with higher benefit run first, as in MLIR.
     benefit: int = 1
 
+    @property
+    def label(self) -> str:
+        """The name this pattern reports statistics under."""
+        return type(self).__name__
+
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         raise NotImplementedError
 
@@ -111,6 +116,10 @@ class FunctionPattern(RewritePattern):
         self.fn = fn
         self.op_name = op_name
         self.benefit = benefit
+
+    @property
+    def label(self) -> str:
+        return getattr(self.fn, "__name__", type(self).__name__)
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         return self.fn(op, rewriter)

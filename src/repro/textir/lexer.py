@@ -126,6 +126,9 @@ class Lexer:
         self.source = source
         self.text = source.contents
         self.pos = 0
+        #: Tokens produced so far (EOF excluded); read by the
+        #: observability layer after a parse (repro.obs).
+        self.tokens_lexed = 0
 
     def error(self, message: str, start: int) -> DiagnosticError:
         return DiagnosticError.at(message, self.source.span(start, self.pos + 1))
@@ -142,6 +145,12 @@ class Lexer:
                 return
 
     def next_token(self) -> Token:
+        token = self._next_token()
+        if token.kind is not TokenKind.EOF:
+            self.tokens_lexed += 1
+        return token
+
+    def _next_token(self) -> Token:
         self._skip_trivia()
         start = self.pos
         if self.pos >= len(self.text):

@@ -40,6 +40,8 @@ from repro.ir.params import (
 )
 from repro.ir.region import Region
 from repro.ir.value import SSAValue
+from repro.obs import timing as _timing
+from repro.obs.instrument import OBS, count_ops
 from repro.textir.lexer import Lexer, Token, TokenKind
 from repro.utils.diagnostics import DiagnosticError
 from repro.utils.source import SourceFile
@@ -763,4 +765,18 @@ class IRParser:
 
 def parse_module(context: Context, text: str, name: str = "<input>") -> Operation:
     """Parse textual IR into a ``builtin.module`` operation."""
-    return IRParser(context, text, name).parse_module()
+    parser = IRParser(context, text, name)
+    if not OBS.active:
+        return parser.parse_module()
+    start = _timing.now()
+    with OBS.tracer.span("textir.parse", category="textir", file=name):
+        module = parser.parse_module()
+    metrics = OBS.metrics
+    if metrics.enabled:
+        scope = metrics.scope("textir")
+        scope.timer("parser.parse_time").record(_timing.now() - start)
+        scope.counter("lexer.tokens").inc(parser._lexer.tokens_lexed)
+        ops_parsed = count_ops(module)
+        scope.counter("parser.ops_parsed").inc(ops_parsed)
+        scope.histogram("parser.module_ops").observe(ops_parsed)
+    return module

@@ -7,12 +7,24 @@ then parses, verifies, optionally round-trips, and prints textual IR::
     irdl-opt --irdl cmath.irdl --verify-diagnostics bad.mlir
     irdl-opt --dump-dialect cmath.irdl          # introspect a definition
     irdl-opt --corpus-stats                     # §6 analyses on the corpus
+
+The observability flags mirror MLIR's (``-mlir-timing``, pass
+statistics)::
+
+    irdl-opt --irdl cmath.irdl --patterns p.pattern --timing \\
+             --pass-statistics --trace-out trace.json input.mlir
+
+``--timing`` and ``--pass-statistics`` print reports to stderr so stdout
+stays valid IR; ``--trace-out`` writes Chrome trace-event JSON viewable
+in ``chrome://tracing`` or Perfetto.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
+from typing import Iterator
 
 from repro.builtin import default_context
 from repro.ir.exceptions import VerifyError
@@ -101,7 +113,105 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-verify", action="store_true", help="skip verification"
     )
+    parser.add_argument(
+        "--verify-each",
+        action="store_true",
+        help="verify the IR after each pass of the --patterns pipeline "
+        "(the cost shows up as 'verify' rows under --timing)",
+    )
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="print an MLIR-style execution time report (per phase and "
+        "per pass, with IR op-count deltas) to stderr",
+    )
+    parser.add_argument(
+        "--pass-statistics",
+        action="store_true",
+        help="print pass statistics (pattern match attempts, rewrites, "
+        "rounds to fixpoint) to stderr",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON file of the run (open in "
+        "chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the full metric catalog collected during the run to "
+        "stderr",
+    )
     return parser
+
+
+class _Observation:
+    """Per-invocation observability session driving the new flags."""
+
+    def __init__(self, args: argparse.Namespace):
+        self.args = args
+        self.enabled = bool(
+            args.timing or args.pass_statistics or args.trace_out
+            or args.metrics
+        )
+        self.registry = None
+        self.tracer = None
+        self.records: list = []
+        self.manager = None
+        if self.enabled:
+            from repro.obs import enable_metrics, install_tracer
+
+            self.registry = enable_metrics()
+            if args.trace_out:
+                self.tracer = install_tracer()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a pipeline phase and record it as a report row."""
+        if not self.enabled:
+            yield
+            return
+        from repro.obs import OBS, PassRunRecord, timing
+
+        start = timing.now()
+        with OBS.tracer.span(f"phase:{name}", category="irdl-opt"):
+            yield
+        self.records.append(PassRunRecord(name, timing.now() - start))
+
+    def adopt_pass_records(self, manager) -> None:
+        """Splice a PassManager's per-pass rows into the phase timeline."""
+        self.manager = manager
+        self.records.extend(manager.records)
+
+    def finish(self) -> bool:
+        """Emit the requested reports and tear down the global state.
+
+        Returns False when a requested artifact (the trace file) could
+        not be written, so the driver can fail the invocation.
+        """
+        if not self.enabled:
+            return True
+        from repro.obs import render_metrics, render_timing_report, reset
+
+        ok = True
+        try:
+            if self.tracer is not None and self.args.trace_out:
+                try:
+                    self.tracer.write(self.args.trace_out)
+                except OSError as err:
+                    print(f"error: cannot write trace file: {err}",
+                          file=sys.stderr)
+                    ok = False
+            if self.args.timing and self.records:
+                print(render_timing_report(self.records), file=sys.stderr)
+            if self.args.pass_statistics and self.manager is not None:
+                print(self.manager.statistics_report(), file=sys.stderr)
+            if self.args.metrics and self.registry is not None:
+                print(render_metrics(self.registry), file=sys.stderr)
+        finally:
+            reset()
+        return ok
 
 
 def dump_dialect(path: str) -> int:
@@ -224,14 +334,24 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         return 0
 
+    observation = _Observation(args)
+    try:
+        exit_code = _run_pipeline(args, observation)
+    finally:
+        finished = observation.finish()
+    return exit_code if finished else 1
+
+
+def _run_pipeline(args: argparse.Namespace, observation: _Observation) -> int:
     ctx = default_context()
     registered = []
-    for irdl_path in args.irdl:
-        try:
-            registered.extend(load_irdl_file(ctx, irdl_path))
-        except DiagnosticError as err:
-            print(err, file=sys.stderr)
-            return 1
+    with observation.phase("register-dialects"):
+        for irdl_path in args.irdl:
+            try:
+                registered.extend(load_irdl_file(ctx, irdl_path))
+            except DiagnosticError as err:
+                print(err, file=sys.stderr)
+                return 1
 
     if args.complete is not None:
         from repro.tools.completion import complete_op_name
@@ -259,14 +379,16 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.input, encoding="utf-8") as handle:
         text = handle.read()
     try:
-        module = parse_module(ctx, text, args.input)
+        with observation.phase("parse"):
+            module = parse_module(ctx, text, args.input)
     except DiagnosticError as err:
         print(err, file=sys.stderr)
         return 1
 
     if not args.no_verify:
         try:
-            module.verify()
+            with observation.phase("verify"):
+                module.verify()
         except VerifyError as err:
             if args.verify_diagnostics:
                 print(f"verification failed as expected: {err}")
@@ -279,8 +401,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.patterns:
         from repro.rewriting import (
+            Canonicalizer,
             DeadCodeElimination,
-            apply_patterns_greedily,
+            PassManager,
             parse_patterns,
         )
 
@@ -294,10 +417,14 @@ def main(argv: list[str] | None = None) -> int:
                 except DiagnosticError as err:
                     print(err, file=sys.stderr)
                     return 1
-        apply_patterns_greedily(ctx, module, all_patterns)
-        DeadCodeElimination().run(module)
+        manager = PassManager(verify_each=args.verify_each)
+        manager.add(Canonicalizer(ctx, all_patterns))
+        manager.add(DeadCodeElimination())
+        manager.run(module)
+        observation.adopt_pass_records(manager)
         if not args.no_verify:
-            module.verify()
+            with observation.phase("verify-output"):
+                module.verify()
 
     if args.emit_cfg:
         from repro.analysis.dot import cfg_to_dot
@@ -311,7 +438,9 @@ def main(argv: list[str] | None = None) -> int:
                 print(cfg_to_dot(region, f"{name}.{index}"))
         return 0
 
-    print(print_op(module))
+    with observation.phase("print"):
+        text_out = print_op(module)
+    print(text_out)
     return 0
 
 

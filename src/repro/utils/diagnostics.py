@@ -32,7 +32,12 @@ class Diagnostic:
         if not line:
             return header
         end = self.span.end_position
-        width = end.column - start.column if end.line == start.line else 1
+        if end.line == start.line:
+            width = end.column - start.column
+        else:
+            # Multi-line span: underline from the caret to the end of the
+            # first line (the viewer can't see the later lines anyway).
+            width = len(line) - start.column + 1
         width = max(1, width)
         caret = " " * (start.column - 1) + "^" + "~" * (width - 1)
         return f"{header}\n{line}\n{caret}"

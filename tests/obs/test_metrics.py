@@ -1,0 +1,145 @@
+"""Metrics registry semantics: instruments, scopes, no-op mode."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+    NULL_TIMER,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_counts_and_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(4)
+        assert registry.counter("a").value == 5
+
+    def test_distinct_names_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        assert registry.counter("b").value == 0
+
+
+class TestTimer:
+    def test_record_accumulates_totals_and_extrema(self):
+        timer = MetricsRegistry().timer("t")
+        timer.record(0.25)
+        timer.record(0.75)
+        assert timer.count == 2
+        assert timer.total == pytest.approx(1.0)
+        assert timer.min == pytest.approx(0.25)
+        assert timer.max == pytest.approx(0.75)
+        assert timer.mean == pytest.approx(0.5)
+
+    def test_time_context_manager_records_one_interval(self):
+        timer = MetricsRegistry().timer("t")
+        with timer.time():
+            pass
+        assert timer.count == 1
+        assert timer.total >= 0.0
+
+    def test_empty_timer_mean_is_zero(self):
+        assert MetricsRegistry().timer("t").mean == 0.0
+
+
+class TestHistogram:
+    def test_observations_bucket_by_power_of_two(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (0, 1, 3, 5, 100):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.buckets[0.0] == 1
+        assert histogram.buckets[1.0] == 1
+        assert histogram.buckets[4.0] == 1  # 3 -> bucket 4
+        assert histogram.buckets[8.0] == 1  # 5 -> bucket 8
+        assert histogram.buckets[128.0] == 1
+        assert histogram.min == 0
+        assert histogram.max == 100
+        assert histogram.mean == pytest.approx(109 / 5)
+
+
+class TestNoOpMode:
+    def test_disabled_registry_returns_shared_null_instruments(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("x") is NULL_COUNTER
+        assert registry.timer("x") is NULL_TIMER
+        assert registry.histogram("x") is NULL_HISTOGRAM
+
+    def test_null_instruments_swallow_everything(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("x").inc(10)
+        registry.timer("x").record(1.0)
+        with registry.timer("x").time():
+            pass
+        registry.histogram("x").observe(3)
+        assert registry.snapshot() == {
+            "counters": {}, "timers": {}, "histograms": {},
+        }
+
+    def test_reenabling_records_again(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("x").inc()
+        registry.enable()
+        registry.counter("x").inc()
+        assert registry.counter("x").value == 1
+
+
+class TestScopes:
+    def test_scope_prefixes_names(self):
+        registry = MetricsRegistry()
+        scope = registry.scope("textir")
+        scope.counter("tokens").inc(7)
+        assert registry.counter("textir.tokens").value == 7
+
+    def test_scopes_nest(self):
+        registry = MetricsRegistry()
+        inner = registry.scope("a").scope("b")
+        inner.timer("t").record(0.5)
+        assert registry.timer("a.b.t").total == pytest.approx(0.5)
+
+    def test_scope_reflects_registry_enabled_state(self):
+        registry = MetricsRegistry(enabled=False)
+        assert not registry.scope("s").enabled
+        registry.enable()
+        assert registry.scope("s").enabled
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serializable_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        registry.timer("t").record(0.5)
+        registry.histogram("h").observe(2)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["timers"]["t"]["count"] == 1
+        assert snapshot["histograms"]["h"]["buckets"] == {"2.0": 1}
+
+    def test_write_json_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc(3)
+        path = tmp_path / "metrics.json"
+        registry.write_json(str(path))
+        assert json.loads(path.read_text())["counters"] == {"a.b": 3}
+
+    def test_value_of_lookup(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.timer("t").record(1.5)
+        assert registry.value_of("c") == 2
+        assert registry.value_of("t") == pytest.approx(1.5)
+        assert registry.value_of("missing") is None
+
+    def test_reset_clears_instruments_but_keeps_enabled(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.enabled
+        assert registry.snapshot()["counters"] == {}

@@ -1,0 +1,112 @@
+"""Golden tests for the MLIR-style timing and statistics reports."""
+
+import itertools
+
+import pytest
+
+from repro.builtin import default_context
+from repro.obs import PassRunRecord, render_pass_statistics, render_timing_report
+from repro.rewriting import (
+    Canonicalizer,
+    CommonSubexpressionElimination,
+    DeadCodeElimination,
+    PassManager,
+    pattern,
+)
+
+
+@pytest.fixture
+def fake_clock(monkeypatch):
+    """Make repro.obs.timing.now return 0.0, 1.0, 2.0, ... per call."""
+    ticker = itertools.count()
+    monkeypatch.setattr(
+        "repro.obs.timing.now", lambda: float(next(ticker))
+    )
+
+
+def module_of(ctx):
+    from repro.ir import Block, Region
+
+    return ctx.create_operation("builtin.module", regions=[Region([Block()])])
+
+
+BANNER = "===" + "-" * 73 + "==="
+
+
+def title_line(title: str) -> str:
+    return f"... {title} ...".center(79).rstrip()
+
+
+class TestTimingReportGolden:
+    def test_pass_manager_timing_report(self, fake_clock):
+        ctx = default_context()
+        manager = PassManager([
+            DeadCodeElimination(), CommonSubexpressionElimination(),
+        ], verify_each=True)
+        manager.run(module_of(ctx))
+        # Each timed run consumes two ticks -> every wall time is 1.0s.
+        expected = "\n".join([
+            BANNER,
+            title_line("Execution time report"),
+            BANNER,
+            "  Total Execution Time: 4.0000 seconds",
+            "",
+            "  ----Wall Time----  ----Name----",
+            "     1.0000 ( 25.0%)  dce",
+            "     1.0000 ( 25.0%)  verify",
+            "     1.0000 ( 25.0%)  cse",
+            "     1.0000 ( 25.0%)  verify",
+            "     4.0000 (100.0%)  Total",
+        ])
+        assert manager.timing_report() == expected
+
+    def test_op_count_deltas_rendered(self):
+        records = [
+            PassRunRecord("dce", 0.5, True, ops_before=7, ops_after=5),
+            PassRunRecord("cse", 0.5, False, ops_before=5, ops_after=5),
+        ]
+        report = render_timing_report(records)
+        assert "dce (ops: 7 -> 5)" in report
+        assert "cse (ops: 5 -> 5)" in report
+        assert "Total Execution Time: 1.0000 seconds" in report
+
+    def test_zero_total_does_not_divide_by_zero(self):
+        report = render_timing_report([PassRunRecord("noop", 0.0)])
+        assert "(  0.0%)  noop" in report
+
+
+class TestPassStatisticsGolden:
+    def test_render_exact_rows(self):
+        report = render_pass_statistics([
+            ("canonicalize", [
+                ("pattern-match-attempts", 12),
+                ("pattern-rewrites", 3),
+            ]),
+        ])
+        expected = "\n".join([
+            BANNER,
+            title_line("Pass statistics report"),
+            BANNER,
+            "'canonicalize'",
+            "  (S) 12 pattern-match-attempts",
+            "  (S)  3 pattern-rewrites",
+        ])
+        assert report == expected
+
+    def test_manager_statistics_report_includes_pattern_rows(self):
+        ctx = default_context()
+
+        @pattern(op_name="nosuch.op")
+        def never_fires(op, rewriter):
+            return False
+
+        manager = PassManager([
+            Canonicalizer(ctx, [never_fires]), DeadCodeElimination(),
+        ])
+        manager.run(module_of(ctx))
+        report = manager.statistics_report()
+        assert "'canonicalize'" in report
+        assert "pattern-match-attempts" in report
+        assert "never_fires.match-attempts" in report
+        # DCE has no statistics and must not appear as a section.
+        assert "'dce'" not in report

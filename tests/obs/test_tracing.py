@@ -1,0 +1,94 @@
+"""Tracer: nested spans produce valid Chrome trace-event JSON."""
+
+import json
+
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
+
+
+class TestSpans:
+    def test_span_records_complete_event(self):
+        tracer = Tracer()
+        with tracer.span("parse", category="textir", file="a.mlir"):
+            pass
+        (event,) = tracer.events
+        assert event["name"] == "parse"
+        assert event["cat"] == "textir"
+        assert event["ph"] == "X"
+        assert event["args"] == {"file": "a.mlir"}
+        assert event["dur"] >= 0.0
+
+    def test_nested_spans_are_contained_in_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {event["name"]: event for event in tracer.events}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert inner["ts"] >= outer["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+
+    def test_span_recorded_even_when_body_raises(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("broken"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert [event["name"] for event in tracer.events] == ["broken"]
+
+    def test_instant_event(self):
+        tracer = Tracer()
+        tracer.instant("marker", detail=3)
+        (event,) = tracer.events
+        assert event["ph"] == "i"
+        assert event["args"] == {"detail": 3}
+
+
+class TestChromeTraceJson:
+    def test_to_json_is_valid_and_loadable(self):
+        tracer = Tracer(process_name="irdl-opt")
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        payload = json.loads(tracer.to_json())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        # Metadata event first, then the spans ordered by start time.
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"] == {"name": "irdl-opt"}
+        spans = events[1:]
+        assert [e["name"] for e in spans] == ["a", "b"]
+        for event in spans:
+            for key in ("name", "cat", "ph", "pid", "tid", "ts", "dur"):
+                assert key in event
+
+    def test_events_sorted_by_timestamp_parents_first(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        names = [e["name"] for e in tracer.to_dict()["traceEvents"][1:]]
+        assert names == ["first", "parent", "child"]
+
+    def test_write_creates_loadable_file(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write(str(path))
+        payload = json.loads(path.read_text())
+        assert any(e["name"] == "x" for e in payload["traceEvents"])
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        with tracer.span("ignored"):
+            tracer.instant("ignored")
+        assert tracer.events == []
+        assert not tracer.enabled
+
+    def test_shared_instance(self):
+        assert isinstance(NULL_TRACER, NullTracer)

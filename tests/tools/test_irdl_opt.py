@@ -203,3 +203,99 @@ class TestPatternApplication:
         ])
         assert exit_code == 0
         assert "cmath.mul" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def write_pattern(self, tmp_path):
+        pattern_file = tmp_path / "conorm.pattern"
+        pattern_file.write_text(PATTERN)
+        return str(pattern_file)
+
+    def test_timing_report_on_stderr(self, tmp_path, cmath_irdl, capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl, "--patterns", self.write_pattern(tmp_path),
+            "--timing", write_ir(tmp_path, CONORM),
+        ])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "cmath.mul" in captured.out          # stdout is still IR
+        assert "Execution time report" in captured.err
+        for row in ("register-dialects", "parse", "verify",
+                    "canonicalize", "dce", "Total"):
+            assert row in captured.err
+        # Op-count deltas come from the observability layer.
+        assert "(ops: " in captured.err
+
+    def test_pass_statistics_report(self, tmp_path, cmath_irdl, capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl, "--patterns", self.write_pattern(tmp_path),
+            "--pass-statistics", write_ir(tmp_path, CONORM),
+        ])
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "Pass statistics report" in err
+        assert "(S)" in err
+        assert "norm_of_product.rewrites" in err
+
+    def test_trace_out_writes_chrome_trace_json(self, tmp_path, cmath_irdl):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        exit_code = main([
+            "--irdl", cmath_irdl, "--patterns", self.write_pattern(tmp_path),
+            "--trace-out", str(trace_path), write_ir(tmp_path, CONORM),
+        ])
+        assert exit_code == 0
+        payload = json.loads(trace_path.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "textir.parse" in names
+        assert "pass:canonicalize" in names
+        assert "phase:parse" in names
+
+    def test_metrics_catalog(self, tmp_path, cmath_irdl, capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl, "--metrics", write_ir(tmp_path, GOOD_IR),
+        ])
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "Metrics report" in err
+        assert "textir.parser.ops_parsed" in err
+        assert "irdl.instantiate.dialects_loaded" in err
+
+    def test_verify_each_adds_verify_rows_to_timing(self, tmp_path, cmath_irdl,
+                                                    capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl, "--patterns", self.write_pattern(tmp_path),
+            "--verify-each", "--timing", write_ir(tmp_path, CONORM),
+        ])
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        # canonicalize + dce each followed by an inter-pass verify row.
+        timing_rows = [line for line in err.splitlines()
+                       if line.lstrip().startswith("0.") or "%)" in line]
+        verify_rows = [row for row in timing_rows if " verify (" in row]
+        assert len(verify_rows) == 2
+
+    def test_unwritable_trace_path_is_a_clean_error(self, tmp_path,
+                                                    cmath_irdl, capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl,
+            "--trace-out", str(tmp_path / "no-such-dir" / "t.json"),
+            write_ir(tmp_path, GOOD_IR),
+        ])
+        assert exit_code == 1
+        assert "error: cannot write trace file" in capsys.readouterr().err
+
+    def test_observability_state_reset_after_run(self, tmp_path, cmath_irdl):
+        from repro.obs import OBS
+
+        main([
+            "--irdl", cmath_irdl, "--timing", write_ir(tmp_path, GOOD_IR),
+        ])
+        assert not OBS.active
+
+    def test_flags_off_leave_observability_disabled(self, tmp_path, cmath_irdl):
+        from repro.obs import OBS
+
+        main(["--irdl", cmath_irdl, write_ir(tmp_path, GOOD_IR)])
+        assert not OBS.active

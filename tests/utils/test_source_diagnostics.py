@@ -48,6 +48,22 @@ class TestDiagnostics:
     def test_render_without_span(self):
         assert Diagnostic("oops").render() == "error: oops"
 
+    def test_render_multi_line_span_underlines_to_end_of_line(self):
+        # Regression: spans crossing a newline used to collapse to a
+        # single-character caret; they must underline to end-of-line.
+        source = SourceFile("Operation mul {\n  Operands ()\n}\n", "d.irdl")
+        diagnostic = Diagnostic("unterminated body", source.span(10, 30))
+        line, caret = diagnostic.render().splitlines()[1:]
+        assert line == "Operation mul {"
+        assert caret == " " * 10 + "^" + "~" * 4
+        assert len(caret) == len(line)
+
+    def test_render_multi_line_span_at_line_end_keeps_one_caret(self):
+        source = SourceFile("ab\ncd\n", "f")
+        diagnostic = Diagnostic("x", source.span(2, 4))  # "\nc"
+        caret = diagnostic.render().splitlines()[-1]
+        assert caret == "  ^"
+
     def test_error_carries_diagnostics(self):
         source = SourceFile("x", "f")
         error = DiagnosticError.at("bad", source.span(0, 1))
