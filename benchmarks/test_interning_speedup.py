@@ -1,0 +1,193 @@
+"""Interning + compiled-verification speedups: the perf PR's acceptance gate.
+
+Two microbenchmarks, each asserting a >=2x improvement and together
+emitting ``benchmarks/results/BENCH_interning.json``:
+
+* **attribute equality** — comparing two structurally equal but distinct
+  attribute trees (the pre-interning situation: every producer built a
+  fresh object) versus comparing the interned canonical instance against
+  itself (one pointer check).
+* **repeated verification** — re-deriving the verifier from the OpDef on
+  every call with constraint memoization off (the uncompiled path) versus
+  the precompiled :class:`~repro.irdl.plan.VerificationPlan` with the
+  shared memo warm.
+
+Timing uses the same best-of-N ``perf_counter`` loops as
+``test_obs_overhead.py`` so the file runs in the CI smoke job without
+pytest-benchmark.  The obs counters wired by this PR (``ir.uniquer.*``,
+``irdl.verifier.memo_*``) are snapshotted in a separate, untimed pass so
+metrics overhead never pollutes the measurements.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.builtin import IntegerAttr, StringAttr, default_context, i32
+from repro.builtin.attributes import ArrayAttr
+from repro.builtin.types import IntegerType
+from repro.ir import Block, intern
+from repro.irdl import register_irdl
+from repro.irdl.plan import CONSTRAINT_MEMO
+from repro.irdl.verifier import make_op_verifier
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+MIN_SPEEDUP = 2.0
+
+BENCH_DIALECT = """
+Dialect bench {
+  Operation kernel {
+    Operands (lhs: !i32, rhs: !i32)
+    Results (out: !i32)
+    Attributes (label: string_attr, width: i32_attr)
+  }
+}
+"""
+
+
+def _best_of(fn, loops: int, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(loops):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _fresh_tree() -> ArrayAttr:
+    """A deep attribute tree built entirely from uninterned constructors."""
+    leaves = [IntegerAttr(i, IntegerType(32)) for i in range(32)]
+    return ArrayAttr(
+        [ArrayAttr(leaves[i : i + 8]) for i in range(0, 32, 8)]
+    )
+
+
+def _bench_context():
+    ctx = default_context()
+    register_irdl(ctx, BENCH_DIALECT)
+    return ctx
+
+
+def _kernel_op(ctx):
+    block = Block([i32, i32])
+    return ctx.create_operation(
+        "bench.kernel",
+        operands=list(block.args),
+        result_types=[i32],
+        attributes={
+            "label": StringAttr.get("k"),
+            "width": IntegerAttr.get(8, i32),
+        },
+    )
+
+
+def _measure_equality() -> dict:
+    structural_a, structural_b = _fresh_tree(), _fresh_tree()
+    assert structural_a is not structural_b and structural_a == structural_b
+    interned_a = intern(_fresh_tree())
+    interned_b = intern(_fresh_tree())
+    assert interned_a is interned_b
+
+    baseline = _best_of(lambda: structural_a == structural_b, loops=2000)
+    interned = _best_of(lambda: interned_a == interned_b, loops=2000)
+    return {
+        "baseline_structural_s": baseline,
+        "interned_identity_s": interned,
+        "speedup": baseline / interned,
+    }
+
+
+def _measure_verification() -> dict:
+    ctx = _bench_context()
+    binding = ctx.get_op_def("bench.kernel")
+    op = _kernel_op(ctx)
+    op_def = binding.op_def
+    compiled = binding._verifier
+
+    def uncompiled():
+        # The pre-plan shape: re-derive the verifier per call (variadic
+        # analysis, name->index maps, predicate compilation) and check
+        # every constraint from scratch.
+        CONSTRAINT_MEMO.enabled = False
+        try:
+            make_op_verifier(op_def)(op)
+        finally:
+            CONSTRAINT_MEMO.enabled = True
+
+    def planned():
+        compiled(op)
+
+    # Warm code paths and the shared memo.
+    uncompiled()
+    planned()
+
+    baseline = _best_of(uncompiled, loops=200)
+    optimized = _best_of(planned, loops=200)
+    return {
+        "baseline_uncompiled_s": baseline,
+        "compiled_plan_s": optimized,
+        "speedup": baseline / optimized,
+    }
+
+
+def _collect_counters() -> dict:
+    """Re-run both workloads once under metrics and snapshot the counters."""
+    from repro.obs import MetricsRegistry, enable_metrics, reset
+
+    registry = enable_metrics(MetricsRegistry())
+    try:
+        intern(_fresh_tree())
+        intern(_fresh_tree())
+        ctx = _bench_context()
+        op = _kernel_op(ctx)
+        CONSTRAINT_MEMO.clear()
+        op.verify()
+        op.verify()
+    finally:
+        reset()
+    counters = registry.snapshot()["counters"]
+    wanted = (
+        "ir.uniquer.hits",
+        "ir.uniquer.misses",
+        "irdl.verifier.memo_hits",
+        "irdl.verifier.memo_misses",
+        "irdl.verifier.ops_verified",
+    )
+    return {name: counters.get(name, 0) for name in wanted}
+
+
+def test_interning_and_plan_speedup():
+    equality = _measure_equality()
+    verification = _measure_verification()
+    counters = _collect_counters()
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {
+        "attribute_equality": equality,
+        "repeated_verification": verification,
+        "obs_counters": counters,
+        "min_speedup_required": MIN_SPEEDUP,
+    }
+    with open(
+        os.path.join(RESULTS_DIR, "BENCH_interning.json"), "w",
+        encoding="utf-8",
+    ) as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert counters["ir.uniquer.hits"] >= 1
+    assert counters["ir.uniquer.misses"] >= 1
+    assert counters["irdl.verifier.memo_hits"] >= 1
+    assert equality["speedup"] >= MIN_SPEEDUP, (
+        f"attribute-equality speedup {equality['speedup']:.2f}x "
+        f"below {MIN_SPEEDUP}x"
+    )
+    assert verification["speedup"] >= MIN_SPEEDUP, (
+        f"repeated-verification speedup {verification['speedup']:.2f}x "
+        f"below {MIN_SPEEDUP}x"
+    )

@@ -194,4 +194,4 @@ class SymbolRefAttr(Data):
 
 def f32_attr(value: float) -> FloatAttr:
     """The paper's ``#f32_attr``: a single-precision float constant."""
-    return FloatAttr(value, f32)
+    return FloatAttr.get(value, f32)  # type: ignore[return-value]

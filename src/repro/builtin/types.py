@@ -225,13 +225,16 @@ class MemRefType(_ShapedType):
 # ---------------------------------------------------------------------------
 # Interned shorthands (the paper's f32, i32, … abbreviations)
 # ---------------------------------------------------------------------------
+# Built through ``Attribute.get`` so the module-level singletons seed the
+# process-wide uniquer: any later ``IntegerType.get(32)`` (e.g. from the
+# textual parser) resolves to these exact objects.
 
-i1 = IntegerType(1)
-i8 = IntegerType(8)
-i16 = IntegerType(16)
-i32 = IntegerType(32)
-i64 = IntegerType(64)
-f16 = FloatType(16)
-f32 = FloatType(32)
-f64 = FloatType(64)
-index = IndexType()
+i1 = IntegerType.get(1)
+i8 = IntegerType.get(8)
+i16 = IntegerType.get(16)
+i32 = IntegerType.get(32)
+i64 = IntegerType.get(64)
+f16 = FloatType.get(16)
+f32 = FloatType.get(32)
+f64 = FloatType.get(64)
+index = IndexType.get()

@@ -45,6 +45,7 @@ from repro.ir.params import (
     param_kind,
 )
 from repro.ir.region import Region
+from repro.ir.uniquer import DEFAULT_UNIQUER, AttributeUniquer, intern
 from repro.ir.value import BlockArgument, OpResult, SSAValue, Use
 
 __all__ = [
@@ -80,6 +81,9 @@ __all__ = [
     "TypeIdParam",
     "param_kind",
     "Region",
+    "DEFAULT_UNIQUER",
+    "AttributeUniquer",
+    "intern",
     "BlockArgument",
     "OpResult",
     "SSAValue",

@@ -16,8 +16,14 @@ Two families exist:
   :class:`DynamicParametrizedAttribute` / :class:`DynamicTypeAttribute`
   holding a reference to their IRDL-derived definition.
 
-All attributes are immutable, structurally comparable, and hashable —
-the Python analogue of MLIR's uniqued attribute storage.
+All attributes are immutable, structurally comparable, and hashable.
+On top of that, the producers route instances through the per-context
+uniquer (:mod:`repro.ir.uniquer`) — the Python analogue of MLIR's
+uniqued attribute storage — so structurally equal attributes built
+through normal channels are the *same object*.  Equality therefore
+starts with an identity fast path and falls back to the structural walk
+only for un-interned instances, and hashes are computed once per
+instance and cached.
 """
 
 from __future__ import annotations
@@ -33,7 +39,25 @@ class Attribute:
     #: Fully qualified name, ``<dialect>.<name>``, e.g. ``builtin.integer``.
     name: ClassVar[str] = ""
 
-    __slots__ = ()
+    # ``__weakref__`` lets the uniquer hold attributes weakly; ``_hash``
+    # caches the structural hash (computed lazily on first use).
+    __slots__ = ("__weakref__", "_hash")
+
+    @classmethod
+    def get(cls, *args: Any, **kwargs: Any) -> "Attribute":
+        """Construct and intern: the canonical instance for these args.
+
+        ``IntegerType.get(32)`` is the MLIR-style interning constructor:
+        repeated calls with structurally equal arguments return the same
+        object from the process-wide uniquer.
+        """
+        from repro.ir.uniquer import intern
+
+        return intern(cls(*args, **kwargs))
+
+    def _cached_hash(self, value: int) -> int:
+        object.__setattr__(self, "_hash", value)
+        return value
 
     @property
     def dialect_name(self) -> str:
@@ -73,10 +97,19 @@ class Data(Attribute):
         raise AttributeError(f"{type(self).__name__} is immutable")
 
     def __eq__(self, other: object) -> bool:
-        return type(self) is type(other) and self.data == other.data  # type: ignore[attr-defined]
+        if self is other:  # interned attributes take this fast path
+            return True
+        if type(self) is not type(other):
+            # ``NotImplemented`` (not ``False``) so reflected equality
+            # still runs for foreign types and subclass comparisons.
+            return NotImplemented
+        return self.data == other.data  # type: ignore[attr-defined]
 
     def __hash__(self) -> int:
-        return hash((type(self), self.data))
+        try:
+            return self._hash
+        except AttributeError:
+            return self._cached_hash(hash((type(self), self.data)))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.data!r})"
@@ -95,6 +128,16 @@ class ParametrizedAttribute(Attribute):
     #: Names of the parameters, parallel to ``parameters``.
     parameter_names: ClassVar[tuple[str, ...]] = ()
 
+    #: Name→index lookup table, derived from ``parameter_names`` once per
+    #: class so :meth:`param` is O(1) instead of an O(n) ``.index`` scan.
+    _param_index: ClassVar[dict[str, int]] = {}
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._param_index = {
+            name: i for i, name in enumerate(cls.parameter_names)
+        }
+
     def __init__(self, parameters: Iterable[Any] = ()):
         object.__setattr__(self, "parameters", tuple(parameters))
         self._verify_arity()
@@ -111,19 +154,25 @@ class ParametrizedAttribute(Attribute):
         raise AttributeError(f"{type(self).__name__} is immutable")
 
     def __eq__(self, other: object) -> bool:
-        return type(self) is type(other) and self.parameters == other.parameters  # type: ignore[attr-defined]
+        if self is other:  # interned attributes take this fast path
+            return True
+        if type(self) is not type(other):
+            return NotImplemented
+        return self.parameters == other.parameters  # type: ignore[attr-defined]
 
     def __hash__(self) -> int:
-        return hash((type(self), self.parameters))
+        try:
+            return self._hash
+        except AttributeError:
+            return self._cached_hash(hash((type(self), self.parameters)))
 
     def param(self, name: str) -> Any:
         """Look up a parameter by its declared name."""
-        try:
-            index = type(self).parameter_names.index(name)
-        except ValueError:
+        index = type(self)._param_index.get(name)
+        if index is None:
             raise AttributeError(
                 f"{type(self).name} has no parameter named {name!r}"
-            ) from None
+            )
         return self.parameters[index]
 
     def __repr__(self) -> str:
@@ -168,27 +217,40 @@ class DynamicParametrizedAttribute(Attribute):
         return self.definition.qualified_name.split(".", 1)[-1]
 
     def param(self, name: str) -> Any:
-        names = self.definition.parameter_names
-        try:
-            index = names.index(name)
-        except ValueError:
+        # Definitions expose a precomputed name→index table; fall back to
+        # a scan for bare stand-ins used in tests.
+        table = getattr(self.definition, "param_index", None)
+        if table is not None:
+            index = table.get(name)
+        else:
+            names = self.definition.parameter_names
+            index = names.index(name) if name in names else None
+        if index is None:
             raise AttributeError(
                 f"{self.attr_name} has no parameter named {name!r}"
-            ) from None
+            )
         return self.parameters[index]
 
     def verify(self) -> None:
         self.definition.verify_parameters(self.parameters)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:  # interned attributes take this fast path
+            return True
+        if type(self) is not type(other):
+            return NotImplemented
         return (
-            type(self) is type(other)
-            and self.definition is other.definition  # type: ignore[attr-defined]
+            self.definition is other.definition  # type: ignore[attr-defined]
             and self.parameters == other.parameters  # type: ignore[attr-defined]
         )
 
     def __hash__(self) -> int:
-        return hash((type(self), id(self.definition), self.parameters))
+        try:
+            return self._hash
+        except AttributeError:
+            return self._cached_hash(
+                hash((type(self), id(self.definition), self.parameters))
+            )
 
     def __repr__(self) -> str:
         params = ", ".join(repr(p) for p in self.parameters)

@@ -18,6 +18,7 @@ from repro.ir.dialect import (
     OpDefBinding,
 )
 from repro.ir.exceptions import UnregisteredConstructError
+from repro.ir.uniquer import DEFAULT_UNIQUER, AttributeUniquer
 
 if TYPE_CHECKING:
     from repro.ir.block import Block
@@ -32,11 +33,26 @@ class Context:
     With ``allow_unregistered=True`` the context tolerates operations and
     dialects it does not know, which mirrors MLIR's
     ``allowUnregisteredDialects`` testing facility.
+
+    Each context carries an :class:`AttributeUniquer` (shared with the
+    process-wide default unless a private one is passed), mirroring
+    MLIR's per-``MLIRContext`` uniqued storage: attributes built through
+    the context's factories are interned so structurally equal instances
+    are identical.
     """
 
-    def __init__(self, allow_unregistered: bool = False):
+    def __init__(
+        self,
+        allow_unregistered: bool = False,
+        uniquer: AttributeUniquer | None = None,
+    ):
         self.dialects: dict[str, DialectBinding] = {}
         self.allow_unregistered = allow_unregistered
+        self.uniquer = uniquer if uniquer is not None else DEFAULT_UNIQUER
+
+    def intern(self, attr: Attribute) -> Attribute:
+        """The canonical instance of ``attr`` in this context's uniquer."""
+        return self.uniquer.intern(attr)
 
     # ------------------------------------------------------------------
     # Registration
@@ -127,26 +143,32 @@ class Context:
         )
 
     def make_type(self, qualified_name: str, parameters: Sequence[Any] = ()) -> Attribute:
-        """Instantiate a registered type by name."""
+        """Instantiate a registered type by name (uniqued)."""
         type_def = self.get_type_def(qualified_name)
         if type_def is None:
             raise UnregisteredConstructError(
                 f"type {qualified_name!r} is not registered"
             )
-        return type_def.instantiate(parameters)
+        return self.uniquer.intern(type_def.instantiate(parameters))
 
     def make_attr(self, qualified_name: str, parameters: Sequence[Any] = ()) -> Attribute:
-        """Instantiate a registered attribute by name."""
+        """Instantiate a registered attribute by name (uniqued)."""
         attr_def = self.get_attr_def(qualified_name)
         if attr_def is None:
             raise UnregisteredConstructError(
                 f"attribute {qualified_name!r} is not registered"
             )
-        return attr_def.instantiate(parameters)
+        return self.uniquer.intern(attr_def.instantiate(parameters))
 
     def clone(self) -> "Context":
-        """A shallow copy sharing dialect bindings (cheap forking)."""
-        new = Context(allow_unregistered=self.allow_unregistered)
+        """A shallow copy sharing dialect bindings (cheap forking).
+
+        The clone shares this context's uniquer: attributes interned
+        through either context stay identical across both.
+        """
+        new = Context(
+            allow_unregistered=self.allow_unregistered, uniquer=self.uniquer
+        )
         new.dialects = dict(self.dialects)
         return new
 

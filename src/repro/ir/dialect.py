@@ -100,6 +100,10 @@ class AttrDefBinding:
         self.qualified_name = qualified_name
         self.is_type = is_type
         self.parameter_names = tuple(parameter_names)
+        #: Name→index table so dynamic ``param()`` lookups are O(1).
+        self.param_index = {
+            name: i for i, name in enumerate(self.parameter_names)
+        }
         self.summary = summary
         self._param_verifier = param_verifier
         self._constructor = constructor
@@ -127,14 +131,16 @@ class AttrDefBinding:
             self._param_verifier(parameters)
 
     def instantiate(self, parameters: Sequence[Any] = ()) -> Attribute:
-        """Build a verified attribute/type instance from parameters."""
+        """Build a verified, uniqued attribute/type instance."""
         params = tuple(parameters)
         self.verify_parameters(params)
         if self._constructor is None:
             raise VerifyError(
                 f"{self.qualified_name} has no registered constructor"
             )
-        return self._constructor(params)
+        from repro.ir.uniquer import intern
+
+        return intern(self._constructor(params))
 
     def __repr__(self) -> str:
         kind = "type" if self.is_type else "attribute"

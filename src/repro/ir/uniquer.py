@@ -1,0 +1,151 @@
+"""Uniqued attribute storage: the Python analogue of MLIR's interning.
+
+MLIR allocates every attribute and type once per context and hands out
+pointers, so equality is pointer equality and hashing is free.  This
+module provides the same guarantee for the reproduction: an
+:class:`AttributeUniquer` maps the *structural key* of an attribute to a
+canonical instance, held weakly so unused attributes can still be
+collected.  After interning, structurally equal attributes are the same
+object, which turns the ``__eq__`` fast path in
+:mod:`repro.ir.attributes` into a pointer comparison and makes id-keyed
+verification memoization (:mod:`repro.irdl.plan`) sound.
+
+Interning is *optional by construction*: plain constructor calls still
+build fresh instances, and structural equality remains the fallback, so
+code that never touches the uniquer behaves exactly as before.  The
+producers (the textual IR parser, ``AttrDefBinding.instantiate``, the
+IRDL instantiation layer, and the builtin shorthand singletons) all
+route through :func:`intern`, so IR built through normal channels is
+uniqued end to end.
+
+Cache effectiveness is observable: the uniquer keeps local hit/miss
+totals and mirrors them into ``repro.obs`` counters
+(``ir.uniquer.hits`` / ``ir.uniquer.misses``) whenever metrics are
+enabled.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Hashable, TypeVar
+
+from repro.ir.attributes import (
+    Attribute,
+    Data,
+    DynamicParametrizedAttribute,
+    ParametrizedAttribute,
+)
+
+AttributeT = TypeVar("AttributeT", bound=Attribute)
+
+
+def structural_key(attr: Attribute) -> Hashable | None:
+    """The interning key of an attribute, or ``None`` when not uniquable.
+
+    Registered attributes key on ``(class, payload)``; dynamic attributes
+    additionally key on the identity of their IRDL definition, so two
+    dialect registrations with the same name never share instances.
+    Attributes carrying unhashable payloads (a hand-rolled ``Data``
+    holding a list, say) are reported as not uniquable rather than
+    rejected.
+    """
+    if isinstance(attr, ParametrizedAttribute):
+        return (type(attr), attr.parameters)
+    if isinstance(attr, Data):
+        data = attr.data
+        try:
+            hash(data)
+        except TypeError:
+            return None
+        return (type(attr), data)
+    if isinstance(attr, DynamicParametrizedAttribute):
+        # ``id`` is stable here: the canonical instance keeps its
+        # definition alive for as long as the cache entry exists.
+        return (type(attr), id(attr.definition), attr.parameters)
+    return None
+
+
+class AttributeUniquer:
+    """A weak-value cache mapping structural keys to canonical instances.
+
+    Entries disappear automatically once the canonical attribute has no
+    remaining strong references, so a long-lived uniquer does not pin
+    every attribute ever created.
+    """
+
+    __slots__ = ("_cache", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._cache: "weakref.WeakValueDictionary[Hashable, Attribute]" = (
+            weakref.WeakValueDictionary()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def intern(self, attr: AttributeT) -> AttributeT:
+        """The canonical instance structurally equal to ``attr``.
+
+        The first instance seen for a key becomes canonical; later
+        structurally equal instances are dropped in favour of it.
+        Attributes without a structural key pass through untouched.
+        """
+        key = structural_key(attr)
+        if key is None:
+            return attr
+        try:
+            canonical = self._cache.get(key)
+        except TypeError:  # an unhashable parameter deep in the tree
+            return attr
+        if canonical is not None:
+            self.hits += 1
+            self._record("hits")
+            return canonical  # type: ignore[return-value]
+        self.misses += 1
+        self._record("misses")
+        self._cache[key] = attr
+        return attr
+
+    def lookup(self, attr: Attribute) -> Attribute | None:
+        """The cached canonical instance for ``attr``'s key, if any."""
+        key = structural_key(attr)
+        if key is None:
+            return None
+        try:
+            return self._cache.get(key)
+        except TypeError:
+            return None
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _record(which: str) -> None:
+        from repro.obs.instrument import OBS
+
+        if OBS.metrics.enabled:
+            OBS.metrics.counter(f"ir.uniquer.{which}").inc()
+
+    def stats(self) -> dict[str, Any]:
+        return {"hits": self.hits, "misses": self.misses, "live": len(self)}
+
+    def __repr__(self) -> str:
+        return (
+            f"<AttributeUniquer {len(self)} live, "
+            f"{self.hits} hits / {self.misses} misses>"
+        )
+
+
+#: The process-wide default uniquer.  Contexts share it unless handed a
+#: private one (see :class:`repro.ir.context.Context`); module-level
+#: producers (builtin shorthands, the textual parser) always use it.
+DEFAULT_UNIQUER = AttributeUniquer()
+
+
+def intern(attr: AttributeT) -> AttributeT:
+    """Intern ``attr`` into the process-wide default uniquer."""
+    return DEFAULT_UNIQUER.intern(attr)

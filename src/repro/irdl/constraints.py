@@ -274,6 +274,10 @@ class EqConstraint(Constraint):
         self.expected = expected
 
     def verify(self, value: Any, ctx: ConstraintContext) -> None:
+        # Uniqued attribute storage makes the identity test the common
+        # case: every ``!i32`` parsed from text is the same object.
+        if value is self.expected:
+            return
         if value != self.expected:
             raise VerifyError(
                 f"expected {_describe(self.expected)}, got {_describe(value)}"

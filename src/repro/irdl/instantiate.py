@@ -34,6 +34,7 @@ from repro.ir.dialect import (
     OpDefBinding,
 )
 from repro.ir.exceptions import UnregisteredConstructError, VerifyError
+from repro.ir.uniquer import intern as uniquer_intern
 from repro.irdl import ast
 from repro.irdl.constraints import ConstraintContext
 from repro.irdl.defs import DialectDef, OpDef, TypeDef
@@ -103,7 +104,10 @@ class DynamicAttrDef(AttrDefBinding):
     def instantiate(self, parameters: Sequence[Any] = ()) -> Attribute:
         params = tuple(parameters)
         self.verify_parameters(params)
-        return self._construct(params)
+        # Dynamic attributes are uniqued per definition: the structural
+        # key includes the definition's identity, so two dialects with a
+        # same-named type never share instances.
+        return uniquer_intern(self._construct(params))
 
 
 class DynamicOpDef(OpDefBinding):

@@ -16,23 +16,35 @@ checks, in order:
 5. successor counts, and the terminator-placement rule implied by any
    ``Successors`` directive (even an empty one, Listing 8);
 6. IRDL-Py global constraints (§5.1).
+
+Since the uniquing/plan work, all of the per-definition analysis happens
+**once**, at ``make_op_verifier`` time: the definition is compiled into a
+:class:`~repro.irdl.plan.VerificationPlan` that pre-resolves segment
+layouts, attribute tables, and constraint variable-freeness, and
+memoizes repeated variable-free checks against interned attributes (see
+:mod:`repro.irdl.plan` for the soundness argument).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Sequence
 
-from repro.builtin.attributes import ArrayAttr, IntegerAttr
 from repro.ir.exceptions import VerifyError
-from repro.irdl.ast import Variadicity
-from repro.irdl.constraints import ConstraintContext
 from repro.irdl.defs import ArgDef, OpDef
-from repro.irdl.irdl_py import compile_op_predicate, run_op_predicate
+from repro.irdl.plan import CONSTRAINT_MEMO, SegmentPlan, VerificationPlan
 from repro.obs.instrument import OBS
 
 if TYPE_CHECKING:
     from repro.ir.operation import Operation
     from repro.ir.value import SSAValue
+
+__all__ = [
+    "CONSTRAINT_MEMO",
+    "SegmentPlan",
+    "VerificationPlan",
+    "make_op_verifier",
+    "match_segments",
+]
 
 
 def match_segments(
@@ -45,208 +57,35 @@ def match_segments(
 
     Returns one (possibly empty) list of values per definition.  Raises
     :class:`VerifyError` when the counts cannot match.
+
+    This is the uncompiled convenience entry point; hot callers go
+    through a cached :class:`~repro.irdl.plan.SegmentPlan` instead, which
+    performs the variadic analysis once per definition list.
     """
-    variadic_defs = [d for d in defs if d.is_variadic]
-    n_values, n_defs = len(values), len(defs)
-
-    if not variadic_defs:
-        if n_values != n_defs:
-            raise VerifyError(
-                f"{op.name} expects {n_defs} {kind}s, got {n_values}"
-            )
-        return [[v] for v in values]
-
-    if len(variadic_defs) == 1:
-        n_fixed = n_defs - 1
-        n_variadic = n_values - n_fixed
-        if n_variadic < 0:
-            raise VerifyError(
-                f"{op.name} expects at least {n_fixed} {kind}s, got {n_values}"
-            )
-        only = variadic_defs[0]
-        if only.variadicity is Variadicity.OPTIONAL and n_variadic > 1:
-            raise VerifyError(
-                f"{op.name}: optional {kind} {only.name!r} matches at most "
-                f"one value, got {n_variadic}"
-            )
-        segments: list[list[SSAValue]] = []
-        cursor = 0
-        for arg_def in defs:
-            size = n_variadic if arg_def.is_variadic else 1
-            segments.append(list(values[cursor : cursor + size]))
-            cursor += size
-        return segments
-
-    # Several variadic definitions: §4.6 requires an explicit attribute
-    # giving the size of each segment.
-    attr_name = f"{kind}_segment_sizes"
-    sizes_attr = op.attributes.get(attr_name)
-    if not isinstance(sizes_attr, ArrayAttr):
-        raise VerifyError(
-            f"{op.name} has {len(variadic_defs)} variadic {kind} "
-            f"definitions and requires an {attr_name} array attribute"
-        )
-    sizes: list[int] = []
-    for element in sizes_attr.elements:
-        if not isinstance(element, IntegerAttr):
-            raise VerifyError(
-                f"{op.name}: {attr_name} must contain integer attributes"
-            )
-        sizes.append(element.value)
-    if len(sizes) != n_defs:
-        raise VerifyError(
-            f"{op.name}: {attr_name} has {len(sizes)} entries for "
-            f"{n_defs} {kind} definitions"
-        )
-    if sum(sizes) != n_values:
-        raise VerifyError(
-            f"{op.name}: {attr_name} sums to {sum(sizes)} but there are "
-            f"{n_values} {kind}s"
-        )
-    segments = []
-    cursor = 0
-    for arg_def, size in zip(defs, sizes):
-        if arg_def.variadicity is Variadicity.SINGLE and size != 1:
-            raise VerifyError(
-                f"{op.name}: {kind} {arg_def.name!r} is not variadic but "
-                f"its segment size is {size}"
-            )
-        if arg_def.variadicity is Variadicity.OPTIONAL and size > 1:
-            raise VerifyError(
-                f"{op.name}: optional {kind} {arg_def.name!r} has segment "
-                f"size {size}"
-            )
-        if size < 0:
-            raise VerifyError(f"{op.name}: negative segment size {size}")
-        segments.append(list(values[cursor : cursor + size]))
-        cursor += size
-    return segments
+    return SegmentPlan(defs, kind).match(values, op)
 
 
 def make_op_verifier(op_def: OpDef) -> Callable[["Operation"], None]:
-    """Derive the verification function for one operation definition."""
-    predicates = [
-        (code, compile_op_predicate(code)) for code in op_def.py_constraints
-    ]
+    """Compile one operation definition into its verification function.
 
-    def run_checks(op: "Operation") -> None:
-        cctx = ConstraintContext()
-        _verify_values(op, op.operands, op_def.operands, "operand", cctx)
-        _verify_values(op, op.results, op_def.results, "result", cctx)
-        _verify_attributes(op, op_def, cctx)
-        _verify_regions(op, op_def, cctx)
-        _verify_successors(op, op_def)
-        for code, predicate in predicates:
-            run_op_predicate(predicate, code, op, op_def)
+    All definition-side analysis (variadic layout, attribute tables,
+    IRDL-Py predicate compilation, constraint variable-freeness) happens
+    here, once; the returned closure only executes the compiled plan.
+    The plan is exposed as ``verify.plan`` for introspection and tests.
+    """
+    plan = VerificationPlan(op_def)
 
     def verify(op: "Operation") -> None:
         metrics = OBS.metrics
         if not metrics.enabled:
-            run_checks(op)
+            plan.run(op)
             return
         metrics.counter("irdl.verifier.ops_verified").inc()
         try:
-            run_checks(op)
+            plan.run(op)
         except VerifyError:
             metrics.counter(f"irdl.verifier.failures.{op.name}").inc()
             raise
 
+    verify.plan = plan  # type: ignore[attr-defined]
     return verify
-
-
-def _verify_values(
-    op: "Operation",
-    values: Sequence["SSAValue"],
-    defs: Sequence[ArgDef],
-    kind: str,
-    cctx: ConstraintContext,
-) -> None:
-    segments = match_segments(values, defs, op, kind)
-    for arg_def, segment in zip(defs, segments):
-        for value in segment:
-            try:
-                arg_def.constraint.verify(value.type, cctx)
-            except VerifyError as err:
-                raise VerifyError(
-                    f"{op.name}: {kind} {arg_def.name!r}: {err}", obj=op
-                ) from err
-    if OBS.metrics.enabled:
-        OBS.metrics.counter("irdl.verifier.constraint_checks").inc(
-            sum(len(segment) for segment in segments)
-        )
-
-
-def _verify_attributes(op: "Operation", op_def: OpDef, cctx: ConstraintContext) -> None:
-    if op_def.attributes and OBS.metrics.enabled:
-        OBS.metrics.counter("irdl.verifier.constraint_checks").inc(
-            len(op_def.attributes)
-        )
-    for attr_def in op_def.attributes:
-        attr = op.attributes.get(attr_def.name)
-        if attr is None:
-            raise VerifyError(
-                f"{op.name} expects an attribute named {attr_def.name!r}",
-                obj=op,
-            )
-        try:
-            attr_def.constraint.verify(attr, cctx)
-        except VerifyError as err:
-            raise VerifyError(
-                f"{op.name}: attribute {attr_def.name!r}: {err}", obj=op
-            ) from err
-
-
-def _verify_regions(op: "Operation", op_def: OpDef, cctx: ConstraintContext) -> None:
-    if len(op.regions) != len(op_def.regions):
-        raise VerifyError(
-            f"{op.name} expects {len(op_def.regions)} regions, got "
-            f"{len(op.regions)}",
-            obj=op,
-        )
-    for region_def, region in zip(op_def.regions, op.regions):
-        entry = region.entry_block
-        if entry is None:
-            if region_def.arguments or region_def.terminator:
-                raise VerifyError(
-                    f"{op.name}: region {region_def.name!r} must not be empty",
-                    obj=op,
-                )
-            continue
-        arg_segments = match_segments(
-            entry.args, region_def.arguments, op, f"region {region_def.name!r} argument"
-        )
-        for arg_def, segment in zip(region_def.arguments, arg_segments):
-            for arg in segment:
-                try:
-                    arg_def.constraint.verify(arg.type, cctx)
-                except VerifyError as err:
-                    raise VerifyError(
-                        f"{op.name}: region {region_def.name!r} argument "
-                        f"{arg_def.name!r}: {err}",
-                        obj=op,
-                    ) from err
-        if region_def.terminator is not None:
-            if len(region.blocks) != 1:
-                raise VerifyError(
-                    f"{op.name}: region {region_def.name!r} must contain a "
-                    f"single basic block (it declares a terminator)",
-                    obj=op,
-                )
-            last = entry.last_op
-            if last is None or last.name != region_def.terminator:
-                found = last.name if last is not None else "nothing"
-                raise VerifyError(
-                    f"{op.name}: region {region_def.name!r} must end with "
-                    f"{region_def.terminator}, found {found}",
-                    obj=op,
-                )
-
-
-def _verify_successors(op: "Operation", op_def: OpDef) -> None:
-    expected = len(op_def.successors) if op_def.successors is not None else 0
-    if len(op.successors) != expected:
-        raise VerifyError(
-            f"{op.name} expects {expected} successors, got "
-            f"{len(op.successors)}",
-            obj=op,
-        )

@@ -39,6 +39,7 @@ from repro.ir.params import (
     TypeIdParam,
 )
 from repro.ir.region import Region
+from repro.ir.uniquer import intern as intern_attr
 from repro.ir.value import SSAValue
 from repro.obs import timing as _timing
 from repro.obs.instrument import OBS, count_ops
@@ -204,10 +205,10 @@ class IRParser:
                 "si": btypes.Signedness.SIGNED,
                 "ui": btypes.Signedness.UNSIGNED,
             }[prefix]
-            return btypes.IntegerType(int(width), signedness)
+            return btypes.IntegerType.get(int(width), signedness)
         match = _FLOAT_TYPE_RE.match(name)
         if match:
-            return btypes.FloatType(int(match.group(1)))
+            return btypes.FloatType.get(int(match.group(1)))
         if name == "index":
             return btypes.index
         if name in ("tensor", "vector", "memref"):
@@ -245,7 +246,7 @@ class IRParser:
         self.expect(TokenKind.GREATER, "'>'")
         cls = {"tensor": btypes.TensorType, "vector": btypes.VectorType,
                "memref": btypes.MemRefType}[kind]
-        return cls(shape, element)
+        return cls.get(shape, element)
 
     def _scan_shape_word(self, token: Token, shape: list[int]) -> Attribute | None:
         """Consume a word like ``x4x?xf32``: dimensions and maybe the element.
@@ -290,7 +291,7 @@ class IRParser:
         self.expect(TokenKind.RPAREN, "')'")
         self.expect(TokenKind.ARROW, "'->'")
         results = self._parse_type_or_type_list()
-        return btypes.FunctionType(inputs, results)
+        return btypes.FunctionType.get(inputs, results)
 
     def _parse_type_or_type_list(self) -> list[Attribute]:
         if self.peek().kind is TokenKind.LPAREN:
@@ -472,7 +473,7 @@ class IRParser:
     def parse_attribute(self) -> Attribute:
         token = self.peek()
         if token.kind is TokenKind.STRING:
-            return battrs.StringAttr(self.next().value)
+            return battrs.StringAttr.get(self.next().value)
         if token.kind in (TokenKind.INTEGER, TokenKind.FLOAT, TokenKind.MINUS):
             return self._parse_numeric_attribute()
         if token.kind is TokenKind.LBRACKET:
@@ -483,23 +484,23 @@ class IRParser:
                 while self.accept(TokenKind.COMMA):
                     elements.append(self.parse_attribute())
             self.expect(TokenKind.RBRACKET, "']'")
-            return battrs.ArrayAttr(elements)
+            return battrs.ArrayAttr.get(elements)
         if token.kind is TokenKind.LBRACE:
             return self._parse_dictionary_attribute()
         if token.kind is TokenKind.AT_IDENT:
-            return battrs.SymbolRefAttr(self.next().value)
+            return battrs.SymbolRefAttr.get(self.next().value)
         if token.kind is TokenKind.HASH_IDENT:
             return self._parse_dialect_attribute(self.next())
         if token.kind is TokenKind.BARE_IDENT:
             if token.text == "unit":
                 self.next()
-                return battrs.UnitAttr()
+                return battrs.UnitAttr.get()
             if token.text == "true":
                 self.next()
-                return battrs.IntegerAttr(1, btypes.i1)
+                return battrs.IntegerAttr.get(1, btypes.i1)
             if token.text == "false":
                 self.next()
-                return battrs.IntegerAttr(0, btypes.i1)
+                return battrs.IntegerAttr.get(0, btypes.i1)
             if self._is_builtin_type_name(token.text):
                 # Types are attributes; a bare type in attribute position
                 # denotes itself.
@@ -516,16 +517,16 @@ class IRParser:
             attr_type: Attribute = btypes.f64
             if self.accept(TokenKind.COLON):
                 attr_type = self.parse_type()
-            return battrs.FloatAttr(value, attr_type)
+            return battrs.FloatAttr.get(value, attr_type)
         if token.kind is not TokenKind.INTEGER:
             raise self.error("expected a number", token)
         int_value = -int(token.text) if negative else int(token.text)
         if self.accept(TokenKind.COLON):
             attr_type = self.parse_type()
             if isinstance(attr_type, btypes.FloatType):
-                return battrs.FloatAttr(float(int_value), attr_type)
-            return battrs.IntegerAttr(int_value, attr_type)
-        return battrs.IntegerAttr(int_value)
+                return battrs.FloatAttr.get(float(int_value), attr_type)
+            return battrs.IntegerAttr.get(int_value, attr_type)
+        return battrs.IntegerAttr.get(int_value)
 
     def _parse_dictionary_attribute(self) -> Attribute:
         self.expect(TokenKind.LBRACE, "'{'")
@@ -535,11 +536,11 @@ class IRParser:
             if self.accept(TokenKind.EQUAL):
                 entries[key] = self.parse_attribute()
             else:
-                entries[key] = battrs.UnitAttr()
+                entries[key] = battrs.UnitAttr.get()
             if not self.accept(TokenKind.COMMA):
                 break
         self.expect(TokenKind.RBRACE, "'}'")
-        return battrs.DictionaryAttr(entries)
+        return intern_attr(battrs.DictionaryAttr(entries))
 
     def _parse_dialect_attribute(self, token: Token) -> Attribute:
         qualified = token.value

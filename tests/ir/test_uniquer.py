@@ -1,0 +1,198 @@
+"""Uniqued attribute storage: interning, eviction, equality semantics."""
+
+import gc
+
+import pytest
+
+from repro.builtin import (
+    ArrayAttr,
+    IntegerAttr,
+    StringAttr,
+    default_context,
+    f32,
+    i32,
+)
+from repro.builtin.types import FloatType, FunctionType, IntegerType, TensorType
+from repro.ir import AttributeUniquer, Context, DEFAULT_UNIQUER, Data
+from repro.irdl import register_irdl
+from repro.textir import parse_module
+
+CMATH = """
+Dialect cm {
+  Type complex { Parameters (elem: !AnyType) }
+}
+"""
+
+
+class TestInterning:
+    def test_get_returns_identical_instances(self):
+        assert IntegerType.get(32) is IntegerType.get(32)
+        assert FloatType.get(32) is FloatType.get(32)
+        assert IntegerType.get(32) is i32
+        assert FloatType.get(32) is f32
+
+    def test_distinct_keys_stay_distinct(self):
+        assert IntegerType.get(32) is not IntegerType.get(64)
+        assert StringAttr.get("a") is not StringAttr.get("b")
+
+    def test_structurally_equal_composites_are_identical(self):
+        a = FunctionType.get([i32, f32], [f32])
+        b = FunctionType.get([i32, f32], [f32])
+        assert a is b
+        assert TensorType.get([2, 3], f32) is TensorType.get([2, 3], f32)
+
+    def test_plain_constructor_still_builds_fresh_instances(self):
+        # Interning is opt-in via ``.get``/the producers; the constructor
+        # keeps its build-a-fresh-object semantics and structural
+        # equality still holds between the two.
+        fresh = IntegerType(32)
+        assert fresh is not i32
+        assert fresh == i32
+        assert hash(fresh) == hash(i32)
+
+    def test_context_factories_intern(self):
+        ctx = default_context()
+        assert ctx.make_type("builtin.f32", []) is ctx.make_type(
+            "builtin.f32", []
+        )
+        a = ctx.make_attr("builtin.string", ["x"])
+        assert a is ctx.make_attr("builtin.string", ["x"])
+
+    def test_parsed_types_are_uniqued(self):
+        ctx = default_context()
+        module = parse_module(
+            ctx,
+            '"builtin.module"() ({\n'
+            '  %a = "arith.constant"() {value = 1 : i32} : () -> (i32)\n'
+            '  %b = "arith.constant"() {value = 2 : i32} : () -> (i32)\n'
+            "}) : () -> ()",
+        )
+        ops = list(module.walk())
+        consts = [op for op in ops if op.name == "arith.constant"]
+        t0, t1 = (c.results[0].type for c in consts)
+        assert t0 is t1
+
+
+class TestDynamicAttributes:
+    def test_dynamic_attrs_uniqued_per_definition(self):
+        ctx = default_context()
+        register_irdl(ctx, CMATH)
+        a = ctx.make_type("cm.complex", [f32])
+        b = ctx.make_type("cm.complex", [f32])
+        assert a is b
+
+    def test_same_name_in_two_registrations_not_shared(self):
+        ctx1, ctx2 = default_context(), default_context()
+        register_irdl(ctx1, CMATH)
+        register_irdl(ctx2, CMATH)
+        a = ctx1.make_type("cm.complex", [f32])
+        b = ctx2.make_type("cm.complex", [f32])
+        # Different definition objects → different uniquing keys, and
+        # the attributes must not even compare equal.
+        assert a is not b
+        assert a != b
+
+    def test_clone_shares_the_uniquer(self):
+        ctx = default_context()
+        register_irdl(ctx, CMATH)
+        clone = ctx.clone()
+        assert clone.uniquer is ctx.uniquer
+        assert ctx.make_type("cm.complex", [f32]) is clone.make_type(
+            "cm.complex", [f32]
+        )
+
+
+class TestWeakCache:
+    def test_eviction_does_not_leak(self):
+        uniquer = AttributeUniquer()
+        attr = uniquer.intern(StringAttr("ephemeral-entry"))
+        assert len(uniquer) == 1
+        del attr
+        gc.collect()
+        assert len(uniquer) == 0
+
+    def test_canonical_instance_survives_while_referenced(self):
+        uniquer = AttributeUniquer()
+        keep = uniquer.intern(StringAttr("kept"))
+        gc.collect()
+        assert uniquer.intern(StringAttr("kept")) is keep
+        assert uniquer.hits == 1
+
+    def test_unhashable_data_passes_through(self):
+        class ListData(Data):
+            name = "test.list"
+
+        uniquer = AttributeUniquer()
+        attr = ListData([1, 2, 3])
+        assert uniquer.intern(attr) is attr
+        assert len(uniquer) == 0
+
+    def test_private_uniquer_isolated_from_default(self):
+        private = AttributeUniquer()
+        ctx = Context(uniquer=private)
+        assert ctx.uniquer is private
+        assert ctx.uniquer is not DEFAULT_UNIQUER
+        ctx.intern(StringAttr("private-only-entry"))
+        assert DEFAULT_UNIQUER.lookup(StringAttr("private-only-entry")) is None
+
+    def test_hit_and_miss_accounting(self):
+        uniquer = AttributeUniquer()
+        # Keep the canonical instances alive: the cache holds them weakly.
+        x = uniquer.intern(StringAttr("x"))
+        x2 = uniquer.intern(StringAttr("x"))
+        y = uniquer.intern(StringAttr("y"))
+        assert x2 is x
+        assert uniquer.misses == 2
+        assert uniquer.hits == 1
+        assert uniquer.stats()["live"] == 2
+        assert y is not x
+
+
+class TestEqualitySemantics:
+    def test_identity_fast_path(self):
+        assert i32 == i32
+        assert IntegerAttr(3, i32) == IntegerAttr(3, i32)
+
+    def test_foreign_types_get_reflected_equality(self):
+        class Boxed:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def __eq__(self, other):
+                return self.inner == other
+
+            def __hash__(self):
+                return hash(self.inner)
+
+        # Data.__eq__/ParametrizedAttribute.__eq__ must return
+        # NotImplemented (not False) so Python falls back to Boxed's
+        # reflected __eq__ in both orientations.
+        assert StringAttr("x") == Boxed(StringAttr("x"))
+        assert Boxed(i32) == i32
+        assert i32 == Boxed(i32)
+
+    def test_unrelated_values_still_unequal(self):
+        assert StringAttr("x") != "x"
+        assert i32 != 32
+        assert IntegerAttr(1, i32) != StringAttr("1")
+
+    def test_hash_cached_and_stable(self):
+        attr = ArrayAttr([IntegerAttr(1, i32), StringAttr("a")])
+        first = hash(attr)
+        assert hash(attr) == first
+        assert hash(attr) == hash(ArrayAttr([IntegerAttr(1, i32), StringAttr("a")]))
+
+
+class TestParamLookup:
+    def test_registered_param_lookup_by_name(self):
+        assert i32.param("bitwidth").value == 32
+        with pytest.raises(AttributeError, match="no parameter named"):
+            i32.param("nope")
+
+    def test_dynamic_param_lookup_by_name(self):
+        ctx = default_context()
+        register_irdl(ctx, CMATH)
+        attr = ctx.make_type("cm.complex", [f32])
+        assert attr.param("elem") is f32
+        with pytest.raises(AttributeError, match="no parameter named"):
+            attr.param("nope")

@@ -1,0 +1,164 @@
+"""Compiled verification plans: memoization soundness and segment checks."""
+
+import pytest
+
+from repro.builtin import ArrayAttr, IntegerAttr, StringAttr, default_context, f32, i32
+from repro.ir import Block, VerifyError
+from repro.irdl import register_irdl
+from repro.irdl.plan import CONSTRAINT_MEMO, ConstraintMemo, VerificationPlan
+
+SOURCE = """
+Dialect p {
+  Operation same {
+    ConstraintVars (T: !AnyType)
+    Operands (a: T, b: T)
+  }
+  Operation annotated {
+    Attributes (name: string_attr, count: i32_attr)
+  }
+  Operation mixed {
+    Operands (a: !i32, xs: Variadic<!i32>, ys: Variadic<!i32>)
+  }
+  Operation two_lists {
+    Operands (xs: Variadic<!i32>, ys: Variadic<!f32>)
+  }
+}
+"""
+
+
+@pytest.fixture
+def pctx():
+    ctx = default_context()
+    register_irdl(ctx, SOURCE)
+    return ctx
+
+
+def values(*types):
+    return list(Block(list(types)).args)
+
+
+def plan_of(ctx, name) -> VerificationPlan:
+    binding = ctx.get_op_def(name)
+    return binding._verifier.plan
+
+
+class TestPlanCompilation:
+    def test_verifier_exposes_its_plan(self, pctx):
+        plan = plan_of(pctx, "p.mixed")
+        assert plan.operand_checks.plan.variadic_count == 2
+        assert plan.operand_checks.plan.n_defs == 3
+        assert plan.result_checks.plan.n_defs == 0
+
+    def test_variable_freeness_precomputed(self, pctx):
+        same = plan_of(pctx, "p.same")
+        annotated = plan_of(pctx, "p.annotated")
+        # Var-constrained operands must never be marked memoizable.
+        assert all(not memoizable for _, _, memoizable in same.operand_checks.checks)
+        # Plain attribute constraints are variable-free and memoizable.
+        assert all(memoizable for _, _, memoizable in annotated.attr_checks)
+
+
+class TestMemoization:
+    def test_repeated_verification_hits_the_memo(self, pctx):
+        op = pctx.create_operation(
+            "p.annotated",
+            attributes={"name": StringAttr.get("f"),
+                        "count": IntegerAttr.get(3, i32)},
+        )
+        memo = ConstraintMemo()
+        plan = plan_of(pctx, "p.annotated")
+        plan.run(op, memo)
+        assert memo.hits == 0 and len(memo) == 2
+        plan.run(op, memo)
+        assert memo.hits == 2
+
+    def test_memo_never_caches_variable_dependent_checks(self, pctx):
+        plan = plan_of(pctx, "p.same")
+        memo = ConstraintMemo()
+        ok = pctx.create_operation("p.same", operands=values(i32, i32))
+        for _ in range(5):
+            plan.run(ok, memo)
+        # The Var constraint binds per run; nothing may be memoized.
+        assert len(memo) == 0 and memo.hits == 0
+        bad = pctx.create_operation("p.same", operands=values(i32, f32))
+        with pytest.raises(VerifyError, match="already bound"):
+            plan.run(bad, memo)
+
+    def test_warm_shared_memo_does_not_leak_across_shapes(self, pctx):
+        # Warm the *shared* memo through the normal verify entry point,
+        # then check a mismatching op still fails.
+        ok = pctx.create_operation("p.same", operands=values(f32, f32))
+        for _ in range(10):
+            ok.verify()
+        bad = pctx.create_operation("p.same", operands=values(f32, i32))
+        with pytest.raises(VerifyError, match="already bound"):
+            bad.verify()
+
+    def test_memo_is_bounded(self):
+        memo = ConstraintMemo(maxsize=2)
+        from repro.irdl.constraints import AnyTypeConstraint
+
+        constraints = [AnyTypeConstraint() for _ in range(3)]
+        for c in constraints:
+            memo.record(c, i32)
+        assert len(memo) == 2
+        # The oldest entry was evicted.
+        assert not memo.hit(constraints[0], i32)
+        assert memo.hit(constraints[2], i32)
+
+    def test_disabled_memo_is_inert(self):
+        from repro.irdl.constraints import AnyTypeConstraint
+
+        memo = ConstraintMemo()
+        memo.enabled = False
+        constraint = AnyTypeConstraint()
+        memo.record(constraint, i32)
+        assert len(memo) == 0
+        assert not memo.hit(constraint, i32)
+
+    def test_shared_memo_collects_hits_end_to_end(self, pctx):
+        CONSTRAINT_MEMO.clear()
+        op = pctx.create_operation(
+            "p.annotated",
+            attributes={"name": StringAttr.get("f"),
+                        "count": IntegerAttr.get(3, i32)},
+        )
+        op.verify()
+        before = CONSTRAINT_MEMO.hits
+        op.verify()
+        assert CONSTRAINT_MEMO.hits > before
+
+
+class TestUpfrontSegmentValidation:
+    def _mixed_op(self, pctx, sizes, n_values):
+        sizes_attr = ArrayAttr([IntegerAttr(s) for s in sizes])
+        return pctx.create_operation(
+            "p.mixed",
+            operands=values(*[i32] * n_values),
+            attributes={"operand_segment_sizes": sizes_attr},
+        )
+
+    def test_first_bad_entry_named_before_sum_mismatch(self, pctx):
+        # [-1, 5] also has the wrong sum; the negative entry must win.
+        sizes = ArrayAttr([IntegerAttr(-1), IntegerAttr(5)])
+        op = pctx.create_operation(
+            "p.two_lists",
+            operands=values(i32, i32, i32),
+            attributes={"operand_segment_sizes": sizes},
+        )
+        with pytest.raises(VerifyError, match="negative segment size -1"):
+            op.verify()
+
+    def test_non_variadic_entry_validated_before_slicing(self, pctx):
+        op = self._mixed_op(pctx, [2, 1, 1], 4)
+        with pytest.raises(VerifyError, match="'a' is not variadic"):
+            op.verify()
+
+    def test_valid_sizes_still_match(self, pctx):
+        op = self._mixed_op(pctx, [1, 2, 1], 4)
+        op.verify()
+
+    def test_sum_mismatch_reported_when_entries_valid(self, pctx):
+        op = self._mixed_op(pctx, [1, 2, 2], 4)
+        with pytest.raises(VerifyError, match="sums to 5"):
+            op.verify()
