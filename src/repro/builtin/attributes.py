@@ -88,7 +88,13 @@ class FloatAttr(ParametrizedAttribute):
             )
 
     def __str__(self) -> str:
-        return f"{self.value} : {self.type}"
+        import math
+
+        if math.isfinite(self.value):
+            return f"{self.value} : {self.type}"
+        # Decimal repr cannot express this value; print the bit-exact
+        # hex form the parser accepts back.
+        return f"0x{self.parameters[0].bits():016X} : {self.type}"
 
 
 class UnitAttr(ParametrizedAttribute):

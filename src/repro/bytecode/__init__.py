@@ -1,0 +1,38 @@
+"""``repro.bytecode``: a versioned binary format for modules and dialects.
+
+The textual format (:mod:`repro.textir`) is the human interface; this
+package is the machine interface — an MLIR-bytecode-style encoding that
+loads without re-lexing text.  Two artifact kinds share one container
+(magic + version + section frames):
+
+* **IR modules** — :func:`encode_module` / :func:`decode_module`; the
+  attribute pool is deduplicated through the per-context uniquer, and
+  SSA values travel as implicit pre-order indices.
+* **IRDL dialects** — :func:`encode_dialects` / :func:`decode_dialects`;
+  the parsed :class:`~repro.irdl.ast.DialectDecl` tree is serialized so
+  dialects register from bytecode without parsing IRDL text.
+
+Robustness: decoding corrupt, truncated, or version-skewed input always
+raises :class:`BytecodeError` (a ``DiagnosticError``), never a raw
+``IndexError``/``struct.error`` — see ``docs/serialization.md``.
+"""
+
+from repro.bytecode.decoder import decode_dialects, decode_module
+from repro.bytecode.encoder import encode_dialects, encode_module
+from repro.bytecode.wire import (
+    FORMAT_VERSION,
+    MAGIC,
+    BytecodeError,
+    is_bytecode,
+)
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "BytecodeError",
+    "is_bytecode",
+    "encode_module",
+    "decode_module",
+    "encode_dialects",
+    "decode_dialects",
+]

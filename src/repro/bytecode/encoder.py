@@ -1,0 +1,653 @@
+"""Binary encoder: IR modules and IRDL dialect declarations → bytecode.
+
+Layout of an artifact (details in ``docs/serialization.md``)::
+
+    MAGIC "IRBC" | varint format_version | byte kind | section*
+    section ::= varint section_id | varint byte_length | payload
+
+A *module* artifact carries three sections — the string table, the
+attribute pool, and the op stream.  A *dialects* artifact carries the
+string table and the dialect-declaration tree.  Readers skip section ids
+they do not recognise, which is what buys forward compatibility.
+
+The attribute pool is the binary mirror of the PR 2 uniquer: every
+attribute is interned before pooling, so structurally equal attributes
+collapse to one pool entry referenced by index.  Entries are emitted
+children-first, which makes the pool a topologically ordered DAG the
+decoder can rebuild in a single forward pass.
+
+SSA values are numbered implicitly by a fixed pre-order traversal
+(results of an op before its regions; a region's block arguments before
+any of its op bodies), so the op stream never spells out value names —
+operands are just varint indices into that numbering.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.builtin.attributes import (
+    ArrayAttr,
+    DictionaryAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    UnitAttr,
+)
+from repro.builtin.types import (
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    Signedness,
+    TensorType,
+    VectorType,
+)
+from repro.bytecode.wire import (
+    FORMAT_VERSION,
+    KIND_DIALECTS,
+    KIND_MODULE,
+    MAGIC,
+    BytecodeError,
+    Writer,
+)
+from repro.ir.attributes import Attribute, DynamicParametrizedAttribute
+from repro.ir.operation import Operation
+from repro.ir.params import (
+    ArrayParam,
+    EnumParam,
+    FloatParam,
+    IntegerParam,
+    LocationParam,
+    OpaqueParam,
+    ParamValue,
+    StringParam,
+    TypeIdParam,
+)
+from repro.ir.uniquer import intern
+from repro.ir.value import SSAValue
+from repro.irdl import ast
+from repro.obs.instrument import OBS, count_ops
+
+# ---------------------------------------------------------------------------
+# Section identifiers (new sections get fresh ids; readers skip unknown ones)
+# ---------------------------------------------------------------------------
+
+SECTION_STRINGS = 1
+SECTION_ATTRS = 2
+SECTION_OPS = 3
+SECTION_DIALECTS = 4
+
+# ---------------------------------------------------------------------------
+# Attribute-pool entry tags
+# ---------------------------------------------------------------------------
+
+TAG_INTEGER_TYPE = 1
+TAG_INDEX_TYPE = 2
+TAG_FLOAT_TYPE = 3
+TAG_FUNCTION_TYPE = 4
+TAG_TENSOR_TYPE = 5
+TAG_VECTOR_TYPE = 6
+TAG_MEMREF_TYPE = 7
+TAG_STRING_ATTR = 8
+TAG_INTEGER_ATTR = 9
+TAG_FLOAT_ATTR = 10
+TAG_UNIT_ATTR = 11
+TAG_TYPE_ATTR = 12
+TAG_ARRAY_ATTR = 13
+TAG_DICTIONARY_ATTR = 14
+TAG_SYMBOL_REF_ATTR = 15
+TAG_DYNAMIC_ATTR = 16
+TAG_INTEGER_PARAM = 17
+TAG_FLOAT_PARAM = 18
+TAG_STRING_PARAM = 19
+TAG_ENUM_PARAM = 20
+TAG_ARRAY_PARAM = 21
+TAG_LOCATION_PARAM = 22
+TAG_TYPEID_PARAM = 23
+TAG_OPAQUE_PARAM = 24
+
+SIGNEDNESS_CODE = {
+    Signedness.SIGNLESS: 0,
+    Signedness.SIGNED: 1,
+    Signedness.UNSIGNED: 2,
+}
+
+# Constraint-expression tags (dialect section).
+EXPR_REF = 1
+EXPR_INT_LITERAL = 2
+EXPR_STRING_LITERAL = 3
+EXPR_LIST = 4
+
+SIGIL_CODE = {None: 0, "!": 1, "#": 2}
+
+VARIADICITY_CODE = {
+    ast.Variadicity.SINGLE: 0,
+    ast.Variadicity.OPTIONAL: 1,
+    ast.Variadicity.VARIADIC: 2,
+}
+
+
+class Pools:
+    """The shared string table and attribute pool of one artifact."""
+
+    def __init__(self) -> None:
+        self.strings: list[str] = []
+        self._string_ids: dict[str, int] = {}
+        self.attr_entries: list[bytes] = []
+        self._attr_ids: dict[int, int] = {}
+        self._param_ids: dict[ParamValue, int] = {}
+        # The uniquer holds attributes weakly; pin pooled ones so their
+        # ``id`` keys stay valid for the lifetime of this encoding.
+        self._pinned: list[Attribute] = []
+
+    def string(self, text: str) -> int:
+        index = self._string_ids.get(text)
+        if index is None:
+            index = self._string_ids[text] = len(self.strings)
+            self.strings.append(text)
+        return index
+
+    def ref(self, value: object) -> int:
+        """Pool index of an attribute or parameter value (children first)."""
+        if isinstance(value, Attribute):
+            value = intern(value)
+            index = self._attr_ids.get(id(value))
+            if index is None:
+                entry = self._encode_entry(value)
+                index = len(self.attr_entries)
+                self.attr_entries.append(entry)
+                self._attr_ids[id(value)] = index
+                self._pinned.append(value)
+            return index
+        if isinstance(value, ParamValue):
+            try:
+                index = self._param_ids.get(value)
+            except TypeError:  # unhashable payload (opaque params)
+                index = None
+            if index is None:
+                entry = self._encode_entry(value)
+                index = len(self.attr_entries)
+                self.attr_entries.append(entry)
+                try:
+                    self._param_ids[value] = index
+                except TypeError:
+                    pass
+            return index
+        raise BytecodeError(
+            f"cannot encode {type(value).__name__} as an attribute parameter"
+        )
+
+    # -- entry encodings -------------------------------------------------
+
+    def _encode_entry(self, value: object) -> bytes:
+        w = Writer()
+        if isinstance(value, Attribute):
+            self._encode_attr(w, value)
+        else:
+            self._encode_param(w, value)  # type: ignore[arg-type]
+        return w.getvalue()
+
+    def _encode_attr(self, w: Writer, attr: Attribute) -> None:
+        if isinstance(attr, DynamicParametrizedAttribute):
+            from repro.ir.attributes import DynamicTypeAttribute
+
+            w.varint(TAG_DYNAMIC_ATTR)
+            w.varint(self.string(attr.attr_name))
+            w.varint(1 if isinstance(attr, DynamicTypeAttribute) else 0)
+            w.varint(len(attr.parameters))
+            for param in attr.parameters:
+                w.varint(self.ref(param))
+        elif isinstance(attr, IntegerType):
+            w.varint(TAG_INTEGER_TYPE)
+            w.varint(attr.bitwidth)
+            w.varint(SIGNEDNESS_CODE[attr.signedness])
+        elif isinstance(attr, IndexType):
+            w.varint(TAG_INDEX_TYPE)
+        elif isinstance(attr, FloatType):
+            w.varint(TAG_FLOAT_TYPE)
+            w.varint(attr.bitwidth)
+        elif isinstance(attr, FunctionType):
+            inputs = [self.ref(t) for t in attr.inputs]
+            results = [self.ref(t) for t in attr.result_types]
+            w.varint(TAG_FUNCTION_TYPE)
+            w.varint(len(inputs))
+            for ref in inputs:
+                w.varint(ref)
+            w.varint(len(results))
+            for ref in results:
+                w.varint(ref)
+        elif isinstance(attr, (TensorType, VectorType, MemRefType)):
+            tag = {
+                TensorType: TAG_TENSOR_TYPE,
+                VectorType: TAG_VECTOR_TYPE,
+                MemRefType: TAG_MEMREF_TYPE,
+            }[type(attr)]
+            element = self.ref(attr.element_type)
+            w.varint(tag)
+            w.varint(attr.rank)
+            for dim in attr.shape:
+                w.signed(dim)
+            w.varint(element)
+        elif isinstance(attr, StringAttr):
+            w.varint(TAG_STRING_ATTR)
+            w.varint(self.string(attr.data))
+        elif isinstance(attr, IntegerAttr):
+            type_ref = self.ref(attr.type)
+            w.varint(TAG_INTEGER_ATTR)
+            w.signed(attr.value)
+            w.varint(type_ref)
+        elif isinstance(attr, FloatAttr):
+            type_ref = self.ref(attr.type)
+            w.varint(TAG_FLOAT_ATTR)
+            w.f64_bits(attr.value)
+            w.varint(type_ref)
+        elif isinstance(attr, UnitAttr):
+            w.varint(TAG_UNIT_ATTR)
+        elif isinstance(attr, TypeAttr):
+            wrapped = self.ref(attr.type)
+            w.varint(TAG_TYPE_ATTR)
+            w.varint(wrapped)
+        elif isinstance(attr, ArrayAttr):
+            refs = [self.ref(e) for e in attr.elements]
+            w.varint(TAG_ARRAY_ATTR)
+            w.varint(len(refs))
+            for ref in refs:
+                w.varint(ref)
+        elif isinstance(attr, DictionaryAttr):
+            entries = [
+                (self.string(key), self.ref(value))
+                for key, value in attr.parameters
+            ]
+            w.varint(TAG_DICTIONARY_ATTR)
+            w.varint(len(entries))
+            for key_ref, value_ref in entries:
+                w.varint(key_ref)
+                w.varint(value_ref)
+        elif isinstance(attr, SymbolRefAttr):
+            w.varint(TAG_SYMBOL_REF_ATTR)
+            w.varint(self.string(attr.data))
+        else:
+            raise BytecodeError(
+                f"cannot encode attribute class "
+                f"{type(attr).__module__}.{type(attr).__qualname__}; "
+                "only builtin and IRDL-defined attributes have a "
+                "bytecode encoding"
+            )
+
+    def _encode_param(self, w: Writer, param: ParamValue) -> None:
+        if isinstance(param, IntegerParam):
+            w.varint(TAG_INTEGER_PARAM)
+            w.signed(param.value)
+            w.varint(param.bitwidth)
+            w.varint(1 if param.signed else 0)
+        elif isinstance(param, FloatParam):
+            w.varint(TAG_FLOAT_PARAM)
+            w.f64_bits(param.value)
+            w.varint(param.bitwidth)
+        elif isinstance(param, StringParam):
+            w.varint(TAG_STRING_PARAM)
+            w.varint(self.string(param.value))
+        elif isinstance(param, EnumParam):
+            w.varint(TAG_ENUM_PARAM)
+            w.varint(self.string(param.enum_name))
+            w.varint(self.string(param.constructor))
+        elif isinstance(param, ArrayParam):
+            refs = [self.ref(e) for e in param.elements]
+            w.varint(TAG_ARRAY_PARAM)
+            w.varint(len(refs))
+            for ref in refs:
+                w.varint(ref)
+        elif isinstance(param, LocationParam):
+            w.varint(TAG_LOCATION_PARAM)
+            w.varint(self.string(param.filename))
+            w.varint(param.line)
+            w.varint(param.column)
+        elif isinstance(param, TypeIdParam):
+            w.varint(TAG_TYPEID_PARAM)
+            w.varint(self.string(param.qualified_name))
+        elif isinstance(param, OpaqueParam):
+            if not isinstance(param.value, str):
+                raise BytecodeError(
+                    f"cannot encode opaque parameter of {param.class_name} "
+                    f"holding a non-string {type(param.value).__name__}"
+                )
+            w.varint(TAG_OPAQUE_PARAM)
+            w.varint(self.string(param.class_name))
+            w.varint(self.string(param.value))
+        else:
+            raise BytecodeError(
+                f"cannot encode parameter class {type(param).__qualname__}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Sections and artifact assembly
+# ---------------------------------------------------------------------------
+
+
+def _strings_payload(pools: Pools) -> bytes:
+    w = Writer()
+    w.varint(len(pools.strings))
+    for text in pools.strings:
+        w.string_bytes(text)
+    return w.getvalue()
+
+
+def _attrs_payload(pools: Pools) -> bytes:
+    w = Writer()
+    w.varint(len(pools.attr_entries))
+    for entry in pools.attr_entries:
+        w.raw(entry)
+    return w.getvalue()
+
+
+def _assemble(kind: int, sections: Sequence[tuple[int, bytes]]) -> bytes:
+    w = Writer()
+    w.raw(MAGIC)
+    w.varint(FORMAT_VERSION)
+    w.varint(kind)
+    for section_id, payload in sections:
+        w.varint(section_id)
+        w.varint(len(payload))
+        w.raw(payload)
+    return w.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Module encoding
+# ---------------------------------------------------------------------------
+
+
+def _number_values(root: Operation) -> dict[SSAValue, int]:
+    """Assign pre-order indices: op results, then per-region block args
+    (all blocks first), then op bodies — exactly the decoder's order."""
+    table: dict[SSAValue, int] = {}
+
+    def visit(op: Operation) -> None:
+        for result in op.results:
+            table[result] = len(table)
+        for region in op.regions:
+            for block in region.blocks:
+                for arg in block.args:
+                    table[arg] = len(table)
+            for block in region.blocks:
+                for inner in block.ops:
+                    visit(inner)
+
+    visit(root)
+    return table
+
+
+def _write_name_hint(w: Writer, pools: Pools, value: SSAValue) -> None:
+    """An optional SSA name hint, so ``%c`` survives the round-trip."""
+    if value.name_hint is None:
+        w.varint(0)
+    else:
+        w.varint(1)
+        w.varint(pools.string(value.name_hint))
+
+
+def _write_op(
+    w: Writer,
+    op: Operation,
+    pools: Pools,
+    values: dict[SSAValue, int],
+    block_ids: dict[int, int],
+) -> None:
+    w.varint(pools.string(op.name))
+    w.varint(len(op.operands))
+    for operand in op.operands:
+        index = values.get(operand)
+        if index is None:
+            raise BytecodeError(
+                f"operand of {op.name} is defined outside the module "
+                "being encoded"
+            )
+        w.varint(index)
+        w.varint(pools.ref(operand.type))
+    w.varint(len(op.results))
+    for result in op.results:
+        w.varint(pools.ref(result.type))
+        _write_name_hint(w, pools, result)
+    w.varint(len(op.attributes))
+    for name, attr in op.attributes.items():
+        w.varint(pools.string(name))
+        w.varint(pools.ref(attr))
+    w.varint(len(op.successors))
+    for successor in op.successors:
+        block_index = block_ids.get(id(successor))
+        if block_index is None:
+            raise BytecodeError(
+                f"successor of {op.name} is not a block of the "
+                "enclosing region"
+            )
+        w.varint(block_index)
+    w.varint(len(op.regions))
+    for region in op.regions:
+        w.varint(len(region.blocks))
+        for block in region.blocks:
+            w.varint(len(block.args))
+            for arg in block.args:
+                w.varint(pools.ref(arg.type))
+                _write_name_hint(w, pools, arg)
+        inner_ids = {id(b): i for i, b in enumerate(region.blocks)}
+        for block in region.blocks:
+            w.varint(len(block.ops))
+            for inner in block.ops:
+                _write_op(w, inner, pools, values, inner_ids)
+
+
+def _encode_module(root: Operation) -> bytes:
+    pools = Pools()
+    values = _number_values(root)
+    ops = Writer()
+    ops.varint(len(values))
+    _write_op(ops, root, pools, values, {})
+    return _assemble(
+        KIND_MODULE,
+        [
+            (SECTION_STRINGS, _strings_payload(pools)),
+            (SECTION_ATTRS, _attrs_payload(pools)),
+            (SECTION_OPS, ops.getvalue()),
+        ],
+    )
+
+
+def encode_module(root: Operation) -> bytes:
+    """Serialize an operation (usually a module) to bytecode."""
+    if not OBS.active:
+        return _encode_module(root)
+    import time
+
+    start = time.perf_counter()
+    with OBS.tracer.span("bytecode.encode", category="bytecode"):
+        data = _encode_module(root)
+    metrics = OBS.metrics
+    if metrics.enabled:
+        metrics.counter("bytecode.encode.modules").inc()
+        metrics.counter("bytecode.encode.ops").inc(count_ops(root))
+        metrics.histogram("bytecode.encode.module_bytes").observe(len(data))
+        metrics.timer("bytecode.encode.time").record(
+            time.perf_counter() - start
+        )
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Dialect encoding
+# ---------------------------------------------------------------------------
+
+
+def _write_optional_string(w: Writer, pools: Pools, text: str | None) -> None:
+    if text is None:
+        w.varint(0)
+    else:
+        w.varint(1)
+        w.varint(pools.string(text))
+
+
+def _write_expr(w: Writer, pools: Pools, expr: ast.ConstraintExpr) -> None:
+    if isinstance(expr, ast.RefExpr):
+        w.varint(EXPR_REF)
+        w.varint(SIGIL_CODE[expr.sigil])
+        w.varint(pools.string(expr.name))
+        if expr.params is None:
+            w.varint(0)
+        else:
+            w.varint(1)
+            w.varint(len(expr.params))
+            for param in expr.params:
+                _write_expr(w, pools, param)
+    elif isinstance(expr, ast.IntLiteralExpr):
+        w.varint(EXPR_INT_LITERAL)
+        w.signed(expr.value)
+        _write_optional_string(w, pools, expr.type_name)
+    elif isinstance(expr, ast.StringLiteralExpr):
+        w.varint(EXPR_STRING_LITERAL)
+        w.varint(pools.string(expr.value))
+    elif isinstance(expr, ast.ListExpr):
+        w.varint(EXPR_LIST)
+        w.varint(len(expr.elements))
+        for element in expr.elements:
+            _write_expr(w, pools, element)
+    else:
+        raise BytecodeError(
+            f"cannot encode constraint expression {type(expr).__qualname__}"
+        )
+
+
+def _write_param_decl(w: Writer, pools: Pools, decl: ast.ParamDecl) -> None:
+    w.varint(pools.string(decl.name))
+    _write_expr(w, pools, decl.constraint)
+
+
+def _write_arg_decl(w: Writer, pools: Pools, decl: ast.ArgDecl) -> None:
+    w.varint(pools.string(decl.name))
+    _write_expr(w, pools, decl.constraint)
+    w.varint(VARIADICITY_CODE[decl.variadicity])
+
+
+def _write_string_list(w: Writer, pools: Pools, items: Sequence[str]) -> None:
+    w.varint(len(items))
+    for item in items:
+        w.varint(pools.string(item))
+
+
+def _write_type_decl(w: Writer, pools: Pools, decl: ast.TypeDecl) -> None:
+    w.varint(pools.string(decl.name))
+    w.varint(1 if decl.is_type else 0)
+    w.varint(len(decl.parameters))
+    for param in decl.parameters:
+        _write_param_decl(w, pools, param)
+    w.varint(pools.string(decl.summary))
+    _write_optional_string(w, pools, decl.format)
+    _write_string_list(w, pools, decl.py_constraints)
+
+
+def _write_operation_decl(
+    w: Writer, pools: Pools, decl: ast.OperationDecl
+) -> None:
+    w.varint(pools.string(decl.name))
+    w.varint(len(decl.constraint_vars))
+    for var in decl.constraint_vars:
+        w.varint(pools.string(var.name))
+        w.varint(SIGIL_CODE[var.sigil])
+        _write_expr(w, pools, var.constraint)
+    for args in (decl.operands, decl.results, decl.attributes):
+        w.varint(len(args))
+        for arg in args:
+            _write_arg_decl(w, pools, arg)
+    w.varint(len(decl.regions))
+    for region in decl.regions:
+        w.varint(pools.string(region.name))
+        w.varint(len(region.arguments))
+        for arg in region.arguments:
+            _write_arg_decl(w, pools, arg)
+        _write_optional_string(w, pools, region.terminator)
+    if decl.successors is None:
+        w.varint(0)
+    else:
+        w.varint(1)
+        _write_string_list(w, pools, decl.successors)
+    _write_optional_string(w, pools, decl.format)
+    w.varint(pools.string(decl.summary))
+    _write_string_list(w, pools, decl.py_constraints)
+
+
+def _write_dialect(w: Writer, pools: Pools, decl: ast.DialectDecl) -> None:
+    w.varint(pools.string(decl.name))
+    w.varint(len(decl.types))
+    for type_decl in decl.types:
+        _write_type_decl(w, pools, type_decl)
+    w.varint(len(decl.attributes))
+    for attr_decl in decl.attributes:
+        _write_type_decl(w, pools, attr_decl)
+    w.varint(len(decl.operations))
+    for op_decl in decl.operations:
+        _write_operation_decl(w, pools, op_decl)
+    w.varint(len(decl.aliases))
+    for alias in decl.aliases:
+        w.varint(pools.string(alias.name))
+        w.varint(SIGIL_CODE[alias.sigil])
+        _write_string_list(w, pools, alias.type_params)
+        _write_expr(w, pools, alias.body)
+    w.varint(len(decl.enums))
+    for enum in decl.enums:
+        w.varint(pools.string(enum.name))
+        _write_string_list(w, pools, enum.constructors)
+    w.varint(len(decl.constraints))
+    for constraint in decl.constraints:
+        w.varint(pools.string(constraint.name))
+        _write_expr(w, pools, constraint.base)
+        w.varint(pools.string(constraint.summary))
+        _write_optional_string(w, pools, constraint.py_constraint)
+    w.varint(len(decl.param_wrappers))
+    for wrapper in decl.param_wrappers:
+        w.varint(pools.string(wrapper.name))
+        w.varint(pools.string(wrapper.summary))
+        w.varint(pools.string(wrapper.py_class_name))
+        w.varint(pools.string(wrapper.py_parser))
+        w.varint(pools.string(wrapper.py_printer))
+
+
+def _encode_dialects(decls: Sequence[ast.DialectDecl]) -> bytes:
+    pools = Pools()
+    body = Writer()
+    body.varint(len(decls))
+    for decl in decls:
+        _write_dialect(body, pools, decl)
+    return _assemble(
+        KIND_DIALECTS,
+        [
+            (SECTION_STRINGS, _strings_payload(pools)),
+            (SECTION_DIALECTS, body.getvalue()),
+        ],
+    )
+
+
+def encode_dialects(
+    decls: ast.DialectDecl | Sequence[ast.DialectDecl],
+) -> bytes:
+    """Serialize IRDL dialect declarations (the parsed AST) to bytecode."""
+    if isinstance(decls, ast.DialectDecl):
+        decls = [decls]
+    decls = list(decls)
+    if not OBS.active:
+        return _encode_dialects(decls)
+    import time
+
+    start = time.perf_counter()
+    with OBS.tracer.span("bytecode.encode_dialects", category="bytecode"):
+        data = _encode_dialects(decls)
+    metrics = OBS.metrics
+    if metrics.enabled:
+        metrics.counter("bytecode.encode.dialects").inc(len(decls))
+        metrics.histogram("bytecode.encode.dialect_bytes").observe(len(data))
+        metrics.timer("bytecode.encode.time").record(
+            time.perf_counter() - start
+        )
+    return data

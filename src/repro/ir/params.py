@@ -13,6 +13,8 @@ types compare and hash structurally, exactly as MLIR's uniqued types do.
 
 from __future__ import annotations
 
+import math
+import struct
 from dataclasses import dataclass
 from typing import Union
 
@@ -69,17 +71,39 @@ class IntegerParam(ParamValue):
         return f"{self.value} : {self.type_name}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class FloatParam(ParamValue):
-    """A floating-point parameter value."""
+    """A floating-point parameter value.
+
+    Equality and hashing are over the IEEE-754 *bit pattern*, not the
+    numeric value: ``NaN`` payloads compare equal to themselves and
+    ``-0.0`` stays distinct from ``0.0``, so interning and serialization
+    round-trips are bit-exact.  Values whose decimal ``repr`` is lossy
+    or unparseable (``inf``, ``nan``) print in the bit-exact hex form
+    ``0x<16 hex digits>`` that the textual parser accepts back.
+    """
 
     value: float
     bitwidth: int = 64
 
     kind = "float"
 
+    def bits(self) -> int:
+        """The raw IEEE-754 double bit pattern of the value."""
+        return struct.unpack("<Q", struct.pack("<d", self.value))[0]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FloatParam):
+            return NotImplemented
+        return self.bitwidth == other.bitwidth and self.bits() == other.bits()
+
+    def __hash__(self) -> int:
+        return hash((FloatParam, self.bits(), self.bitwidth))
+
     def __str__(self) -> str:
-        return f"{self.value!r} : f{self.bitwidth}"
+        if math.isfinite(self.value):
+            return f"{self.value!r} : f{self.bitwidth}"
+        return f"0x{self.bits():016X} : f{self.bitwidth}"
 
 
 @dataclass(frozen=True)

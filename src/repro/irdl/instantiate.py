@@ -216,7 +216,17 @@ def register_irdl(context: Context, text: str, name: str = "<irdl>") -> list[Dia
 
 
 def load_irdl_file(context: Context, path: str) -> list[DialectDef]:
-    """Load and register the dialects of one ``.irdl`` file."""
-    with open(path, encoding="utf-8") as handle:
-        text = handle.read()
-    return register_irdl(context, text, path)
+    """Load and register the dialects of one ``.irdl`` file.
+
+    The file may hold IRDL source text or a compiled dialects artifact
+    (``irdl-opt --compile-irdl``); the bytecode magic number decides,
+    so callers never need to know which form they were handed.
+    """
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    from repro.bytecode import decode_dialects, is_bytecode
+
+    if is_bytecode(raw):
+        decls = decode_dialects(raw, name=path)
+        return [register_dialect(context, decl) for decl in decls]
+    return register_irdl(context, raw.decode("utf-8"), path)

@@ -116,6 +116,14 @@ class IRGenerator:
                 arg.name: self.sampler.sample(arg.constraint, cctx)
                 for arg in op_def.attributes
             }
+            if any(
+                not isinstance(value, Attribute)
+                for value in attributes.values()
+            ):
+                # The sampler satisfied a parameter-shaped constraint with
+                # a bare ParamValue; ops only carry Attributes, so discard
+                # the candidate rather than crash verification.
+                return None
             regions = [
                 self._generate_region(region_def, cctx, depth)
                 for region_def in op_def.regions

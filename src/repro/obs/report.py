@@ -20,6 +20,42 @@ from repro.obs.timing import PassRunRecord
 
 _WIDTH = 79
 
+#: The observability contract of the pipeline layers: every registered
+#: instrument name and its meaning.  ``render_metrics`` appends the
+#: catalog entries that stayed silent during a run, so ``--metrics``
+#: readers can tell "not instrumented" apart from "instrumented but
+#: nothing happened".
+INSTRUMENT_CATALOG: dict[str, str] = {
+    "textir.lexer.tokens": "tokens produced by the textual lexer",
+    "textir.parser.ops_parsed": "operations parsed from textual IR",
+    "textir.parser.parse_time": "wall time spent in the textual parser",
+    "textir.parser.module_ops": "operations per parsed module",
+    "ir.uniquer.hits": "attribute interning cache hits",
+    "ir.uniquer.misses": "attribute interning cache misses",
+    "irdl.instantiate.dialects_loaded": "dialects registered from IRDL",
+    "irdl.instantiate.types_instantiated": "type defs instantiated",
+    "irdl.instantiate.ops_instantiated": "op defs instantiated",
+    "irdl.instantiate.register_time": "wall time registering dialects",
+    "irdl.verifier.ops_verified": "operations checked by IRDL verifiers",
+    "irdl.verifier.constraint_checks": "constraint predicate evaluations",
+    "irdl.verifier.memo_hits": "constraint memo hits",
+    "irdl.verifier.memo_misses": "constraint memo misses",
+    "bytecode.encode.modules": "IR modules serialized to bytecode",
+    "bytecode.encode.ops": "operations serialized to bytecode",
+    "bytecode.encode.dialects": "IRDL dialects serialized to bytecode",
+    "bytecode.encode.module_bytes": "encoded module artifact sizes",
+    "bytecode.encode.dialect_bytes": "encoded dialect artifact sizes",
+    "bytecode.encode.time": "wall time encoding bytecode",
+    "bytecode.decode.modules": "IR modules deserialized from bytecode",
+    "bytecode.decode.ops": "operations deserialized from bytecode",
+    "bytecode.decode.dialects": "IRDL dialects deserialized from bytecode",
+    "bytecode.decode.module_bytes": "decoded module artifact sizes",
+    "bytecode.decode.dialect_bytes": "decoded dialect artifact sizes",
+    "bytecode.decode.sections_skipped": "unknown sections skipped "
+    "(forward compatibility)",
+    "bytecode.decode.time": "wall time decoding bytecode",
+}
+
 
 def _banner(title: str) -> list[str]:
     bar = "===" + "-" * (_WIDTH - 6) + "==="
@@ -99,4 +135,14 @@ def render_metrics(registry: MetricsRegistry) -> str:
                 f"min={histogram.min if histogram.count else 0:g} "
                 f"mean={histogram.mean:g} max={histogram.max:g}"
             )
+    recorded = (
+        {c.name for c in counters}
+        | {t.name for t in timers}
+        | {h.name for h in histograms}
+    )
+    silent = [name for name in INSTRUMENT_CATALOG if name not in recorded]
+    if silent:
+        lines.append("Registered instruments not recorded this run:")
+        for name in silent:
+            lines.append(f"{pad(name)} {INSTRUMENT_CATALOG[name]}")
     return "\n".join(lines)

@@ -19,6 +19,7 @@ dialects parse with no extra code), and nested regions.
 from __future__ import annotations
 
 import re
+import struct
 from typing import Any, Callable
 
 from repro.builtin import attributes as battrs
@@ -50,6 +51,10 @@ from repro.utils.source import SourceFile
 _INT_TYPE_RE = re.compile(r"^(i|si|ui)([0-9]+)$")
 _FLOAT_TYPE_RE = re.compile(r"^f(16|32|64)$")
 _PARAM_INT_RE = re.compile(r"^(u?)int(8|16|32|64)_t$")
+# The continuation of a bit-exact hex float literal ``0x<bits>``.  The
+# lexer splits it into INTEGER "0" followed by this BARE_IDENT (the same
+# mechanism shaped types like ``tensor<4x?xf32>`` rely on).
+_HEX_FLOAT_BITS_RE = re.compile(r"^x[0-9A-Fa-f]{1,16}$")
 
 
 class _PlaceholderValue(SSAValue):
@@ -371,6 +376,31 @@ class IRParser:
             return self.parse_type()
         raise self.error(f"expected a parameter, found {token.text!r}", token)
 
+    def _accept_hex_float(self, int_token: Token, negative: bool) -> float | None:
+        """The value of a bit-exact ``0x<bits>`` float literal, if present.
+
+        ``int_token`` is an already-consumed INTEGER token; the hex
+        digits arrive as a following BARE_IDENT starting with ``x``.
+        Returns ``None`` when the upcoming tokens are not a hex float.
+        """
+        if int_token.text != "0":
+            return None
+        follow = self.peek()
+        if (
+            follow.kind is not TokenKind.BARE_IDENT
+            or not _HEX_FLOAT_BITS_RE.match(follow.text)
+        ):
+            return None
+        if negative:
+            raise self.error(
+                "hex float literals carry their sign in the bit pattern; "
+                "remove the leading '-'",
+                follow,
+            )
+        self.next()
+        bits = int(follow.text[1:], 16)
+        return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
     def _parse_numeric_param(self) -> Any:
         negative = bool(self.accept(TokenKind.MINUS))
         token = self.peek()
@@ -386,6 +416,18 @@ class IRParser:
                 width = int(match.group(1))
             return FloatParam(value, width)
         token = self.expect(TokenKind.INTEGER, "integer literal")
+        hex_value = self._accept_hex_float(token, negative)
+        if hex_value is not None:
+            width = 64
+            if self.peek().kind is TokenKind.COLON:
+                suffix = self.peek(1)
+                if suffix.kind is TokenKind.BARE_IDENT and _FLOAT_TYPE_RE.match(
+                    suffix.text
+                ):
+                    self.next()
+                    self.next()
+                    width = int(suffix.text[1:])
+            return FloatParam(hex_value, width)
         value = int(token.text)
         value = -value if negative else value
         bitwidth, signed = 32, True
@@ -520,6 +562,12 @@ class IRParser:
             return battrs.FloatAttr.get(value, attr_type)
         if token.kind is not TokenKind.INTEGER:
             raise self.error("expected a number", token)
+        hex_value = self._accept_hex_float(token, negative)
+        if hex_value is not None:
+            attr_type = btypes.f64
+            if self.accept(TokenKind.COLON):
+                attr_type = self.parse_type()
+            return battrs.FloatAttr.get(hex_value, attr_type)
         int_value = -int(token.text) if negative else int(token.text)
         if self.accept(TokenKind.COLON):
             attr_type = self.parse_type()

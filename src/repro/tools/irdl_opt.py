@@ -40,13 +40,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
         description="Parse, verify, and print IR with runtime-loaded "
         "IRDL dialects.",
     )
-    parser.add_argument("input", nargs="?", help="textual IR input file")
+    parser.add_argument(
+        "input",
+        nargs="?",
+        help="IR input file — textual or bytecode, autodetected by "
+        "the magic number",
+    )
     parser.add_argument(
         "--irdl",
         action="append",
         default=[],
         metavar="FILE",
-        help="register the dialects of an IRDL file (repeatable)",
+        help="register the dialects of an IRDL file — source text or a "
+        "compiled --compile-irdl artifact, autodetected (repeatable)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="write output to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--emit",
+        choices=("text", "bytecode"),
+        default="text",
+        help="output format for the processed module (default: text)",
+    )
+    parser.add_argument(
+        "--compile-irdl",
+        metavar="FILE",
+        help="compile an IRDL file to a dialects bytecode artifact "
+        "(written to -o or stdout) and exit",
     )
     parser.add_argument(
         "--verify-diagnostics",
@@ -214,6 +238,63 @@ class _Observation:
         return ok
 
 
+def _write_output(data: str | bytes, output: str | None) -> None:
+    """Write text or bytes to ``output``, defaulting to stdout."""
+    if isinstance(data, bytes):
+        if output is None:
+            sys.stdout.buffer.write(data)
+            sys.stdout.buffer.flush()
+        else:
+            with open(output, "wb") as handle:
+                handle.write(data)
+    else:
+        if output is None:
+            print(data)
+        else:
+            with open(output, "w", encoding="utf-8") as handle:
+                handle.write(data)
+                if not data.endswith("\n"):
+                    handle.write("\n")
+
+
+def _emit_module(module, args: argparse.Namespace,
+                 observation: "_Observation") -> int:
+    """Print the module in the requested --emit format."""
+    if args.emit == "bytecode":
+        from repro.bytecode import encode_module
+
+        with observation.phase("encode"):
+            data = encode_module(module)
+        _write_output(data, args.output)
+        return 0
+    with observation.phase("print"):
+        text_out = print_op(module)
+    _write_output(text_out, args.output)
+    return 0
+
+
+def compile_irdl(path: str, output: str | None) -> int:
+    """Compile an IRDL file (text or bytecode) to a dialects artifact."""
+    from repro.bytecode import decode_dialects, encode_dialects, is_bytecode
+    from repro.irdl.parser import parse_irdl
+
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        if is_bytecode(raw):
+            # Already compiled: decode and re-encode, which validates the
+            # artifact and upgrades it to the current format version.
+            decls = decode_dialects(raw, name=path)
+        else:
+            decls = parse_irdl(raw.decode("utf-8"), path)
+        data = encode_dialects(decls)
+    except (DiagnosticError, UnicodeDecodeError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    _write_output(data, output)
+    return 0
+
+
 def dump_dialect(path: str) -> int:
     from repro.ir.context import Context
 
@@ -315,6 +396,8 @@ def lint_file(path: str) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
+    if args.compile_irdl:
+        return compile_irdl(args.compile_irdl, args.output)
     if args.dump_dialect:
         return dump_dialect(args.dump_dialect)
     if args.corpus_stats:
@@ -369,20 +452,35 @@ def _run_pipeline(args: argparse.Namespace, observation: _Observation) -> int:
         generator = IRGenerator(ctx, registered, seed=args.seed)
         module = generator.generate_module(args.generate)
         module.verify()
-        print(print_op(module))
-        return 0
+        return _emit_module(module, args, observation)
 
     if args.input is None:
         print("error: no input file", file=sys.stderr)
         return 1
 
-    with open(args.input, encoding="utf-8") as handle:
-        text = handle.read()
+    from repro.bytecode import decode_module, is_bytecode
+
     try:
-        with observation.phase("parse"):
-            module = parse_module(ctx, text, args.input)
+        with open(args.input, "rb") as handle:
+            raw = handle.read()
+    except OSError as err:
+        print(f"error: cannot read {args.input}: {err}", file=sys.stderr)
+        return 1
+    try:
+        if is_bytecode(raw):
+            with observation.phase("decode"):
+                module = decode_module(ctx, raw, name=args.input)
+        else:
+            with observation.phase("parse"):
+                module = parse_module(
+                    ctx, raw.decode("utf-8"), args.input
+                )
     except DiagnosticError as err:
         print(err, file=sys.stderr)
+        return 1
+    except UnicodeDecodeError as err:
+        print(f"error: {args.input} is neither bytecode nor UTF-8 text: "
+              f"{err}", file=sys.stderr)
         return 1
 
     if not args.no_verify:
@@ -438,10 +536,7 @@ def _run_pipeline(args: argparse.Namespace, observation: _Observation) -> int:
                 print(cfg_to_dot(region, f"{name}.{index}"))
         return 0
 
-    with observation.phase("print"):
-        text_out = print_op(module)
-    print(text_out)
-    return 0
+    return _emit_module(module, args, observation)
 
 
 if __name__ == "__main__":

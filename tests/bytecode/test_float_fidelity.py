@@ -1,0 +1,117 @@
+"""Bit-exact float attribute round-trips through text and bytecode.
+
+A double whose decimal repr is lossy (NaN payloads, infinities, signed
+zeros) must survive *both* serializers bit-for-bit: the textual printer
+falls back to the raw-bits hex form (``0x7FF8...``), which the parser
+accepts back; the bytecode format always stores the raw 8 bytes.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import pytest
+
+from repro.builtin import default_context
+from repro.builtin.attributes import FloatAttr
+from repro.builtin.types import f64
+from repro.bytecode import decode_module, encode_module
+from repro.ir.params import FloatParam
+from repro.textir.parser import parse_module
+from repro.textir.printer import print_op
+
+
+def bits_of(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def float_of(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+NAN_PAYLOAD = 0x7FF8DEADBEEF0001
+AWKWARD_DOUBLES = [
+    float_of(NAN_PAYLOAD),  # NaN with a non-default payload
+    math.nan,
+    math.inf,
+    -math.inf,
+    -0.0,
+    float_of(0x0000000000000001),  # smallest subnormal
+    0.1,  # classic non-representable decimal
+    1e308,
+]
+
+
+@pytest.fixture
+def ctx():
+    return default_context(allow_unregistered=True)
+
+
+class TestFloatParam:
+    def test_nan_param_equals_itself(self):
+        a = FloatParam(float_of(NAN_PAYLOAD), 64)
+        b = FloatParam(float_of(NAN_PAYLOAD), 64)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_distinct_nan_payloads_differ(self):
+        a = FloatParam(float_of(NAN_PAYLOAD), 64)
+        b = FloatParam(math.nan, 64)
+        assert a != b
+
+    def test_signed_zeros_are_distinct(self):
+        assert FloatParam(0.0, 64) != FloatParam(-0.0, 64)
+
+    def test_nonfinite_prints_hex_bits(self):
+        param = FloatParam(float_of(NAN_PAYLOAD), 64)
+        assert str(param) == "0x7FF8DEADBEEF0001 : f64"
+
+
+class TestTextRoundtrip:
+    @pytest.mark.parametrize("value", AWKWARD_DOUBLES, ids=lambda v: hex(bits_of(v)))
+    def test_attr_text_bit_exact(self, ctx, value):
+        attr = FloatAttr.get(value, f64)
+        module = parse_module(ctx, f'"test.op"() {{x = {attr}}} : () -> ()')
+        parsed = module.regions[0].blocks[0].ops[0].attributes["x"]
+        assert parsed is attr  # interned: bit-equal means identical
+
+    def test_hex_form_parses(self, ctx):
+        module = parse_module(
+            ctx, '"test.op"() {x = 0x7FF8DEADBEEF0001 : f64} : () -> ()'
+        )
+        attr = module.regions[0].blocks[0].ops[0].attributes["x"]
+        assert bits_of(attr.value) == NAN_PAYLOAD
+
+    def test_print_parse_print_fixpoint(self, ctx):
+        source = (
+            '"test.op"() {a = 0xFFF0000000000000 : f64,'
+            " b = -0.0 : f64} : () -> ()"
+        )
+        text = print_op(parse_module(ctx, source))
+        again = print_op(parse_module(ctx, text))
+        assert again == text
+        assert "0xFFF0000000000000" in text
+
+
+class TestBytecodeRoundtrip:
+    @pytest.mark.parametrize("value", AWKWARD_DOUBLES, ids=lambda v: hex(bits_of(v)))
+    def test_attr_bytecode_bit_exact(self, ctx, value):
+        attr = FloatAttr.get(value, f64)
+        module = parse_module(ctx, f'"test.op"() {{x = {attr}}} : () -> ()')
+        decoded = decode_module(ctx, encode_module(module))
+        copy = decoded.regions[0].blocks[0].ops[0].attributes["x"]
+        assert copy is module.regions[0].blocks[0].ops[0].attributes["x"]
+        assert bits_of(copy.value) == bits_of(value)
+
+    def test_text_and_bytecode_agree(self, ctx):
+        """The two serializers must reconstruct the same interned attr."""
+        attr = FloatAttr.get(float_of(NAN_PAYLOAD), f64)
+        source = f'"test.op"() {{x = {attr}}} : () -> ()'
+        module = parse_module(ctx, source)
+        via_text = parse_module(ctx, print_op(module))
+        via_bytes = decode_module(ctx, encode_module(module))
+        a = via_text.regions[0].blocks[0].ops[0].attributes["x"]
+        b = via_bytes.regions[0].blocks[0].ops[0].attributes["x"]
+        assert a is b
+        assert bits_of(a.value) == NAN_PAYLOAD

@@ -1,0 +1,185 @@
+"""Mutation fuzzing the decoder: corrupt input may only raise Diagnostics.
+
+The robustness contract of :mod:`repro.bytecode` is that *no* input —
+truncated, bit-flipped, or randomly mutated — ever escapes a raw
+``IndexError`` / ``struct.error`` / ``UnicodeDecodeError`` from the
+decoder.  Every failure must surface as a
+:class:`~repro.bytecode.BytecodeError` (a ``DiagnosticError``), and every
+success must yield a well-formed result.  All mutations are derived from
+fixed seeds so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.builtin import default_context
+from repro.bytecode import (
+    BytecodeError,
+    decode_dialects,
+    decode_module,
+    encode_dialects,
+    encode_module,
+)
+from repro.corpus import cmath_source
+from repro.irdl import register_irdl
+from repro.irdl.parser import parse_irdl
+from repro.textir.parser import parse_module
+
+RICH_IR = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %prod = "cmath.mul"(%p, %q)
+      : (!cmath.complex<f32>, !cmath.complex<f32>) -> (!cmath.complex<f32>)
+  %len = cmath.norm %prod : f32
+  "func.return"(%len) : (f32) -> ()
+}) {sym_name = "mag2", function_type = (!cmath.complex<f32>,
+    !cmath.complex<f32>) -> f32,
+    extras = [1 : i32, "s", {nested = true}, tensor<2xf32>]} : () -> ()
+"""
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    context = default_context()
+    register_irdl(context, cmath_source())
+    module_bytes = encode_module(parse_module(context, RICH_IR))
+    dialect_bytes = encode_dialects(parse_irdl(cmath_source(), "cmath.irdl"))
+    return context, module_bytes, dialect_bytes
+
+
+def fresh_context():
+    context = default_context()
+    register_irdl(context, cmath_source())
+    return context
+
+
+def try_decode_module(data: bytes) -> None:
+    """Decode; anything other than clean success or BytecodeError fails."""
+    try:
+        decode_module(fresh_context(), data)
+    except BytecodeError:
+        pass
+
+
+def try_decode_dialects(data: bytes) -> None:
+    try:
+        decode_dialects(data)
+    except BytecodeError:
+        pass
+
+
+class TestTruncation:
+    def test_every_module_prefix(self, artifacts):
+        _, module_bytes, _ = artifacts
+        for length in range(len(module_bytes)):
+            try_decode_module(module_bytes[:length])
+
+    def test_every_dialect_prefix(self, artifacts):
+        _, _, dialect_bytes = artifacts
+        for length in range(len(dialect_bytes)):
+            try_decode_dialects(dialect_bytes[:length])
+
+
+class TestByteFlips:
+    def test_single_byte_all_positions_module(self, artifacts):
+        _, module_bytes, _ = artifacts
+        for pos in range(len(module_bytes)):
+            for flip in (0x01, 0x80, 0xFF):
+                mutated = bytearray(module_bytes)
+                mutated[pos] ^= flip
+                try_decode_module(bytes(mutated))
+
+    def test_single_byte_all_positions_dialects(self, artifacts):
+        _, _, dialect_bytes = artifacts
+        for pos in range(len(dialect_bytes)):
+            mutated = bytearray(dialect_bytes)
+            mutated[pos] ^= 0xFF
+            try_decode_dialects(bytes(mutated))
+
+
+class TestRandomMutations:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_module_mutations(self, artifacts, seed):
+        _, module_bytes, _ = artifacts
+        rng = random.Random(seed)
+        for _ in range(200):
+            mutated = bytearray(module_bytes)
+            for _ in range(rng.randrange(1, 6)):
+                choice = rng.random()
+                if choice < 0.5 and mutated:
+                    mutated[rng.randrange(len(mutated))] = rng.randrange(256)
+                elif choice < 0.75 and mutated:
+                    del mutated[rng.randrange(len(mutated))]
+                else:
+                    mutated.insert(
+                        rng.randrange(len(mutated) + 1), rng.randrange(256)
+                    )
+            try_decode_module(bytes(mutated))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dialect_mutations(self, artifacts, seed):
+        _, _, dialect_bytes = artifacts
+        rng = random.Random(1000 + seed)
+        for _ in range(200):
+            mutated = bytearray(dialect_bytes)
+            for _ in range(rng.randrange(1, 6)):
+                if rng.random() < 0.5 and mutated:
+                    mutated[rng.randrange(len(mutated))] = rng.randrange(256)
+                else:
+                    mutated.insert(
+                        rng.randrange(len(mutated) + 1), rng.randrange(256)
+                    )
+            try_decode_dialects(bytes(mutated))
+
+    def test_pure_garbage(self):
+        rng = random.Random(0xC0FFEE)
+        for _ in range(300):
+            data = bytes(
+                rng.randrange(256) for _ in range(rng.randrange(0, 120))
+            )
+            try_decode_module(data)
+            try_decode_dialects(data)
+
+    def test_garbage_behind_valid_magic(self):
+        from repro.bytecode import MAGIC
+
+        rng = random.Random(0xBEEF)
+        for _ in range(300):
+            data = MAGIC + bytes(
+                rng.randrange(256) for _ in range(rng.randrange(0, 80))
+            )
+            try_decode_module(data)
+            try_decode_dialects(data)
+
+
+class TestDiagnosticQuality:
+    def test_errors_carry_source_name(self, artifacts):
+        _, module_bytes, _ = artifacts
+        with pytest.raises(BytecodeError) as excinfo:
+            decode_module(
+                fresh_context(), module_bytes[:10], name="thing.irbc"
+            )
+        assert "thing.irbc" in str(excinfo.value)
+
+    def test_decoded_modules_verify(self, artifacts):
+        """Mutations that still decode must produce verifiable IR."""
+        _, module_bytes, _ = artifacts
+        rng = random.Random(42)
+        survivors = 0
+        for _ in range(400):
+            mutated = bytearray(module_bytes)
+            mutated[rng.randrange(len(mutated))] ^= 1 << rng.randrange(8)
+            try:
+                module = decode_module(fresh_context(), bytes(mutated))
+            except BytecodeError:
+                continue
+            survivors += 1
+            from repro.textir.printer import print_op
+
+            print_op(module)  # must not crash either
+        # Most single-bit flips must be *detected*; a decoder that accepts
+        # everything would be vacuous here.
+        assert survivors < 400

@@ -1,0 +1,198 @@
+"""Module encode/decode round-trips: text fidelity and attr identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.builtin import default_context
+from repro.bytecode import (
+    FORMAT_VERSION,
+    MAGIC,
+    BytecodeError,
+    decode_module,
+    encode_module,
+)
+from repro.bytecode.wire import Reader, Writer
+from repro.corpus import cmath_source
+from repro.irdl import register_irdl
+from repro.textir.parser import parse_module
+from repro.textir.printer import print_op
+
+ATTR_ZOO_IR = """
+"test.op"() {
+  s = "a string with \\" and \\\\",
+  i = 42 : i32,
+  neg = -7 : i64,
+  flag = true,
+  f = 2.5 : f32,
+  u = unit,
+  t = i32,
+  ft = (i32, f64) -> index,
+  arr = [1 : i32, "x", [true]],
+  d = {inner = 3 : i8, other = "y"},
+  sym = @target,
+  tt = tensor<2x?x3xf32>,
+  vec = vector<4xf64>,
+  mem = memref<8x8xi32>
+} : () -> ()
+"""
+
+REGION_IR = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %prod = "cmath.mul"(%p, %q)
+      : (!cmath.complex<f32>, !cmath.complex<f32>) -> (!cmath.complex<f32>)
+  %len = cmath.norm %prod : f32
+  "func.return"(%len) : (f32) -> ()
+}) {sym_name = "mag2", function_type = (!cmath.complex<f32>,
+    !cmath.complex<f32>) -> f32} : () -> ()
+"""
+
+MULTI_BLOCK_IR = """
+"test.cfg"() ({
+^entry(%c: i1):
+  "test.br"(%c)[^then, ^else] : (i1) -> ()
+^then:
+  "test.halt"() : () -> ()
+^else:
+  "test.halt"() : () -> ()
+}) : () -> ()
+"""
+
+
+@pytest.fixture
+def ctx():
+    """Unregistered ``test.*`` ops stand in for arbitrary user dialects."""
+    return default_context(allow_unregistered=True)
+
+
+def roundtrip(ctx, module):
+    data = encode_module(module)
+    fresh = default_context()
+    register_irdl(fresh, cmath_source())
+    return decode_module(fresh, data)
+
+
+class TestModuleRoundtrip:
+    def test_attr_zoo_text_identical(self, ctx):
+        module = parse_module(ctx, ATTR_ZOO_IR)
+        decoded = decode_module(ctx, encode_module(module))
+        assert print_op(decoded) == print_op(module)
+
+    def test_attrs_interned_on_decode(self, ctx):
+        module = parse_module(ctx, ATTR_ZOO_IR)
+        decoded = decode_module(ctx, encode_module(module))
+        original = module.regions[0].blocks[0].ops[0]
+        copy = decoded.regions[0].blocks[0].ops[0]
+        for name, attr in original.attributes.items():
+            assert copy.attributes[name] is attr
+
+    def test_regions_blocks_and_dynamic_types(self):
+        ctx = default_context()
+        register_irdl(ctx, cmath_source())
+        module = parse_module(ctx, REGION_IR)
+        decoded = roundtrip(ctx, module)
+        assert print_op(decoded) == print_op(module)
+
+    def test_ssa_name_hints_survive(self):
+        ctx = default_context()
+        register_irdl(ctx, cmath_source())
+        module = parse_module(ctx, REGION_IR)
+        text = print_op(decode_module(ctx, encode_module(module)))
+        assert "%prod" in text
+        assert "%len" in text
+
+    def test_multi_block_successors(self, ctx):
+        module = parse_module(ctx, MULTI_BLOCK_IR)
+        decoded = decode_module(ctx, encode_module(module))
+        assert print_op(decoded) == print_op(module)
+
+    def test_decode_verifies_attributes(self, ctx):
+        module = parse_module(ctx, '"test.op"() {n = 5 : i16} : () -> ()')
+        decoded = decode_module(ctx, encode_module(module))
+        attr = decoded.regions[0].blocks[0].ops[0].attributes["n"]
+        assert str(attr) == "5 : i16"
+
+
+class TestHeaderChecks:
+    def test_bad_magic(self, ctx):
+        with pytest.raises(BytecodeError, match="magic"):
+            decode_module(ctx, b"NOPE" + b"\x01\x00")
+
+    def test_unsupported_version(self, ctx):
+        module = parse_module(ctx, '"test.op"() : () -> ()')
+        data = bytearray(encode_module(module))
+        assert data[4] == FORMAT_VERSION
+        data[4] = 99
+        with pytest.raises(BytecodeError, match="version"):
+            decode_module(ctx, bytes(data))
+
+    def test_wrong_kind(self, ctx):
+        from repro.bytecode import encode_dialects
+        from repro.irdl.parser import parse_irdl
+
+        decls = parse_irdl(cmath_source(), "cmath.irdl")
+        data = encode_dialects(decls)
+        with pytest.raises(BytecodeError, match="expected an IR module"):
+            decode_module(ctx, data)
+
+    def test_empty_input(self, ctx):
+        with pytest.raises(BytecodeError):
+            decode_module(ctx, b"")
+
+
+class TestForwardCompat:
+    def _splice_unknown_section(self, data: bytes, section_id: int) -> bytes:
+        """Insert an unrecognised section frame right after the header."""
+        r = Reader(data)
+        assert r.raw(4) == MAGIC
+        r.varint()  # version
+        r.varint()  # kind
+        header_end = r.pos
+        frame = Writer()
+        frame.varint(section_id)
+        payload = b"\xde\xad\xbe\xef future payload"
+        frame.varint(len(payload))
+        frame.raw(payload)
+        return data[:header_end] + frame.getvalue() + data[header_end:]
+
+    def test_unknown_section_is_skipped(self, ctx):
+        module = parse_module(ctx, ATTR_ZOO_IR)
+        data = self._splice_unknown_section(encode_module(module), 200)
+        decoded = decode_module(ctx, data)
+        assert print_op(decoded) == print_op(module)
+
+    def test_unknown_section_at_end_is_skipped(self, ctx):
+        module = parse_module(ctx, '"test.op"() : () -> ()')
+        data = encode_module(module)
+        tail = Writer()
+        tail.varint(150)
+        tail.varint(3)
+        tail.raw(b"xyz")
+        decoded = decode_module(ctx, data + tail.getvalue())
+        assert print_op(decoded) == print_op(module)
+
+    def test_truncated_unknown_section_rejected(self, ctx):
+        module = parse_module(ctx, '"test.op"() : () -> ()')
+        data = encode_module(module)
+        tail = Writer()
+        tail.varint(150)
+        tail.varint(100)  # declares more payload than exists
+        tail.raw(b"xyz")
+        with pytest.raises(BytecodeError):
+            decode_module(ctx, data + tail.getvalue())
+
+    def test_duplicate_section_rejected(self, ctx):
+        module = parse_module(ctx, '"test.op"() : () -> ()')
+        data = encode_module(module)
+        r = Reader(data)
+        r.raw(4)
+        r.varint()
+        r.varint()
+        header_end = r.pos
+        section_id = r.varint()
+        length = r.varint()
+        r.raw(length)
+        first_frame = data[header_end:r.pos]
+        with pytest.raises(BytecodeError, match="duplicate"):
+            decode_module(ctx, data + first_frame)

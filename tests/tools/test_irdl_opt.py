@@ -299,3 +299,101 @@ class TestObservabilityFlags:
 
         main(["--irdl", cmath_irdl, write_ir(tmp_path, GOOD_IR)])
         assert not OBS.active
+
+
+class TestBytecodeEmission:
+    def test_text_to_bytecode_to_text_identical(self, tmp_path, cmath_irdl,
+                                                capsys):
+        """The canonical diff check: text -> bytecode -> text is a no-op."""
+        source = write_ir(tmp_path, GOOD_IR)
+        artifact = tmp_path / "module.irbc"
+
+        exit_code = main(["--irdl", cmath_irdl, "--emit", "bytecode",
+                          "-o", str(artifact), source])
+        assert exit_code == 0
+        data = artifact.read_bytes()
+        from repro.bytecode import is_bytecode
+
+        assert is_bytecode(data)
+
+        # First pass: canonical text straight from the source.
+        assert main(["--irdl", cmath_irdl, source]) == 0
+        canonical = capsys.readouterr().out
+
+        # Second pass: the bytecode artifact, autodetected by magic.
+        assert main(["--irdl", cmath_irdl, str(artifact)]) == 0
+        assert capsys.readouterr().out == canonical
+
+    def test_emit_text_to_file(self, tmp_path, cmath_irdl):
+        out = tmp_path / "out.mlir"
+        exit_code = main(["--irdl", cmath_irdl, "-o", str(out),
+                          write_ir(tmp_path, GOOD_IR)])
+        assert exit_code == 0
+        assert "cmath.norm" in out.read_text()
+
+    def test_bytecode_input_is_verified(self, tmp_path, cmath_irdl, capsys):
+        """Decoded modules go through the same verify phase as parsed ones."""
+        artifact = tmp_path / "bad.irbc"
+        exit_code = main(["--irdl", cmath_irdl, "--no-verify",
+                          "--emit", "bytecode", "-o", str(artifact),
+                          write_ir(tmp_path, BAD_IR)])
+        assert exit_code == 0
+        exit_code = main(["--irdl", cmath_irdl, str(artifact)])
+        assert exit_code == 1
+        assert "verification failed" in capsys.readouterr().err
+
+    def test_corrupt_bytecode_is_a_diagnostic(self, tmp_path, cmath_irdl,
+                                              capsys):
+        artifact = tmp_path / "corrupt.irbc"
+        exit_code = main(["--irdl", cmath_irdl, "--emit", "bytecode",
+                          "-o", str(artifact), write_ir(tmp_path, GOOD_IR)])
+        assert exit_code == 0
+        data = bytearray(artifact.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        artifact.write_bytes(bytes(data[: len(data) - 4]))
+        exit_code = main(["--irdl", cmath_irdl, str(artifact)])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_input_file_reported(self, cmath_irdl, capsys):
+        exit_code = main(["--irdl", cmath_irdl, "/nonexistent/input.mlir"])
+        assert exit_code == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestCompileIrdl:
+    def test_compile_and_load(self, tmp_path, cmath_irdl, capsys):
+        compiled = tmp_path / "cmath.irbc"
+        exit_code = main(["--compile-irdl", cmath_irdl,
+                          "-o", str(compiled)])
+        assert exit_code == 0
+        from repro.bytecode import is_bytecode
+
+        assert is_bytecode(compiled.read_bytes())
+
+        # The compiled artifact drives the driver exactly like the source.
+        exit_code = main(["--irdl", str(compiled),
+                          write_ir(tmp_path, GOOD_IR)])
+        assert exit_code == 0
+        assert "cmath.norm %p : f32" in capsys.readouterr().out
+
+    def test_compile_reencodes_existing_artifact(self, tmp_path, cmath_irdl):
+        first = tmp_path / "a.irbc"
+        second = tmp_path / "b.irbc"
+        assert main(["--compile-irdl", cmath_irdl, "-o", str(first)]) == 0
+        assert main(["--compile-irdl", str(first), "-o", str(second)]) == 0
+        assert second.read_bytes() == first.read_bytes()
+
+    def test_compile_bad_source_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.irdl"
+        bad.write_text("Dialect { }")
+        out = tmp_path / "bad.irbc"
+        exit_code = main(["--compile-irdl", str(bad), "-o", str(out)])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_missing_file_reported(self, tmp_path, capsys):
+        out = tmp_path / "x.irbc"
+        exit_code = main(["--compile-irdl", "/nonexistent.irdl",
+                          "-o", str(out)])
+        assert exit_code == 1
