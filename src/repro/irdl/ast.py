@@ -26,10 +26,12 @@ from repro.utils.source import Span
 class ConstraintExpr:
     """Base class of unresolved constraint expressions."""
 
+    __slots__ = ()
+
     span: Span | None
 
 
-@dataclass
+@dataclass(slots=True)
 class RefExpr(ConstraintExpr):
     """A (possibly parametrized) named reference.
 
@@ -50,7 +52,7 @@ class RefExpr(ConstraintExpr):
         return self.params is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class IntLiteralExpr(ConstraintExpr):
     """``3 : int32_t`` — match exactly this integer value."""
 
@@ -59,7 +61,7 @@ class IntLiteralExpr(ConstraintExpr):
     span: Span | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class StringLiteralExpr(ConstraintExpr):
     """``"foo"`` — match exactly this string."""
 
@@ -67,7 +69,7 @@ class StringLiteralExpr(ConstraintExpr):
     span: Span | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ListExpr(ConstraintExpr):
     """``[pc1, ..., pcN]`` — an array of exactly N constrained elements."""
 
@@ -87,7 +89,7 @@ class Variadicity(Enum):
     VARIADIC = "variadic"
 
 
-@dataclass
+@dataclass(slots=True)
 class ParamDecl:
     """One named, constrained parameter of a type or attribute."""
 
@@ -96,7 +98,7 @@ class ParamDecl:
     span: Span | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ArgDecl:
     """One named operand, result, attribute, or region-argument."""
 
@@ -106,7 +108,7 @@ class ArgDecl:
     span: Span | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ConstraintVarDecl:
     """``ConstraintVar (!T: !FloatType)`` — a unification variable (§4.6)."""
 
@@ -116,7 +118,7 @@ class ConstraintVarDecl:
     span: Span | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class RegionDecl:
     """A ``Region`` directive with entry arguments and optional terminator."""
 
@@ -126,7 +128,7 @@ class RegionDecl:
     span: Span | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class TypeDecl:
     """A ``Type`` or ``Attribute`` definition (§4.4)."""
 
@@ -140,7 +142,7 @@ class TypeDecl:
     span: Span | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class OperationDecl:
     """An ``Operation`` definition (§4.6)."""
 
@@ -163,7 +165,7 @@ class OperationDecl:
         return self.successors is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class AliasDecl:
     """``Alias !Name<T...> = constraint`` (§4.5); possibly parametric."""
 
@@ -174,7 +176,7 @@ class AliasDecl:
     span: Span | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class EnumDecl:
     """``Enum name { Ctor1, Ctor2 }`` (§4.8)."""
 
@@ -183,7 +185,7 @@ class EnumDecl:
     span: Span | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ConstraintDecl:
     """An IRDL-Py ``Constraint`` with a base and inline code (§5.1)."""
 
@@ -194,7 +196,7 @@ class ConstraintDecl:
     span: Span | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ParamWrapperDecl:
     """An IRDL-Py ``TypeOrAttrParam`` wrapping a host-language class (§5.2)."""
 
@@ -206,7 +208,7 @@ class ParamWrapperDecl:
     span: Span | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class DialectDecl:
     """A top-level ``Dialect`` block (§4.1)."""
 

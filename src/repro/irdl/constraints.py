@@ -50,6 +50,8 @@ if TYPE_CHECKING:
 class ConstraintContext:
     """Bindings of constraint variables during one verification run."""
 
+    __slots__ = ("bindings",)
+
     def __init__(self) -> None:
         self.bindings: dict[str, Any] = {}
 

@@ -59,6 +59,10 @@ class DynamicAttrDef(AttrDefBinding):
         )
         #: Filled in once the dialect body is resolved.
         self.type_def: TypeDef | None = None
+        #: Generated parameter verifier (definition-time codegen); the
+        #: emitted source is kept for ``irdl-opt --dump-generated``.
+        self._compiled_params = None
+        self.generated_param_source: str | None = None
         self._py_predicates = [
             (code, compile_predicate(code)) for code in type_def_ast.py_constraints
         ]
@@ -71,7 +75,23 @@ class DynamicAttrDef(AttrDefBinding):
                 self.qualified_name, self.parameter_names, type_def_ast.format
             )
 
+    def attach_type_def(self, type_def: TypeDef) -> None:
+        """Install the resolved definition (and, when codegen is on, a
+        generated parameter verifier specialized to it)."""
+        from repro.irdl import codegen
+
+        self.type_def = type_def
+        if codegen.enabled():
+            compiled = codegen.compile_param_verifier(type_def)
+            if compiled is not None:
+                self._compiled_params, self.generated_param_source = compiled
+
     def verify_parameters(self, parameters: tuple[Any, ...]) -> None:
+        if self._compiled_params is not None:
+            self._compiled_params(parameters)
+            if self._py_predicates:
+                self._run_py_predicates(parameters)
+            return
         if len(parameters) != len(self.parameter_names):
             raise VerifyError(
                 f"{self.qualified_name} expects {len(self.parameter_names)} "
@@ -89,13 +109,16 @@ class DynamicAttrDef(AttrDefBinding):
                     f"{param_def.name!r}: {err}"
                 ) from err
         if self._py_predicates:
-            instance = self._construct(parameters)
-            for code, predicate in self._py_predicates:
-                if not predicate(instance):
-                    raise VerifyError(
-                        f"{self.qualified_name}: PyConstraint violated: "
-                        f"{code!r}"
-                    )
+            self._run_py_predicates(parameters)
+
+    def _run_py_predicates(self, parameters: Sequence[Any]) -> None:
+        instance = self._construct(parameters)
+        for code, predicate in self._py_predicates:
+            if not predicate(instance):
+                raise VerifyError(
+                    f"{self.qualified_name}: PyConstraint violated: "
+                    f"{code!r}"
+                )
 
     def _construct(self, parameters: Sequence[Any]) -> Attribute:
         cls = DynamicTypeAttribute if self.is_type else DynamicParametrizedAttribute
@@ -197,7 +220,7 @@ def _register_dialect(context: Context, decl: ast.DialectDecl) -> DialectDef:
         raise
 
     for type_def in (*dialect_def.types, *dialect_def.attributes):
-        attr_bindings[type_def.name].type_def = type_def
+        attr_bindings[type_def.name].attach_type_def(type_def)
     for op_def in dialect_def.operations:
         binding.register_op(DynamicOpDef(op_def))
 

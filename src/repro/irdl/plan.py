@@ -401,37 +401,49 @@ class VerificationPlan:
     def _run_region_checks(
         self, op: "Operation", cctx: ConstraintContext, memo: ConstraintMemo
     ) -> None:
-        if len(op.regions) != len(self.region_plans):
-            raise VerifyError(
-                f"{op.name} expects {len(self.region_plans)} regions, got "
-                f"{len(op.regions)}",
-                obj=op,
-            )
-        for plan, region in zip(self.region_plans, op.regions):
-            region_def = plan.region_def
-            entry = region.entry_block
-            if entry is None:
-                if plan.must_not_be_empty:
-                    raise VerifyError(
-                        f"{op.name}: region {region_def.name!r} must not "
-                        f"be empty",
-                        obj=op,
-                    )
-                continue
-            plan.arg_checks.run(entry.args, op, cctx, memo)
-            if region_def.terminator is not None:
-                if len(region.blocks) != 1:
-                    raise VerifyError(
-                        f"{op.name}: region {region_def.name!r} must "
-                        f"contain a single basic block (it declares a "
-                        f"terminator)",
-                        obj=op,
-                    )
-                last = entry.last_op
-                if last is None or last.name != region_def.terminator:
-                    found = last.name if last is not None else "nothing"
-                    raise VerifyError(
-                        f"{op.name}: region {region_def.name!r} must end "
-                        f"with {region_def.terminator}, found {found}",
-                        obj=op,
-                    )
+        run_region_checks(self.region_plans, op, cctx, memo)
+
+
+def run_region_checks(
+    region_plans: Sequence[_RegionPlan],
+    op: "Operation",
+    cctx: ConstraintContext,
+    memo: ConstraintMemo,
+) -> None:
+    """Region count + shape checks shared by the interpretive plan and the
+    generated verifiers (:mod:`repro.irdl.codegen`), so both paths raise
+    byte-identical diagnostics."""
+    if len(op.regions) != len(region_plans):
+        raise VerifyError(
+            f"{op.name} expects {len(region_plans)} regions, got "
+            f"{len(op.regions)}",
+            obj=op,
+        )
+    for plan, region in zip(region_plans, op.regions):
+        region_def = plan.region_def
+        entry = region.entry_block
+        if entry is None:
+            if plan.must_not_be_empty:
+                raise VerifyError(
+                    f"{op.name}: region {region_def.name!r} must not "
+                    f"be empty",
+                    obj=op,
+                )
+            continue
+        plan.arg_checks.run(entry.args, op, cctx, memo)
+        if region_def.terminator is not None:
+            if len(region.blocks) != 1:
+                raise VerifyError(
+                    f"{op.name}: region {region_def.name!r} must "
+                    f"contain a single basic block (it declares a "
+                    f"terminator)",
+                    obj=op,
+                )
+            last = entry.last_op
+            if last is None or last.name != region_def.terminator:
+                found = last.name if last is not None else "nothing"
+                raise VerifyError(
+                    f"{op.name}: region {region_def.name!r} must end "
+                    f"with {region_def.terminator}, found {found}",
+                    obj=op,
+                )

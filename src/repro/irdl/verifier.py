@@ -70,22 +70,38 @@ def make_op_verifier(op_def: OpDef) -> Callable[["Operation"], None]:
 
     All definition-side analysis (variadic layout, attribute tables,
     IRDL-Py predicate compilation, constraint variable-freeness) happens
-    here, once; the returned closure only executes the compiled plan.
-    The plan is exposed as ``verify.plan`` for introspection and tests.
+    here, once.  When definition-time code generation is enabled
+    (:mod:`repro.irdl.codegen`, the default), the checks are additionally
+    lowered to a generated Python function specialized to this
+    definition; the interpretive plan remains the reference path
+    (``REPRO_NO_CODEGEN=1`` / ``irdl-opt --no-codegen``) and is kept for
+    introspection either way as ``verify.plan``.  The emitted source, if
+    any, is exposed as ``verify.generated_source``
+    (``irdl-opt --dump-generated``).
     """
+    from repro.irdl import codegen
+
     plan = VerificationPlan(op_def)
+    generated_source: str | None = None
+    impl: Callable[["Operation"], None] = plan.run
+    if codegen.enabled():
+        compiled = codegen.compile_op_verifier(op_def, plan)
+        if compiled is not None:
+            impl, generated_source = compiled
 
     def verify(op: "Operation") -> None:
         metrics = OBS.metrics
         if not metrics.enabled:
-            plan.run(op)
+            impl(op)
             return
         metrics.counter("irdl.verifier.ops_verified").inc()
         try:
-            plan.run(op)
+            impl(op)
         except VerifyError:
             metrics.counter(f"irdl.verifier.failures.{op.name}").inc()
             raise
 
     verify.plan = plan  # type: ignore[attr-defined]
+    verify.compiled = generated_source is not None  # type: ignore[attr-defined]
+    verify.generated_source = generated_source  # type: ignore[attr-defined]
     return verify

@@ -40,6 +40,13 @@ INSTRUMENT_CATALOG: dict[str, str] = {
     "irdl.verifier.constraint_checks": "constraint predicate evaluations",
     "irdl.verifier.memo_hits": "constraint memo hits",
     "irdl.verifier.memo_misses": "constraint memo misses",
+    "irdl.codegen.definitions_compiled": "definitions lowered to "
+    "generated Python verifiers",
+    "irdl.codegen.formats_compiled": "declarative formats precompiled "
+    "to directive programs",
+    "irdl.codegen.source_bytes": "generated verifier source bytes",
+    "irdl.codegen.fallbacks": "definitions kept on the interpretive "
+    "path (codegen fallback)",
     "bytecode.encode.modules": "IR modules serialized to bytecode",
     "bytecode.encode.ops": "operations serialized to bytecode",
     "bytecode.encode.dialects": "IRDL dialects serialized to bytecode",

@@ -138,6 +138,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true", help="skip verification"
     )
     parser.add_argument(
+        "--no-codegen",
+        action="store_true",
+        help="disable definition-time code generation: run the "
+        "interpretive verifier plans and directive-list formats instead "
+        "of the generated specializations (reference path)",
+    )
+    parser.add_argument(
+        "--dump-generated",
+        metavar="OP",
+        help="print the generated Python verifier source for a "
+        "registered operation (or type/attribute) and exit (needs "
+        "--irdl)",
+    )
+    parser.add_argument(
         "--verify-each",
         action="store_true",
         help="verify the IR after each pass of the --patterns pipeline "
@@ -394,8 +408,49 @@ def lint_file(path: str) -> int:
     return 1 if any(f.severity == "error" for f in findings) else 0
 
 
+def dump_generated(ctx, name: str) -> int:
+    """Print the generated verifier source for one definition."""
+    binding = ctx.get_op_def(name)
+    if binding is not None:
+        verifier = getattr(binding, "_verifier", None)
+        source = getattr(verifier, "generated_source", None)
+        if source is None:
+            print(f"error: no generated verifier for {name!r} "
+                  "(codegen disabled or definition fell back to the "
+                  "interpretive plan)", file=sys.stderr)
+            return 1
+        print(source, end="")
+        return 0
+    attr_binding = ctx.get_type_or_attr_def(name)
+    if attr_binding is not None:
+        source = getattr(attr_binding, "generated_param_source", None)
+        if source is None:
+            print(f"error: no generated parameter verifier for {name!r} "
+                  "(codegen disabled or definition fell back to the "
+                  "interpretive path)", file=sys.stderr)
+            return 1
+        print(source, end="")
+        return 0
+    print(f"error: unknown operation or type {name!r}", file=sys.stderr)
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
+    if not args.no_codegen:
+        return _main(args)
+    # Scope the switch to this invocation so embedding callers (tests,
+    # notebooks) do not observe a globally disabled codegen afterwards.
+    from repro.irdl import codegen
+
+    codegen.set_enabled(False)
+    try:
+        return _main(args)
+    finally:
+        codegen.set_enabled(True)
+
+
+def _main(args: argparse.Namespace) -> int:
     if args.compile_irdl:
         return compile_irdl(args.compile_irdl, args.output)
     if args.dump_dialect:
@@ -435,6 +490,9 @@ def _run_pipeline(args: argparse.Namespace, observation: _Observation) -> int:
             except DiagnosticError as err:
                 print(err, file=sys.stderr)
                 return 1
+
+    if args.dump_generated is not None:
+        return dump_generated(ctx, args.dump_generated)
 
     if args.complete is not None:
         from repro.tools.completion import complete_op_name
@@ -477,6 +535,11 @@ def _run_pipeline(args: argparse.Namespace, observation: _Observation) -> int:
                 )
     except DiagnosticError as err:
         print(err, file=sys.stderr)
+        return 1
+    except VerifyError as err:
+        # Declarative formats may instantiate types while parsing; a
+        # parameter-constraint failure there surfaces as a VerifyError.
+        print(f"error: {err}", file=sys.stderr)
         return 1
     except UnicodeDecodeError as err:
         print(f"error: {args.input} is neither bytecode nor UTF-8 text: "

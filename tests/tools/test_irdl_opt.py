@@ -1,9 +1,19 @@
 """The irdl-opt command-line driver."""
 
+import os
+
 import pytest
 
 from repro.corpus import cmath_source, dialect_source_path
 from repro.tools.irdl_opt import main
+
+# --dump-generated and the scoped-switch assertion need codegen to be
+# available in the first place; REPRO_NO_CODEGEN pins the interpretive
+# reference path for the whole process.
+requires_codegen = pytest.mark.skipif(
+    os.environ.get("REPRO_NO_CODEGEN", "").lower() in ("1", "true", "yes", "on"),
+    reason="REPRO_NO_CODEGEN pins the interpretive reference path",
+)
 
 GOOD_IR = """
 "func.func"() ({
@@ -49,6 +59,24 @@ class TestDriver:
         exit_code = main(["--irdl", cmath_irdl, write_ir(tmp_path, BAD_IR)])
         assert exit_code == 1
         assert "verification failed" in capsys.readouterr().err
+
+    def test_parse_time_constraint_failure_is_an_error(self, tmp_path,
+                                                       cmath_irdl, capsys):
+        # Declarative-format parsing instantiates types; a parameter
+        # constraint violation must be a clean `error:`, not a traceback.
+        ir = """
+        "func.func"() ({
+        ^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f64>):
+          %m = cmath.mul %p, %q : !cmath.complex<f32>
+        }) {sym_name = "m",
+            function_type = (!cmath.complex<f32>, !cmath.complex<f64>)
+            -> !cmath.complex<f32>} : () -> ()
+        """
+        exit_code = main(["--irdl", cmath_irdl, write_ir(tmp_path, ir)])
+        assert exit_code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "parameter 'elementType'" in err
 
     def test_verify_diagnostics_mode(self, tmp_path, cmath_irdl, capsys):
         exit_code = main([
@@ -262,6 +290,21 @@ class TestObservabilityFlags:
         assert "textir.parser.ops_parsed" in err
         assert "irdl.instantiate.dialects_loaded" in err
 
+    def test_metrics_catalog_lists_codegen_instruments(self, tmp_path,
+                                                       cmath_irdl, capsys):
+        # Even with codegen disabled (nothing recorded), the codegen
+        # instruments must appear in the catalog section.
+        exit_code = main([
+            "--irdl", cmath_irdl, "--no-codegen", "--metrics",
+            write_ir(tmp_path, GOOD_IR),
+        ])
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "irdl.codegen.definitions_compiled" in err
+        assert "irdl.codegen.formats_compiled" in err
+        assert "irdl.codegen.source_bytes" in err
+        assert "irdl.codegen.fallbacks" in err
+
     def test_verify_each_adds_verify_rows_to_timing(self, tmp_path, cmath_irdl,
                                                     capsys):
         exit_code = main([
@@ -299,6 +342,76 @@ class TestObservabilityFlags:
 
         main(["--irdl", cmath_irdl, write_ir(tmp_path, GOOD_IR)])
         assert not OBS.active
+
+
+class TestCodegenFlags:
+    def test_no_codegen_still_verifies_and_prints(self, tmp_path, cmath_irdl,
+                                                  capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl, "--no-codegen",
+            write_ir(tmp_path, GOOD_IR),
+        ])
+        assert exit_code == 0
+        assert "cmath.norm %p : f32" in capsys.readouterr().out
+
+    def test_no_codegen_rejects_bad_ir_identically(self, tmp_path,
+                                                   cmath_irdl, capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl, write_ir(tmp_path, BAD_IR),
+        ])
+        assert exit_code == 1
+        with_codegen = capsys.readouterr().err
+        exit_code = main([
+            "--irdl", cmath_irdl, "--no-codegen",
+            write_ir(tmp_path, BAD_IR),
+        ])
+        assert exit_code == 1
+        assert capsys.readouterr().err == with_codegen
+
+    @requires_codegen
+    def test_no_codegen_switch_is_scoped_to_the_invocation(self, tmp_path,
+                                                           cmath_irdl):
+        from repro.irdl import codegen
+
+        main(["--irdl", cmath_irdl, "--no-codegen",
+              write_ir(tmp_path, GOOD_IR)])
+        assert codegen.enabled()
+
+    @requires_codegen
+    def test_dump_generated_op(self, tmp_path, cmath_irdl, capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl, "--dump-generated", "cmath.mul",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "generated from IRDL definition cmath.mul" in out
+        assert "def __irdl_verify(op):" in out
+
+    @requires_codegen
+    def test_dump_generated_type(self, tmp_path, cmath_irdl, capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl, "--dump-generated", "cmath.complex",
+        ])
+        assert exit_code == 0
+        assert "def __irdl_verify_params(parameters):" in (
+            capsys.readouterr().out
+        )
+
+    def test_dump_generated_unknown_name(self, tmp_path, cmath_irdl, capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl, "--dump-generated", "cmath.nope",
+        ])
+        assert exit_code == 1
+        assert "unknown operation or type" in capsys.readouterr().err
+
+    def test_dump_generated_with_no_codegen_reports_absence(
+            self, tmp_path, cmath_irdl, capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl, "--no-codegen",
+            "--dump-generated", "cmath.mul",
+        ])
+        assert exit_code == 1
+        assert "no generated verifier" in capsys.readouterr().err
 
 
 class TestBytecodeEmission:
