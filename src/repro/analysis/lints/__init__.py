@@ -1,0 +1,69 @@
+"""The IRDL lint suite, built on the symbolic constraint engine.
+
+§4 motivates DSLs because definitions "can be analyzed for correctness
+and tool support"; this package is that analysis.  Checks are grouped by
+layer — :mod:`satisfiability` (constraint trees, via
+:class:`repro.analysis.sat.SatEngine`), :mod:`structure` (naming,
+documentation, dead variables, equivalent signatures),
+:mod:`formats` (ambiguous declarative formats), and :mod:`patterns`
+(rewrite patterns that can never apply).
+
+``Suppress "code"`` directives in IRDL source silence findings,
+dialect-wide or per definition.  :data:`base.LINT_CODES` catalogs every
+code; ``docs/linting.md`` documents them with triggering examples.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lints import formats, patterns, satisfiability, structure
+from repro.analysis.lints.base import (
+    LINT_CODES,
+    LintFinding,
+    SEVERITIES,
+    exit_code,
+    filter_suppressed,
+    findings_to_json,
+    render_findings,
+    spans_of,
+)
+from repro.analysis.lints.patterns import lint_patterns
+from repro.analysis.sat import SatEngine
+from repro.irdl.ast import DialectDecl
+from repro.irdl.defs import DialectDef
+
+__all__ = [
+    "LINT_CODES",
+    "LintFinding",
+    "SEVERITIES",
+    "exit_code",
+    "filter_suppressed",
+    "findings_to_json",
+    "lint_dialect",
+    "lint_patterns",
+    "render_findings",
+]
+
+_SEVERITY_ORDER = {name: index for index, name in enumerate(SEVERITIES)}
+
+
+def lint_dialect(
+    dialect: DialectDef,
+    decl: DialectDecl | None = None,
+    *,
+    engine: SatEngine | None = None,
+) -> list[LintFinding]:
+    """Lint one resolved dialect (optionally with its syntax tree).
+
+    Findings suppressed by ``Suppress`` annotations are dropped;
+    the rest are ordered by severity, then by subject.
+    """
+    engine = engine or SatEngine()
+    spans = spans_of(decl)
+    findings: list[LintFinding] = []
+    findings.extend(satisfiability.check_dialect(engine, dialect, spans))
+    findings.extend(structure.check_dialect(engine, dialect, decl, spans))
+    findings.extend(formats.check_dialect(dialect, decl, spans))
+    findings = filter_suppressed(findings, dialect)
+    findings.sort(key=lambda f: (_SEVERITY_ORDER.get(f.severity, 99),
+                                 f.subject, f.code))
+    return findings

@@ -1,0 +1,140 @@
+"""Lint findings: the shared record, code catalog, and output formats.
+
+Every check in :mod:`repro.analysis.lints` reports
+:class:`LintFinding` records.  ``Suppress "code"`` directives in IRDL
+source (dialect-wide or per definition) silence matching findings;
+:func:`filter_suppressed` applies them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.irdl.defs import DialectDef
+
+#: Ordered from most to least severe; the position feeds the exit code.
+SEVERITIES = ("error", "warning", "note")
+
+#: Every code the suite can emit, with a one-line description.
+LINT_CODES: dict[str, str] = {
+    "unsatisfiable-constraint": (
+        "a constraint provably accepts no value (engine verdict UNSAT)"
+    ),
+    "possibly-unsatisfiable": (
+        "the engine could not decide and the sampler found no witness"
+    ),
+    "contradictory-and": (
+        "an And whose conjuncts are individually satisfiable but "
+        "jointly contradictory"
+    ),
+    "vacuous-not": (
+        "a Not whose inner constraint is unsatisfiable, so the negation "
+        "accepts everything"
+    ),
+    "unreachable-anyof-alt": (
+        "an AnyOf alternative that is unsatisfiable or subsumed by an "
+        "earlier alternative"
+    ),
+    "dead-constraint-var": (
+        "a constraint variable that is never used, or bound in a single "
+        "position and never read"
+    ),
+    "overlapping-op-defs": (
+        "two operations whose operand/result signatures are provably "
+        "equivalent"
+    ),
+    "ambiguous-format": (
+        "a declarative format whose parse is not uniquely determined"
+    ),
+    "dead-rewrite-pattern": (
+        "a declarative rewrite pattern that can never apply"
+    ),
+    "segment-attribute-required": (
+        "several variadic segments: instances need a segment-sizes "
+        "attribute"
+    ),
+    "duplicate-name": "two definitions of one kind share a name",
+    "missing-summary": "a public definition has no Summary documentation",
+    "unused-alias": "an alias nothing references",
+    "unused-constraint": "a named constraint nothing references",
+    "unused-wrapper": "a TypeOrAttrParam nothing references",
+}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One linter diagnostic."""
+
+    code: str
+    severity: str  # "error" | "warning" | "note"
+    subject: str   # qualified name of the definition
+    message: str
+    loc: str = ""  # "file:line:col" when the syntax tree is available
+
+    def render(self) -> str:
+        text = f"{self.severity}[{self.code}] {self.subject}: {self.message}"
+        if self.loc:
+            text += f" ({self.loc})"
+        return text
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "subject": self.subject,
+            "message": self.message,
+            "loc": self.loc,
+        }
+
+
+def render_findings(findings: list[LintFinding]) -> str:
+    if not findings:
+        return "no findings\n"
+    return "\n".join(f.render() for f in findings) + "\n"
+
+
+def findings_to_json(findings: list[LintFinding]) -> str:
+    """Stable machine-readable findings (a JSON array of objects)."""
+    return json.dumps([f.to_dict() for f in findings], indent=2) + "\n"
+
+
+def exit_code(findings: list[LintFinding]) -> int:
+    """0 = clean (at most notes), 1 = warnings only, 2 = any error."""
+    if any(f.severity == "error" for f in findings):
+        return 2
+    if any(f.severity == "warning" for f in findings):
+        return 1
+    return 0
+
+
+def filter_suppressed(
+    findings: list[LintFinding], dialect: DialectDef
+) -> list[LintFinding]:
+    """Drop findings silenced by ``Suppress`` annotations."""
+    per_subject: dict[str, set[str]] = {}
+    for item in (*dialect.types, *dialect.attributes, *dialect.operations):
+        if item.suppressions:
+            per_subject[item.qualified_name] = set(item.suppressions)
+    dialect_wide = set(dialect.suppressions)
+    if not dialect_wide and not per_subject:
+        return findings
+    kept = []
+    for finding in findings:
+        if finding.code in dialect_wide:
+            continue
+        if finding.code in per_subject.get(finding.subject, ()):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def spans_of(decl) -> dict[str, str]:
+    """``qualified_name -> "file:line:col"`` from a dialect syntax tree."""
+    if decl is None:
+        return {}
+    spans: dict[str, str] = {}
+    for item in (*decl.types, *decl.attributes, *decl.operations):
+        if item.span is not None:
+            spans[f"{decl.name}.{item.name}"] = str(item.span)
+    return spans

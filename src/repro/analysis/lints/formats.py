@@ -1,0 +1,58 @@
+"""Declarative-format lints: parses that are not uniquely determined.
+
+Both operation assembly formats (§4.7 ``Format`` on operations) and
+type/attribute parameter formats are scanned for the ambiguity patterns
+:func:`repro.irdl.format.find_format_ambiguities` can prove.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lints.base import LintFinding
+from repro.irdl.ast import DialectDecl
+from repro.irdl.defs import DialectDef
+from repro.irdl.format import (
+    FormatError,
+    TypeFormatProgram,
+    _scan_directives,
+    find_format_ambiguities,
+)
+
+
+def check_dialect(
+    dialect: DialectDef,
+    decl: DialectDecl | None,
+    spans: dict[str, str],
+) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    for op in dialect.operations:
+        if op.format is None:
+            continue
+        try:
+            directives = _scan_directives(op)
+        except FormatError:
+            continue  # registration already rejects malformed formats
+        for _, reason in find_format_ambiguities(directives):
+            findings.append(LintFinding(
+                "ambiguous-format", "warning", op.qualified_name,
+                reason, spans.get(op.qualified_name, ""),
+            ))
+    if decl is not None:
+        for type_decl in (*decl.types, *decl.attributes):
+            if type_decl.format is None:
+                continue
+            qualified = f"{decl.name}.{type_decl.name}"
+            names = tuple(p.name for p in type_decl.parameters)
+            try:
+                program = TypeFormatProgram(
+                    qualified, names, type_decl.format
+                )
+            except FormatError:
+                continue
+            for _, reason in find_format_ambiguities(
+                list(program.directives)
+            ):
+                findings.append(LintFinding(
+                    "ambiguous-format", "warning", qualified,
+                    reason, spans.get(qualified, ""),
+                ))
+    return findings

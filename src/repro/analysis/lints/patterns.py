@@ -1,0 +1,98 @@
+"""Rewrite-pattern lints: declarative patterns that can never apply.
+
+``dead-rewrite-pattern`` covers the structural cases (unknown
+operation, operand/result arity the matcher can never satisfy, from
+:func:`repro.rewriting.declarative.check_pattern`) and two
+constraint-level ones decided by the symbolic engine:
+
+* an operation whose own operand/result constraints are jointly
+  unsatisfiable — no instance of it can ever exist;
+* a matched value produced by one operation and consumed by another
+  whose constraints are provably disjoint — the use-def edge can never
+  type-check.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lints.base import LintFinding
+from repro.analysis.sat import SatEngine, Ternary, Verdict
+from repro.ir.context import Context
+from repro.rewriting.declarative import (
+    PatternDecl,
+    PatternParser,
+    check_pattern,
+)
+from repro.utils.diagnostics import DiagnosticError
+
+
+def lint_patterns(
+    context: Context,
+    text: str,
+    name: str = "<patterns>",
+    engine: SatEngine | None = None,
+) -> list[LintFinding]:
+    """Lint a declarative pattern file without raising on dead patterns."""
+    engine = engine or SatEngine()
+    try:
+        decls = PatternParser(text, name).parse_file()
+    except DiagnosticError as err:
+        return [LintFinding(
+            "dead-rewrite-pattern", "error", name, str(err),
+        )]
+    findings: list[LintFinding] = []
+    for decl in decls:
+        findings.extend(lint_pattern(context, decl, engine))
+    return findings
+
+
+def lint_pattern(
+    context: Context,
+    decl: PatternDecl,
+    engine: SatEngine,
+) -> list[LintFinding]:
+    findings = [
+        LintFinding("dead-rewrite-pattern", severity, decl.name, message)
+        for severity, message in check_pattern(context, decl)
+    ]
+    # Constraint-level applicability over the match DAG.  Only ops with
+    # an IRDL definition expose constraints; natively registered ops
+    # (no ``binding.op_def``) are skipped.
+    producers: dict[str, tuple[str, object]] = {}
+    for template in decl.match_ops:
+        binding = context.get_op_def(template.op_name)
+        op_def = getattr(binding, "op_def", None)
+        if op_def is None or any(o.is_variadic for o in op_def.operands):
+            continue
+        if len(template.operand_names) != len(op_def.operands):
+            continue  # arity problem already reported
+        signature = [
+            a.constraint for a in (*op_def.operands, *op_def.results)
+        ]
+        if engine.sequence_satisfiable(signature) is Verdict.UNSAT:
+            findings.append(LintFinding(
+                "dead-rewrite-pattern", "error", decl.name,
+                f"{template.op_name} has an unsatisfiable signature, so "
+                "no instance can ever match",
+            ))
+            continue
+        for value_name, operand in zip(
+            template.operand_names, op_def.operands
+        ):
+            produced = producers.get(value_name)
+            if produced is None:
+                continue
+            producer_name, producer_constraint = produced
+            if engine.disjoint(
+                producer_constraint, operand.constraint
+            ) is Ternary.TRUE:
+                findings.append(LintFinding(
+                    "dead-rewrite-pattern", "error", decl.name,
+                    f"%{value_name} is produced by {producer_name} but "
+                    f"can never satisfy the {operand.name!r} operand of "
+                    f"{template.op_name}: the constraints are disjoint",
+                ))
+        for value_name, result in zip(
+            template.result_names, op_def.results
+        ):
+            producers[value_name] = (template.op_name, result.constraint)
+    return findings

@@ -1,0 +1,142 @@
+"""Constraint-level lints backed by the symbolic engine.
+
+Definite verdicts come from :class:`repro.analysis.sat.SatEngine`; the
+random sampler is consulted only when the engine answers ``UNKNOWN``
+(opaque ``PyConstraint`` bodies), and even then only a *missing* witness
+is reported — as ``possibly-unsatisfiable``, never as a definite error.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.lints.base import LintFinding
+from repro.analysis.sat import SatEngine, Ternary, Verdict, walk
+from repro.irdl import constraints as C
+from repro.irdl.defs import DialectDef
+from repro.irdl.sampler import CannotSample, ConstraintSampler
+from repro.obs.instrument import OBS
+
+#: Sampler seeds tried before declaring a fallback inconclusive.
+_SAMPLER_ATTEMPTS = 8
+
+
+def sampler_witness(constraint: C.Constraint,
+                    attempts: int = _SAMPLER_ATTEMPTS) -> bool:
+    """Can the random sampler produce a verified witness?
+
+    Only :class:`CannotSample` counts as "no": any other exception is a
+    real sampler crash and propagates (the historical ``except
+    Exception: return True`` hid those as false confidence).
+    """
+    OBS.metrics.counter("analysis.sat.sampler_fallbacks").inc()
+    for seed in range(attempts):
+        try:
+            ConstraintSampler(random.Random(seed)).sample(constraint)
+            return True
+        except CannotSample:
+            continue
+    return False
+
+
+def check_constraint(
+    engine: SatEngine,
+    constraint: C.Constraint,
+    subject: str,
+    what: str,
+    loc: str = "",
+) -> list[LintFinding]:
+    """All satisfiability findings for one constraint tree."""
+    findings: list[LintFinding] = []
+    verdict = engine.satisfiable(constraint)
+    if verdict is Verdict.UNSAT:
+        findings.append(LintFinding(
+            "unsatisfiable-constraint", "error", subject,
+            f"no value can satisfy {what}", loc,
+        ))
+    elif verdict is Verdict.UNKNOWN and not sampler_witness(constraint):
+        findings.append(LintFinding(
+            "possibly-unsatisfiable", "warning", subject,
+            f"cannot decide {what}: the engine answers UNKNOWN and the "
+            f"sampler found no witness in {_SAMPLER_ATTEMPTS} attempts",
+            loc,
+        ))
+
+    seen: set[tuple] = set()
+    for node in walk(constraint):
+        key = node.structural_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        if isinstance(node, C.AndConstraint):
+            findings.extend(_check_and(engine, node, subject, what, loc))
+        elif isinstance(node, C.NotConstraint):
+            findings.extend(_check_not(engine, node, subject, what, loc))
+        elif isinstance(node, C.AnyOfConstraint):
+            findings.extend(_check_anyof(engine, node, subject, what, loc))
+    return findings
+
+
+def _check_and(engine, node, subject, what, loc):
+    if engine.satisfiable(node) is not Verdict.UNSAT:
+        return []
+    if not all(engine.satisfiable(c) is Verdict.SAT for c in node.conjuncts):
+        return []  # some conjunct is itself dead; that gets its own report
+    return [LintFinding(
+        "contradictory-and", "warning", subject,
+        f"in {what}: the And conjuncts are individually satisfiable "
+        "but jointly contradictory", loc,
+    )]
+
+
+def _check_not(engine, node, subject, what, loc):
+    if engine.satisfiable(node.inner) is not Verdict.UNSAT:
+        return []
+    return [LintFinding(
+        "vacuous-not", "warning", subject,
+        f"in {what}: Not of an unsatisfiable constraint accepts "
+        "every value", loc,
+    )]
+
+
+def _check_anyof(engine, node, subject, what, loc):
+    findings = []
+    for index, alt in enumerate(node.alternatives):
+        if engine.satisfiable(alt) is Verdict.UNSAT:
+            findings.append(LintFinding(
+                "unreachable-anyof-alt", "warning", subject,
+                f"in {what}: AnyOf alternative {index + 1} is "
+                "unsatisfiable", loc,
+            ))
+            continue
+        for earlier_index in range(index):
+            earlier = node.alternatives[earlier_index]
+            if engine.subsumes(earlier, alt) is Ternary.TRUE:
+                findings.append(LintFinding(
+                    "unreachable-anyof-alt", "warning", subject,
+                    f"in {what}: AnyOf alternative {index + 1} is "
+                    f"subsumed by alternative {earlier_index + 1}", loc,
+                ))
+                break
+    return findings
+
+
+def check_dialect(
+    engine: SatEngine, dialect: DialectDef, spans: dict[str, str]
+) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    for op in dialect.operations:
+        loc = spans.get(op.qualified_name, "")
+        for arg in (*op.operands, *op.results, *op.attributes):
+            findings.extend(check_constraint(
+                engine, arg.constraint, op.qualified_name,
+                f"the constraint of {arg.name!r}", loc,
+            ))
+    for type_def in (*dialect.types, *dialect.attributes):
+        loc = spans.get(type_def.qualified_name, "")
+        for param in type_def.parameters:
+            findings.extend(check_constraint(
+                engine, param.constraint, type_def.qualified_name,
+                f"parameter {param.name!r}", loc,
+            ))
+    return findings

@@ -1,0 +1,241 @@
+"""Structural dialect lints: naming, documentation, dead variables,
+variadic segments, unused declarations, and provably equivalent
+operation signatures.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lints.base import LintFinding
+from repro.analysis.sat import SatEngine, Ternary, walk
+from repro.irdl import constraints as C
+from repro.irdl.ast import DialectDecl, RefExpr
+from repro.irdl.defs import DialectDef, OpDef
+
+
+def check_dialect(
+    engine: SatEngine,
+    dialect: DialectDef,
+    decl: DialectDecl | None,
+    spans: dict[str, str],
+) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    findings.extend(_check_segments(dialect, spans))
+    findings.extend(_check_duplicates(dialect, spans))
+    findings.extend(_check_summaries(dialect, spans))
+    findings.extend(_check_dead_vars(dialect, spans))
+    findings.extend(_check_overlapping_ops(engine, dialect, spans))
+    if decl is not None:
+        findings.extend(_check_unused(decl))
+    return findings
+
+
+# -- multi-variadic segments ------------------------------------------------
+
+def _check_segments(dialect, spans):
+    findings = []
+    for op in dialect.operations:
+        for kind, count in (("operand", op.num_variadic_operands),
+                            ("result", op.num_variadic_results)):
+            if count > 1:
+                findings.append(LintFinding(
+                    "segment-attribute-required", "note", op.qualified_name,
+                    f"{count} variadic {kind} definitions: instances must "
+                    f"carry a {kind}_segment_sizes attribute (§4.6)",
+                    spans.get(op.qualified_name, ""),
+                ))
+    return findings
+
+
+# -- duplicate names --------------------------------------------------------
+
+def _check_duplicates(dialect, spans):
+    findings = []
+    seen: dict[str, str] = {}
+    for kind, items in (
+        ("operation", dialect.operations),
+        ("type", dialect.types),
+        ("attribute", dialect.attributes),
+    ):
+        for item in items:
+            key = f"{kind}:{item.name}"
+            subject = f"{dialect.name}.{item.name}"
+            if key in seen:
+                findings.append(LintFinding(
+                    "duplicate-name", "error", subject,
+                    f"{kind} defined more than once",
+                    spans.get(subject, ""),
+                ))
+            seen[key] = kind
+    return findings
+
+
+# -- missing summaries ------------------------------------------------------
+
+def _check_summaries(dialect, spans):
+    findings = []
+    for op in dialect.operations:
+        if not op.summary:
+            findings.append(LintFinding(
+                "missing-summary", "warning", op.qualified_name,
+                "operation has no Summary documentation",
+                spans.get(op.qualified_name, ""),
+            ))
+    for type_def in (*dialect.types, *dialect.attributes):
+        if not type_def.summary:
+            findings.append(LintFinding(
+                "missing-summary", "warning", type_def.qualified_name,
+                "definition has no Summary documentation",
+                spans.get(type_def.qualified_name, ""),
+            ))
+    return findings
+
+
+# -- dead constraint variables ----------------------------------------------
+
+def _format_reads_var(op: OpDef, name: str) -> bool:
+    """Does the op's declarative format read ``$name`` (or ``$name.p``)?"""
+    if op.format is None:
+        return False
+    from repro.irdl.format import (
+        FormatError,
+        VarParamDirective,
+        VarTypeDirective,
+        _scan_directives,
+    )
+
+    try:
+        directives = _scan_directives(op)
+    except FormatError:
+        return False
+    return any(
+        isinstance(d, (VarTypeDirective, VarParamDirective)) and d.var == name
+        for d in directives
+    )
+
+
+def _check_dead_vars(dialect, spans):
+    findings = []
+    for op in dialect.operations:
+        loc = spans.get(op.qualified_name, "")
+        positions = [
+            a.constraint
+            for a in (*op.operands, *op.results, *op.attributes)
+        ]
+        for region in op.regions:
+            positions.extend(a.constraint for a in region.arguments)
+        for name in op.constraint_vars:
+            uses = sum(
+                1
+                for constraint in positions
+                for node in walk(constraint)
+                if isinstance(node, C.VarConstraint) and node.name == name
+            )
+            if uses == 0:
+                findings.append(LintFinding(
+                    "dead-constraint-var", "warning", op.qualified_name,
+                    f"constraint variable {name!r} is declared but never "
+                    "used", loc,
+                ))
+            elif uses == 1 and not _format_reads_var(op, name):
+                findings.append(LintFinding(
+                    "dead-constraint-var", "warning", op.qualified_name,
+                    f"constraint variable {name!r} is bound in a single "
+                    "position and never read (no other position or "
+                    "format directive uses it)", loc,
+                ))
+    return findings
+
+
+# -- provably equivalent operation signatures -------------------------------
+
+def _signature(op: OpDef):
+    args = (*op.operands, *op.results)
+    return (
+        len(op.operands),
+        tuple(a.variadicity for a in args),
+        [a.constraint for a in args],
+    )
+
+
+def _check_overlapping_ops(engine, dialect, spans):
+    findings = []
+    signatures = [(op, *_signature(op)) for op in dialect.operations]
+    for index, (op, arity, variadicity, constraints) in enumerate(signatures):
+        for other, other_arity, other_variadicity, other_constraints in \
+                signatures[index + 1:]:
+            if arity != other_arity or variadicity != other_variadicity:
+                continue
+            if len(constraints) != len(other_constraints):
+                continue
+            equivalent = all(
+                engine.subsumes(a, b) is Ternary.TRUE
+                and engine.subsumes(b, a) is Ternary.TRUE
+                for a, b in zip(constraints, other_constraints)
+            )
+            if equivalent:
+                findings.append(LintFinding(
+                    "overlapping-op-defs", "note", op.qualified_name,
+                    "operand/result signature is provably equivalent to "
+                    f"{other.qualified_name}: only the name "
+                    "distinguishes their instances",
+                    spans.get(op.qualified_name, ""),
+                ))
+    return findings
+
+
+# -- unused declarations (needs the syntax tree) ----------------------------
+
+def _collect_names(expr, names: set[str]) -> None:
+    if isinstance(expr, RefExpr):
+        names.add(expr.name)
+        for param in expr.params or ():
+            _collect_names(param, names)
+    elif hasattr(expr, "elements"):
+        for element in expr.elements:
+            _collect_names(element, names)
+
+
+def _referenced_names(decl: DialectDecl) -> set[str]:
+    names: set[str] = set()
+    exprs = []
+    for type_decl in (*decl.types, *decl.attributes):
+        exprs.extend(p.constraint for p in type_decl.parameters)
+    for op in decl.operations:
+        exprs.extend(a.constraint for a in (*op.operands, *op.results,
+                                            *op.attributes))
+        exprs.extend(v.constraint for v in op.constraint_vars)
+        for region in op.regions:
+            exprs.extend(a.constraint for a in region.arguments)
+    for alias in decl.aliases:
+        exprs.append(alias.body)
+    for constraint_decl in decl.constraints:
+        exprs.append(constraint_decl.base)
+    for expr in exprs:
+        _collect_names(expr, names)
+    return names
+
+
+def _check_unused(decl: DialectDecl):
+    findings = []
+    used = _referenced_names(decl)
+    prefix = decl.name
+    for alias in decl.aliases:
+        if alias.name not in used:
+            findings.append(LintFinding(
+                "unused-alias", "warning", f"{prefix}.{alias.name}",
+                "alias is never referenced",
+            ))
+    for constraint_decl in decl.constraints:
+        if constraint_decl.name not in used:
+            findings.append(LintFinding(
+                "unused-constraint", "warning",
+                f"{prefix}.{constraint_decl.name}",
+                "named constraint is never referenced",
+            ))
+    for wrapper in decl.param_wrappers:
+        if wrapper.name not in used:
+            findings.append(LintFinding(
+                "unused-wrapper", "warning", f"{prefix}.{wrapper.name}",
+                "TypeOrAttrParam is never referenced",
+            ))
+    return findings

@@ -1,0 +1,1118 @@
+"""Sound three-valued satisfiability analysis over IRDL constraints.
+
+§4 motivates IRDL with analyzability: declarative definitions "can be
+analyzed for correctness and tool support".  This module is that
+analysis: a decision procedure over the constraint language of Figure 2
+returning three-valued verdicts, never a guess.
+
+Normal form
+-----------
+:meth:`SatEngine.normalize` rewrites a constraint tree into a
+disjunction of *clauses*.  Each clause is a conjunction of
+
+* positive **shape atoms** (base-shape facts: "is an f32-wide float
+  parameter", "is a ``cmath.complex`` with these parameter shapes", …);
+* **negated** sub-constraints (from ``Not``, kept whole);
+* **opaque refinements** (``PyConstraint`` predicates and anything else
+  the shape language cannot express).
+
+The construction maintains two inclusions the verdicts rest on:
+
+* *over-approximation* (always): every value satisfying the constraint
+  lies in some clause's structural region — so if every clause region is
+  proved empty, the constraint is ``UNSAT``;
+* *under-approximation* (clauses flagged ``exact``): every value in the
+  clause's structural region satisfies the constraint — these clauses
+  witness coverage in ``subsumes`` proofs.
+
+Verdicts
+--------
+* ``SAT`` verdicts are proved **constructively**: the engine enumerates
+  deterministic shape-directed candidates and re-runs the *original*
+  constraint's ``verify`` on them; a passing value is an exact witness
+  (retrievable via :meth:`SatEngine.find_witness`).
+* ``UNSAT`` and the definite relation verdicts (``subsumes``,
+  ``disjoint``) are proved structurally from the inclusions above.
+* Anything else is ``UNKNOWN`` — callers (e.g. the linter) may fall
+  back to the random sampler, but never report a definite verdict from
+  sampling alone.
+
+Constraint variables (§4.6) are handled with assume-bind environments:
+within a clause, every occurrence of a variable contributes its base
+shape, and the binding is consistent only if the intersection of those
+shapes is inhabited.  Cross-constraint sequences (an operation's
+operands/results sharing variables) go through
+:meth:`SatEngine.sequence_satisfiable` and
+:meth:`SatEngine.signatures_overlap`, which thread the environment from
+one position to the next.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.ir.attributes import (
+    Attribute,
+    TypeAttribute,
+    attribute_name,
+    attribute_parameters,
+)
+from repro.ir.exceptions import VerifyError
+from repro.ir.params import (
+    ArrayParam,
+    EnumParam,
+    FloatParam,
+    IntegerParam,
+    LocationParam,
+    OpaqueParam,
+    ParamValue,
+    StringParam,
+    TypeIdParam,
+)
+from repro.irdl import constraints as C
+from repro.irdl.constraints import Constraint, ConstraintContext, structurally_equal
+from repro.obs.instrument import OBS
+
+__all__ = [
+    "Verdict",
+    "Ternary",
+    "SatEngine",
+    "satisfiable",
+    "subsumes",
+    "disjoint",
+    "find_witness",
+    "walk",
+]
+
+
+class Verdict(enum.Enum):
+    """Three-valued satisfiability answer."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class Ternary(enum.Enum):
+    """Three-valued relation answer (for ``subsumes``/``disjoint``)."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+
+def walk(constraint: Constraint) -> Iterator[Constraint]:
+    """Every node of a constraint tree, root first."""
+    stack = [constraint]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children())
+
+
+# ---------------------------------------------------------------------------
+# Value categories
+# ---------------------------------------------------------------------------
+
+#: Disjoint categories partitioning the IR value domain.  Two atoms whose
+#: category sets do not intersect are trivially disjoint.
+_CAT_TYPE = "type"
+_CAT_ATTR = "attr"          # non-type attributes
+_CAT_INT = "int"
+_CAT_FLOAT = "float"
+_CAT_STRING = "string"
+_CAT_ENUM = "enum"
+_CAT_ARRAY = "array"
+_CAT_LOCATION = "location"
+_CAT_TYPEID = "typeid"
+_CAT_OPAQUE = "opaque"
+
+ALL_CATS = frozenset({
+    _CAT_TYPE, _CAT_ATTR, _CAT_INT, _CAT_FLOAT, _CAT_STRING, _CAT_ENUM,
+    _CAT_ARRAY, _CAT_LOCATION, _CAT_TYPEID, _CAT_OPAQUE,
+})
+
+
+def _value_category(value: Any) -> str | None:
+    if isinstance(value, TypeAttribute):
+        return _CAT_TYPE
+    if isinstance(value, Attribute):
+        return _CAT_ATTR
+    if isinstance(value, IntegerParam):
+        return _CAT_INT
+    if isinstance(value, FloatParam):
+        return _CAT_FLOAT
+    if isinstance(value, StringParam):
+        return _CAT_STRING
+    if isinstance(value, EnumParam):
+        return _CAT_ENUM
+    if isinstance(value, ArrayParam):
+        return _CAT_ARRAY
+    if isinstance(value, LocationParam):
+        return _CAT_LOCATION
+    if isinstance(value, TypeIdParam):
+        return _CAT_TYPEID
+    if isinstance(value, OpaqueParam):
+        return _CAT_OPAQUE
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Shape atoms
+# ---------------------------------------------------------------------------
+
+@dataclass(eq=False)
+class Atom:
+    """One positive base-shape fact about a value.
+
+    ``origin`` is the constraint the atom was derived from; it gives the
+    engine an exact membership oracle for *concrete* values (running
+    ``origin.verify``), which structural reasoning uses as a shortcut.
+    """
+
+    origin: Constraint | None = None
+
+
+@dataclass(eq=False)
+class TopAtom(Atom):
+    """Any value of the given categories (``AnyType``/``AnyAttr``/…)."""
+
+    cats: frozenset[str] = ALL_CATS
+
+
+@dataclass(eq=False)
+class ExactAtom(Atom):
+    """Exactly one value (``Eq``, literals, enum constructors)."""
+
+    value: Any = None
+
+
+@dataclass(eq=False)
+class AttrAtom(Atom):
+    """An attribute/type with a given base name (``Base``/``Parametric``).
+
+    ``params`` is ``None`` for a bare base match, or one normal-form
+    formula per parameter for a parametric match.
+    """
+
+    name: str = ""
+    is_type: bool = False
+    params: tuple[list["Clause"], ...] | None = None
+    definition: Any = None
+
+
+@dataclass(eq=False)
+class IntAtom(Atom):
+    width: int = 32
+    signed: bool = True
+
+
+@dataclass(eq=False)
+class StrAtom(Atom):
+    pass
+
+
+@dataclass(eq=False)
+class FloatAtom(Atom):
+    width: int = 64
+
+
+@dataclass(eq=False)
+class EnumAtom(Atom):
+    enum_name: str = ""
+    ctors: tuple[str, ...] = ()
+    binding: Any = None
+
+
+@dataclass(eq=False)
+class ArrayAtom(Atom):
+    """``elems`` fixes the arity (one formula per slot); ``elem`` is the
+    homogeneous element formula of an ``array<pc>`` constraint."""
+
+    elems: tuple[list["Clause"], ...] | None = None
+    elem: list["Clause"] | None = None
+
+
+@dataclass(eq=False)
+class LocationAtom(Atom):
+    pass
+
+
+@dataclass(eq=False)
+class TypeIdAtom(Atom):
+    pass
+
+
+@dataclass(eq=False)
+class FloatAttrAtom(Atom):
+    width: int = 32
+
+
+@dataclass(eq=False)
+class IntAttrAtom(Atom):
+    width: int | None = 32  # ``None`` means the index type
+
+
+@dataclass(eq=False)
+class WrapperAtom(Atom):
+    class_name: str = ""
+
+
+def _atom_cats(atom: Atom) -> frozenset[str] | None:
+    """The categories an atom's values can inhabit (``None`` = unknown)."""
+    if isinstance(atom, TopAtom):
+        return atom.cats
+    if isinstance(atom, ExactAtom):
+        cat = _value_category(atom.value)
+        return frozenset({cat}) if cat is not None else None
+    if isinstance(atom, AttrAtom):
+        return frozenset({_CAT_TYPE if atom.is_type else _CAT_ATTR})
+    if isinstance(atom, IntAtom):
+        return frozenset({_CAT_INT})
+    if isinstance(atom, StrAtom):
+        return frozenset({_CAT_STRING})
+    if isinstance(atom, FloatAtom):
+        return frozenset({_CAT_FLOAT})
+    if isinstance(atom, EnumAtom):
+        return frozenset({_CAT_ENUM})
+    if isinstance(atom, ArrayAtom):
+        return frozenset({_CAT_ARRAY})
+    if isinstance(atom, LocationAtom):
+        return frozenset({_CAT_LOCATION})
+    if isinstance(atom, TypeIdAtom):
+        return frozenset({_CAT_TYPEID})
+    if isinstance(atom, (FloatAttrAtom, IntAttrAtom)):
+        return frozenset({_CAT_ATTR})
+    if isinstance(atom, WrapperAtom):
+        return frozenset({_CAT_OPAQUE})
+    return None
+
+
+#: Witness-enumeration priority: lower = more specific = tried first.
+def _atom_specificity(atom: Atom) -> int:
+    if isinstance(atom, ExactAtom):
+        return 0
+    if isinstance(atom, AttrAtom):
+        return 1 if atom.params is not None else 2
+    if isinstance(atom, TopAtom):
+        return 9
+    return 3
+
+
+# ---------------------------------------------------------------------------
+# Clauses
+# ---------------------------------------------------------------------------
+
+@dataclass(eq=False)
+class Clause:
+    """One conjunctive clause of the disjunctive normal form."""
+
+    atoms: list[Atom] = field(default_factory=list)
+    negs: list[Constraint] = field(default_factory=list)
+    opaque: list[Constraint] = field(default_factory=list)
+    #: Per constraint-variable: base-shape formulas of its occurrences.
+    binds: dict[str, list[list["Clause"]]] = field(default_factory=dict)
+    #: region(clause) ⊆ region(constraint) holds (under-approximation)?
+    exact: bool = True
+
+
+Formula = list  # list[Clause]; [] is the trivially UNSAT formula
+
+
+def _combine(a: Clause, b: Clause) -> Clause:
+    binds: dict[str, list[Formula]] = {k: list(v) for k, v in a.binds.items()}
+    for k, v in b.binds.items():
+        binds.setdefault(k, []).extend(v)
+    return Clause(
+        atoms=a.atoms + b.atoms,
+        negs=a.negs + b.negs,
+        opaque=a.opaque + b.opaque,
+        binds=binds,
+        exact=a.exact and b.exact,
+    )
+
+
+def _definitely_accepts(constraint: Constraint, value: Any) -> bool | None:
+    """Exact membership of a concrete value; ``None`` if evaluation blew up."""
+    try:
+        constraint.verify(value, ConstraintContext())
+        return True
+    except VerifyError:
+        return False
+    except Exception:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+#: Normalization gives up (opaque clause) past this many clauses.
+_MAX_CLAUSES = 64
+#: Recursion fuel for structural proofs.
+_MAX_DEPTH = 6
+#: Candidate witnesses tried per clause.
+_MAX_WITNESSES = 40
+#: Parameter-tuple combinations tried when building attribute witnesses.
+_MAX_COMBOS = 12
+
+
+class SatEngine:
+    """Three-valued satisfiability/subsumption/disjointness decisions."""
+
+    def __init__(self) -> None:
+        self._norm_memo: dict[int, tuple[Constraint, Formula]] = {}
+        self._sat_memo: dict[int, tuple[Constraint, Verdict, Any]] = {}
+
+    # -- public API ----------------------------------------------------
+
+    def satisfiable(self, constraint: Constraint,
+                    env: Mapping[str, Constraint] | None = None) -> Verdict:
+        """Is some well-formed IR value accepted by ``constraint``?"""
+        verdict, _ = self.satisfiable_with_witness(constraint, env)
+        return verdict
+
+    def find_witness(self, constraint: Constraint,
+                     env: Mapping[str, Constraint] | None = None) -> Any | None:
+        """A concrete verified witness, or ``None`` if SAT was not proved."""
+        verdict, witness = self.satisfiable_with_witness(constraint, env)
+        return witness if verdict is Verdict.SAT else None
+
+    def satisfiable_with_witness(
+        self, constraint: Constraint,
+        env: Mapping[str, Constraint] | None = None,
+    ) -> tuple[Verdict, Any]:
+        metrics = OBS.metrics
+        metrics.counter("analysis.sat.queries").inc()
+        key = id(constraint)
+        if env is None and key in self._sat_memo:
+            _, verdict, witness = self._sat_memo[key]
+            metrics.counter(f"analysis.sat.{verdict.value}").inc()
+            return verdict, witness
+        formula = self.normalize(constraint, env)
+        verdict, witness = Verdict.UNSAT, None
+        for clause in formula:
+            if self._clause_refuted(clause, _MAX_DEPTH):
+                continue
+            for candidate in self._clause_candidates(clause, _MAX_DEPTH):
+                metrics.counter("analysis.sat.witness_checks").inc()
+                if _definitely_accepts(constraint, candidate):
+                    verdict, witness = Verdict.SAT, candidate
+                    break
+            else:
+                verdict = Verdict.UNKNOWN
+                continue
+            break
+        if env is None:
+            if len(self._sat_memo) > 4096:
+                self._sat_memo.clear()
+            self._sat_memo[key] = (constraint, verdict, witness)
+        metrics.counter(f"analysis.sat.{verdict.value}").inc()
+        return verdict, witness
+
+    def subsumes(self, a: Constraint, b: Constraint) -> Ternary:
+        """Does every value satisfying ``b`` also satisfy ``a``?"""
+        OBS.metrics.counter("analysis.sat.queries").inc()
+        if structurally_equal(a, b):
+            return Ternary.TRUE
+        formula_a = self.normalize(a)
+        formula_b = self.normalize(b)
+        covered = True
+        for clause_b in formula_b:
+            if self._clause_refuted(clause_b, _MAX_DEPTH):
+                continue  # the empty region is trivially covered
+            if not any(self._clause_covers(clause_a, clause_b, _MAX_DEPTH)
+                       for clause_a in formula_a):
+                covered = False
+                break
+        if covered:
+            return Ternary.TRUE
+        # Look for a definite counterexample: a verified witness of ``b``
+        # that ``a`` definitely rejects.
+        for clause_b in formula_b:
+            for candidate in self._clause_candidates(clause_b, _MAX_DEPTH):
+                if _definitely_accepts(b, candidate) and \
+                        _definitely_accepts(a, candidate) is False:
+                    return Ternary.FALSE
+        return Ternary.UNKNOWN
+
+    def disjoint(self, a: Constraint, b: Constraint) -> Ternary:
+        """Can no single value satisfy both constraints?"""
+        OBS.metrics.counter("analysis.sat.queries").inc()
+        formula_a = self.normalize(a)
+        formula_b = self.normalize(b)
+        if self._formulas_disjoint(formula_a, formula_b, _MAX_DEPTH):
+            return Ternary.TRUE
+        # A common verified witness is a definite overlap.
+        for clause in itertools.chain(formula_a, formula_b):
+            for candidate in self._clause_candidates(clause, _MAX_DEPTH):
+                if _definitely_accepts(a, candidate) and \
+                        _definitely_accepts(b, candidate):
+                    return Ternary.FALSE
+        return Ternary.UNKNOWN
+
+    def sequence_satisfiable(
+        self, constraints: Sequence[Constraint],
+    ) -> Verdict:
+        """Joint satisfiability of a constraint sequence sharing variables.
+
+        Models an operation signature: one value per position, with
+        constraint variables bound consistently across positions
+        (assume-bind: the shape a variable acquires at its first
+        occurrence is assumed at every later one).
+        """
+        env: dict[str, Constraint] = {}
+        any_unknown = False
+        for constraint in constraints:
+            verdict = self.satisfiable(constraint, env if env else None)
+            if verdict is Verdict.UNSAT:
+                return Verdict.UNSAT
+            if verdict is Verdict.UNKNOWN:
+                any_unknown = True
+            for node in walk(constraint):
+                if isinstance(node, C.VarConstraint):
+                    env.setdefault(node.name, node.base)
+        if any_unknown:
+            return Verdict.UNKNOWN
+        # Positional SAT everywhere; confirm with one joint concrete run.
+        cctx = ConstraintContext()
+        for constraint in constraints:
+            witness = self.find_witness(constraint)
+            try:
+                constraint.verify(witness, cctx)
+            except Exception:
+                return Verdict.UNKNOWN
+        return Verdict.SAT
+
+    def signatures_overlap(
+        self,
+        sig_a: Sequence[Constraint],
+        sig_b: Sequence[Constraint],
+        max_nodes: int = 200,
+    ) -> Ternary:
+        """Can one value vector satisfy two signatures simultaneously?
+
+        ``TRUE`` is proved constructively (a concrete vector verified
+        against both signatures, respecting each side's own variable
+        bindings); ``FALSE`` is proved structurally (some position pair
+        is disjoint).
+        """
+        if len(sig_a) != len(sig_b):
+            return Ternary.FALSE
+        for a, b in zip(sig_a, sig_b):
+            if self.disjoint(a, b) is Ternary.TRUE:
+                return Ternary.FALSE
+        # Depth-first concrete search with both contexts threaded along.
+        budget = [max_nodes]
+
+        def candidates(position: int) -> list[Any]:
+            values: list[Any] = []
+            for constraint in (sig_a[position], sig_b[position]):
+                for clause in self.normalize(constraint):
+                    for value in self._clause_candidates(clause, _MAX_DEPTH):
+                        values.append(value)
+                        if len(values) >= 8:
+                            return values
+            return values
+
+        def extend(position: int, ctx_a: ConstraintContext,
+                   ctx_b: ConstraintContext) -> bool:
+            if position == len(sig_a):
+                return True
+            for value in candidates(position):
+                if budget[0] <= 0:
+                    return False
+                budget[0] -= 1
+                saved_a, saved_b = dict(ctx_a.bindings), dict(ctx_b.bindings)
+                try:
+                    sig_a[position].verify(value, ctx_a)
+                    sig_b[position].verify(value, ctx_b)
+                except Exception:
+                    ctx_a.bindings.clear(); ctx_a.bindings.update(saved_a)
+                    ctx_b.bindings.clear(); ctx_b.bindings.update(saved_b)
+                    continue
+                if extend(position + 1, ctx_a, ctx_b):
+                    return True
+                ctx_a.bindings.clear(); ctx_a.bindings.update(saved_a)
+                ctx_b.bindings.clear(); ctx_b.bindings.update(saved_b)
+            return False
+
+        if extend(0, ConstraintContext(), ConstraintContext()):
+            return Ternary.TRUE
+        return Ternary.UNKNOWN
+
+    # -- normalization -------------------------------------------------
+
+    def normalize(self, constraint: Constraint,
+                  env: Mapping[str, Constraint] | None = None) -> Formula:
+        """The disjunction of base-shape clauses covering ``constraint``."""
+        if env is None:
+            memo = self._norm_memo.get(id(constraint))
+            if memo is not None:
+                return memo[1]
+        formula = self._normalize(constraint, env)
+        if env is None:
+            if len(self._norm_memo) > 4096:
+                self._norm_memo.clear()
+            self._norm_memo[id(constraint)] = (constraint, formula)
+        return formula
+
+    def _opaque_clause(self, constraint: Constraint) -> Formula:
+        return [Clause(atoms=[TopAtom(origin=None, cats=ALL_CATS)],
+                       opaque=[constraint], exact=False)]
+
+    def _normalize(self, c: Constraint,
+                   env: Mapping[str, Constraint] | None) -> Formula:
+        if isinstance(c, C.AnyTypeConstraint):
+            return [Clause(atoms=[TopAtom(origin=c, cats=frozenset({_CAT_TYPE}))])]
+        if isinstance(c, C.AnyAttrConstraint):
+            return [Clause(atoms=[TopAtom(
+                origin=c, cats=frozenset({_CAT_TYPE, _CAT_ATTR}))])]
+        if isinstance(c, C.AnyParamConstraint):
+            return [Clause(atoms=[TopAtom(origin=c, cats=ALL_CATS)])]
+        if isinstance(c, C.AnyOfConstraint):
+            clauses: Formula = []
+            for alternative in c.alternatives:
+                clauses.extend(self._normalize(alternative, env))
+                if len(clauses) > _MAX_CLAUSES:
+                    return self._opaque_clause(c)
+            return clauses
+        if isinstance(c, C.AndConstraint):
+            product: Formula = [Clause()]
+            for conjunct in c.conjuncts:
+                branch = self._normalize(conjunct, env)
+                product = [_combine(left, right)
+                           for left in product for right in branch]
+                if len(product) > _MAX_CLAUSES:
+                    return self._opaque_clause(c)
+            return product
+        if isinstance(c, C.NotConstraint):
+            return [Clause(atoms=[TopAtom(origin=None, cats=ALL_CATS)],
+                           negs=[c.inner])]
+        if isinstance(c, C.VarConstraint):
+            base: Constraint = c.base
+            if env is not None and c.name in env:
+                assumed = env[c.name]
+                if assumed is not base:
+                    base = C.AndConstraint([base, assumed])
+            formula = []
+            for clause in self._normalize(base, env):
+                shape = Clause(atoms=list(clause.atoms),
+                               negs=list(clause.negs),
+                               opaque=list(clause.opaque),
+                               exact=clause.exact)
+                bound = _combine(clause, Clause())
+                bound.binds.setdefault(c.name, []).append([shape])
+                # Positional shape is exact, but the cross-position
+                # consistency side condition is not representable here.
+                bound.exact = False
+                formula.append(bound)
+            return formula
+        if isinstance(c, C.EqConstraint):
+            return [Clause(atoms=[ExactAtom(origin=c, value=c.expected)])]
+        if isinstance(c, C.BaseConstraint):
+            return [Clause(atoms=[AttrAtom(
+                origin=c, name=c.definition.canonical_name,
+                is_type=c.definition.is_type, params=None,
+                definition=c.definition)])]
+        if isinstance(c, C.ParametricConstraint):
+            params = tuple(self._normalize(p, env) for p in c.param_constraints)
+            exact = all(clause.exact for formula in params for clause in formula)
+            return [Clause(atoms=[AttrAtom(
+                origin=c, name=c.definition.canonical_name,
+                is_type=c.definition.is_type, params=params,
+                definition=c.definition)], exact=exact)]
+        if isinstance(c, C.IntTypeConstraint):
+            return [Clause(atoms=[IntAtom(origin=c, width=c.bitwidth,
+                                          signed=c.signed)])]
+        if isinstance(c, C.IntLiteralConstraint):
+            return [Clause(atoms=[ExactAtom(origin=c, value=c.param)])]
+        if isinstance(c, C.AnyStringConstraint):
+            return [Clause(atoms=[StrAtom(origin=c)])]
+        if isinstance(c, C.StringLiteralConstraint):
+            return [Clause(atoms=[ExactAtom(origin=c,
+                                            value=StringParam(c.value))])]
+        if isinstance(c, C.AnyFloatConstraint):
+            return [Clause(atoms=[FloatAtom(origin=c, width=c.bitwidth)])]
+        if isinstance(c, C.FloatAttrConstraint):
+            return [Clause(atoms=[FloatAttrAtom(origin=c, width=c.bitwidth)])]
+        if isinstance(c, C.IntegerAttrConstraint):
+            return [Clause(atoms=[IntAttrAtom(origin=c, width=c.bitwidth)])]
+        if isinstance(c, C.LocationConstraint):
+            return [Clause(atoms=[LocationAtom(origin=c)])]
+        if isinstance(c, C.TypeIdConstraint):
+            return [Clause(atoms=[TypeIdAtom(origin=c)])]
+        if isinstance(c, C.EnumConstraint):
+            return [Clause(atoms=[EnumAtom(
+                origin=c, enum_name=c.enum.qualified_name,
+                ctors=tuple(c.enum.constructors), binding=c.enum)])]
+        if isinstance(c, C.EnumConstructorConstraint):
+            return [Clause(atoms=[ExactAtom(
+                origin=c,
+                value=EnumParam(c.enum.qualified_name, c.constructor))])]
+        if isinstance(c, C.ArrayAnyConstraint):
+            elem = self._normalize(c.element, env)
+            return [Clause(atoms=[ArrayAtom(origin=c, elem=elem)])]
+        if isinstance(c, C.ArrayExactConstraint):
+            elems = tuple(self._normalize(e, env) for e in c.elements)
+            exact = all(cl.exact for formula in elems for cl in formula)
+            return [Clause(atoms=[ArrayAtom(origin=c, elems=elems)],
+                           exact=exact)]
+        if isinstance(c, C.PyConstraint):
+            formula = []
+            for clause in self._normalize(c.base, env):
+                clause = _combine(clause, Clause(opaque=[c], exact=False))
+                formula.append(clause)
+            return formula
+        if isinstance(c, C.ParamWrapperConstraint):
+            return [Clause(atoms=[WrapperAtom(origin=c,
+                                              class_name=c.class_name)])]
+        return self._opaque_clause(c)
+
+    # -- structural refutation (UNSAT proofs) --------------------------
+
+    def _clause_refuted(self, clause: Clause, depth: int) -> bool:
+        """Definitely-empty structural region?  (Sound, incomplete.)"""
+        if depth <= 0:
+            return False
+        atoms = clause.atoms
+        for i, left in enumerate(atoms):
+            for right in atoms[i + 1:]:
+                if self._atoms_disjoint(left, right, depth - 1):
+                    return True
+        # A pinned exact value decides every other conjunct concretely.
+        for atom in atoms:
+            if not isinstance(atom, ExactAtom):
+                continue
+            for other in atoms:
+                if other is atom or other.origin is None:
+                    continue
+                if _definitely_accepts(other.origin, atom.value) is False:
+                    return True
+            for neg in clause.negs:
+                if _definitely_accepts(neg, atom.value) is True:
+                    return True
+            for refinement in clause.opaque:
+                if _definitely_accepts(refinement, atom.value) is False:
+                    return True
+        # Uninhabited sub-shapes.
+        for atom in atoms:
+            if isinstance(atom, AttrAtom) and atom.params is not None:
+                for formula in atom.params:
+                    if all(self._clause_refuted(cl, depth - 1)
+                           for cl in formula):
+                        return True
+            if isinstance(atom, ArrayAtom) and atom.elems is not None:
+                for formula in atom.elems:
+                    if all(self._clause_refuted(cl, depth - 1)
+                           for cl in formula):
+                        return True
+            if isinstance(atom, EnumAtom) and not atom.ctors:
+                return True
+        # A negation covering the whole clause empties it.
+        for neg in clause.negs:
+            if self._clause_covered_by(clause, self.normalize(neg), depth - 1):
+                return True
+        # Inconsistent constraint-variable bindings.
+        for formulas in clause.binds.values():
+            for i, left in enumerate(formulas):
+                for right in formulas[i + 1:]:
+                    if self._formulas_disjoint(left, right, depth - 1):
+                        return True
+        return False
+
+    def _clause_covered_by(self, clause: Clause, formula: Formula,
+                           depth: int) -> bool:
+        """Is the clause's structural region inside one formula clause?"""
+        for cover in formula:
+            if self._clause_covers(cover, clause, depth):
+                return True
+        return False
+
+    # -- coverage (subsumption proofs) ---------------------------------
+
+    def _clause_covers(self, general: Clause, specific: Clause,
+                       depth: int) -> bool:
+        """region(specific) ⊆ region(general), definitely?
+
+        Requires ``general`` to be an under-approximating (exact) clause
+        with no opaque refinements; ``specific``'s own negations and
+        refinements only shrink its region, so they may be ignored.
+        """
+        if depth <= 0:
+            return False
+        if not general.exact or general.opaque:
+            return False
+        for atom in general.atoms:
+            if not self._atom_covered(atom, specific, depth):
+                return False
+        for neg in general.negs:
+            # ``specific`` must imply ¬neg: its region disjoint from neg's.
+            if any(structurally_equal(neg, other) for other in specific.negs):
+                continue
+            if not self._formulas_disjoint(self.normalize(neg), [specific],
+                                           depth - 1):
+                return False
+        return True
+
+    def _atom_covered(self, general: Atom, specific: Clause,
+                      depth: int) -> bool:
+        """Do the specific clause's atoms imply the general atom?"""
+        if isinstance(general, TopAtom):
+            cats = set()
+            for atom in specific.atoms:
+                atom_cats = _atom_cats(atom)
+                if atom_cats is not None:
+                    cats = atom_cats if not cats else cats & atom_cats
+                    if cats and cats <= general.cats:
+                        return True
+            return bool(cats) and cats <= general.cats
+        return any(self._atom_covers(general, atom, depth)
+                   for atom in specific.atoms)
+
+    def _atom_covers(self, general: Atom, specific: Atom, depth: int) -> bool:
+        """values(specific) ⊆ values(general), definitely?"""
+        if depth <= 0:
+            return False
+        # A concrete value is decided exactly by the general origin.
+        if isinstance(specific, ExactAtom) and general.origin is not None:
+            return _definitely_accepts(general.origin, specific.value) is True
+        if isinstance(general, TopAtom):
+            specific_cats = _atom_cats(specific)
+            return specific_cats is not None and specific_cats <= general.cats
+        if isinstance(general, AttrAtom) and isinstance(specific, AttrAtom):
+            if general.name != specific.name:
+                return False
+            if general.params is None:
+                return True
+            if specific.params is None or \
+                    len(specific.params) != len(general.params):
+                return False
+            return all(
+                self._formula_covers(gp, sp, depth - 1)
+                for gp, sp in zip(general.params, specific.params)
+            )
+        if isinstance(general, IntAtom):
+            return isinstance(specific, IntAtom) and \
+                (general.width, general.signed) == (specific.width,
+                                                    specific.signed)
+        if isinstance(general, StrAtom):
+            return isinstance(specific, StrAtom)
+        if isinstance(general, FloatAtom):
+            return isinstance(specific, FloatAtom) and \
+                general.width == specific.width
+        if isinstance(general, EnumAtom):
+            return isinstance(specific, EnumAtom) and \
+                general.enum_name == specific.enum_name and \
+                set(specific.ctors) <= set(general.ctors)
+        if isinstance(general, LocationAtom):
+            return isinstance(specific, LocationAtom)
+        if isinstance(general, TypeIdAtom):
+            return isinstance(specific, TypeIdAtom)
+        if isinstance(general, FloatAttrAtom):
+            return isinstance(specific, FloatAttrAtom) and \
+                general.width == specific.width
+        if isinstance(general, IntAttrAtom):
+            return isinstance(specific, IntAttrAtom) and \
+                general.width == specific.width
+        if isinstance(general, WrapperAtom):
+            return isinstance(specific, WrapperAtom) and \
+                general.class_name == specific.class_name
+        if isinstance(general, ArrayAtom) and isinstance(specific, ArrayAtom):
+            if general.elem is not None:
+                if specific.elems is not None:
+                    return all(self._formula_covers(general.elem, sp, depth - 1)
+                               for sp in specific.elems)
+                if specific.elem is not None:
+                    return self._formula_covers(general.elem, specific.elem,
+                                                depth - 1)
+                return False
+            if general.elems is not None and specific.elems is not None:
+                if len(general.elems) != len(specific.elems):
+                    return False
+                return all(self._formula_covers(gp, sp, depth - 1)
+                           for gp, sp in zip(general.elems, specific.elems))
+        return False
+
+    def _formula_covers(self, general: Formula, specific: Formula,
+                        depth: int) -> bool:
+        """Every inhabited clause of ``specific`` covered by ``general``."""
+        if depth <= 0:
+            return False
+        for clause in specific:
+            if self._clause_refuted(clause, depth - 1):
+                continue
+            if not any(self._clause_covers(cover, clause, depth - 1)
+                       for cover in general):
+                return False
+        return True
+
+    # -- disjointness --------------------------------------------------
+
+    def _formulas_disjoint(self, left: Formula, right: Formula,
+                           depth: int) -> bool:
+        if depth <= 0:
+            return False
+        for clause_l in left:
+            for clause_r in right:
+                if not self._clauses_disjoint(clause_l, clause_r, depth):
+                    return False
+        return True
+
+    def _clauses_disjoint(self, left: Clause, right: Clause,
+                          depth: int) -> bool:
+        combined = _combine(left, right)
+        return self._clause_refuted(combined, depth - 1)
+
+    def _atoms_disjoint(self, left: Atom, right: Atom, depth: int) -> bool:
+        """No value satisfies both atoms, definitely?"""
+        if depth <= 0:
+            return False
+        cats_l, cats_r = _atom_cats(left), _atom_cats(right)
+        if cats_l is not None and cats_r is not None and not (cats_l & cats_r):
+            return True
+        if isinstance(left, ExactAtom) and isinstance(right, ExactAtom):
+            try:
+                return left.value != right.value
+            except Exception:
+                return False
+        for exact, other in ((left, right), (right, left)):
+            if isinstance(exact, ExactAtom) and other.origin is not None:
+                return _definitely_accepts(other.origin, exact.value) is False
+        if isinstance(left, IntAtom) and isinstance(right, IntAtom):
+            return (left.width, left.signed) != (right.width, right.signed)
+        if isinstance(left, FloatAtom) and isinstance(right, FloatAtom):
+            return left.width != right.width
+        if isinstance(left, FloatAttrAtom) and isinstance(right, FloatAttrAtom):
+            return left.width != right.width
+        if isinstance(left, IntAttrAtom) and isinstance(right, IntAttrAtom):
+            return left.width != right.width
+        if isinstance(left, WrapperAtom) and isinstance(right, WrapperAtom):
+            return left.class_name != right.class_name
+        if isinstance(left, EnumAtom) and isinstance(right, EnumAtom):
+            if left.enum_name != right.enum_name:
+                return True
+            return not (set(left.ctors) & set(right.ctors))
+        if isinstance(left, AttrAtom) and isinstance(right, AttrAtom):
+            if left.name != right.name:
+                return True
+            if left.params is not None and right.params is not None:
+                if len(left.params) != len(right.params):
+                    return True
+                return any(
+                    self._formulas_disjoint(lp, rp, depth - 1)
+                    for lp, rp in zip(left.params, right.params)
+                )
+            return False
+        if isinstance(left, AttrAtom) and \
+                isinstance(right, (FloatAttrAtom, IntAttrAtom)):
+            return self._attr_vs_builtin_disjoint(left, right)
+        if isinstance(right, AttrAtom) and \
+                isinstance(left, (FloatAttrAtom, IntAttrAtom)):
+            return self._attr_vs_builtin_disjoint(right, left)
+        if isinstance(left, FloatAttrAtom) and isinstance(right, IntAttrAtom):
+            return True
+        if isinstance(left, IntAttrAtom) and isinstance(right, FloatAttrAtom):
+            return True
+        if isinstance(left, ArrayAtom) and isinstance(right, ArrayAtom):
+            if left.elems is not None and right.elems is not None:
+                if len(left.elems) != len(right.elems):
+                    return True
+                return any(self._formulas_disjoint(lp, rp, depth - 1)
+                           for lp, rp in zip(left.elems, right.elems))
+            for fixed, open_ in ((left, right), (right, left)):
+                if fixed.elems is not None and open_.elem is not None \
+                        and fixed.elems:
+                    if any(self._formulas_disjoint(fp, open_.elem, depth - 1)
+                           for fp in fixed.elems):
+                        return True
+            return False
+        return False
+
+    @staticmethod
+    def _attr_vs_builtin_disjoint(attr: AttrAtom, builtin: Atom) -> bool:
+        expected = ("builtin.float_attr" if isinstance(builtin, FloatAttrAtom)
+                    else "builtin.integer_attr")
+        return attr.name != expected
+
+    # -- witness enumeration -------------------------------------------
+
+    def _clause_candidates(self, clause: Clause, depth: int,
+                           limit: int = _MAX_WITNESSES) -> Iterator[Any]:
+        """Deterministic shape-directed candidate values for a clause.
+
+        Candidates are *suggestions*: callers must re-verify against the
+        original constraint, which is what makes SAT proofs exact.
+        """
+        produced = 0
+        atoms = sorted(clause.atoms, key=_atom_specificity) \
+            or [TopAtom(cats=ALL_CATS)]
+        for atom in atoms:
+            for candidate in self._atom_candidates(atom, depth):
+                yield candidate
+                produced += 1
+                if produced >= limit:
+                    return
+
+    def _atom_candidates(self, atom: Atom, depth: int) -> Iterator[Any]:
+        if depth <= 0:
+            return
+        if isinstance(atom, ExactAtom):
+            yield atom.value
+            return
+        if isinstance(atom, IntAtom):
+            low, high = IntegerParam.value_range(atom.width, atom.signed)
+            for value in (0, 1, 2, high, low):
+                yield IntegerParam(value, atom.width, atom.signed)
+            return
+        if isinstance(atom, StrAtom):
+            for text in ("", "a", "witness"):
+                yield StringParam(text)
+            return
+        if isinstance(atom, FloatAtom):
+            for value in (0.0, 1.5, -2.0):
+                yield FloatParam(value, atom.width)
+            return
+        if isinstance(atom, EnumAtom):
+            for ctor in atom.ctors[:8]:
+                yield EnumParam(atom.enum_name, ctor)
+            return
+        if isinstance(atom, LocationAtom):
+            yield LocationParam("witness.mlir", 1, 1)
+            return
+        if isinstance(atom, TypeIdAtom):
+            yield TypeIdParam("witness.TypeId")
+            return
+        if isinstance(atom, WrapperAtom):
+            yield OpaqueParam(atom.class_name, "witness")
+            return
+        if isinstance(atom, FloatAttrAtom):
+            from repro.builtin import FloatAttr, FloatType
+
+            for value in (0.0, 1.5):
+                yield FloatAttr(value, FloatType(atom.width))
+            return
+        if isinstance(atom, IntAttrAtom):
+            from repro.builtin import IntegerAttr, IntegerType, index
+
+            attr_type = index if atom.width is None \
+                else IntegerType(atom.width)
+            for value in (0, 1):
+                yield IntegerAttr(value, attr_type)
+            return
+        if isinstance(atom, ArrayAtom):
+            if atom.elems is not None:
+                pools = [list(self._formula_candidates(f, depth - 1, 4))
+                         for f in atom.elems]
+                if all(pools):
+                    for combo in itertools.islice(itertools.product(*pools),
+                                                  _MAX_COMBOS):
+                        yield ArrayParam(tuple(combo))
+                return
+            yield ArrayParam(())
+            if atom.elem is not None:
+                for value in self._formula_candidates(atom.elem, depth - 1, 2):
+                    yield ArrayParam((value,))
+            return
+        if isinstance(atom, AttrAtom):
+            yield from self._attr_candidates(atom, depth)
+            return
+        if isinstance(atom, TopAtom):
+            yield from self._top_candidates(atom)
+            return
+
+    def _attr_candidates(self, atom: AttrAtom, depth: int) -> Iterator[Any]:
+        params = atom.params
+        if params is None:
+            definition = atom.definition
+            type_def = getattr(definition, "type_def", None)
+            if type_def is not None:
+                params = tuple(self.normalize(p.constraint)
+                               for p in type_def.parameters)
+            elif not getattr(definition, "parameter_names", ()):
+                params = ()
+        produced = False
+        if params is not None:
+            pools = [list(self._formula_candidates(f, depth - 1, 4))
+                     for f in params]
+            if all(pools):
+                for combo in itertools.islice(itertools.product(*pools),
+                                              _MAX_COMBOS):
+                    try:
+                        yield atom.definition.instantiate(list(combo))
+                        produced = True
+                    except Exception:
+                        continue
+        if not produced:
+            # Natively registered definition (no IRDL parameter
+            # constraints to mine, or none that instantiate): fall back
+            # to the builtin value pool.
+            for value in self._top_candidates(TopAtom(cats=frozenset(
+                    {_CAT_TYPE, _CAT_ATTR}))):
+                if attribute_name(value) == atom.name:
+                    yield value
+
+    def _formula_candidates(self, formula: Formula, depth: int,
+                            per_clause: int) -> Iterator[Any]:
+        for clause in formula:
+            yield from self._clause_candidates(clause, depth, per_clause)
+
+    @staticmethod
+    def _top_candidates(atom: TopAtom) -> Iterator[Any]:
+        from repro.builtin import (
+            IntegerAttr, StringAttr, f32, f64, i1, i32, i64, index,
+        )
+
+        if _CAT_TYPE in atom.cats:
+            yield from (i32, f32, i1, i64, f64, index)
+        if _CAT_ATTR in atom.cats:
+            yield StringAttr("witness")
+            yield IntegerAttr(0, i32)
+        if _CAT_INT in atom.cats:
+            yield IntegerParam(0, 32, True)
+            yield IntegerParam(1, 64, True)
+        if _CAT_FLOAT in atom.cats:
+            yield FloatParam(0.0, 64)
+            yield FloatParam(1.5, 32)
+        if _CAT_STRING in atom.cats:
+            yield StringParam("witness")
+        if _CAT_ARRAY in atom.cats:
+            yield ArrayParam(())
+        if _CAT_LOCATION in atom.cats:
+            yield LocationParam("witness.mlir", 1, 1)
+        if _CAT_TYPEID in atom.cats:
+            yield TypeIdParam("witness.TypeId")
+        if _CAT_OPAQUE in atom.cats:
+            yield OpaqueParam("object", "witness")
+
+
+# ---------------------------------------------------------------------------
+# Module-level convenience API (a shared engine with memoization)
+# ---------------------------------------------------------------------------
+
+_DEFAULT_ENGINE = SatEngine()
+
+
+def satisfiable(constraint: Constraint,
+                env: Mapping[str, Constraint] | None = None) -> Verdict:
+    """Three-valued satisfiability using the shared engine."""
+    return _DEFAULT_ENGINE.satisfiable(constraint, env)
+
+
+def find_witness(constraint: Constraint,
+                 env: Mapping[str, Constraint] | None = None) -> Any | None:
+    """A verified concrete witness, or ``None`` when SAT is unproved."""
+    return _DEFAULT_ENGINE.find_witness(constraint, env)
+
+
+def subsumes(a: Constraint, b: Constraint) -> Ternary:
+    """Does every value of ``b`` satisfy ``a``?  (Shared engine.)"""
+    return _DEFAULT_ENGINE.subsumes(a, b)
+
+
+def disjoint(a: Constraint, b: Constraint) -> Ternary:
+    """Can no value satisfy both?  (Shared engine.)"""
+    return _DEFAULT_ENGINE.disjoint(a, b)

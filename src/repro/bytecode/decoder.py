@@ -137,6 +137,7 @@ def _read_sections(reader: Reader) -> dict[int, Reader]:
         enc.SECTION_ATTRS,
         enc.SECTION_OPS,
         enc.SECTION_DIALECTS,
+        enc.SECTION_SUPPRESSIONS,
     )
     skipped = 0
     while not reader.at_end():
@@ -740,6 +741,45 @@ class _DialectReader:
         return decl
 
 
+def _apply_suppressions(
+    reader: Reader, strings: "_StringTable", decls: list[ast.DialectDecl]
+) -> None:
+    """Re-attach ``Suppress`` annotations from their optional section."""
+    count = reader.bounded_varint(reader.remaining + 1, "suppression count")
+    for _ in range(count):
+        dialect_index = reader.varint()
+        kind = reader.varint()
+        index = reader.varint()
+        code = strings.get(reader)
+        if dialect_index >= len(decls):
+            raise reader.error(
+                f"suppression refers to dialect {dialect_index}, "
+                f"artifact has {len(decls)}"
+            )
+        decl = decls[dialect_index]
+        if kind == enc.SUPPRESS_DIALECT:
+            decl.suppressions.append(code)
+            continue
+        pools = {
+            enc.SUPPRESS_TYPE: decl.types,
+            enc.SUPPRESS_ATTRIBUTE: decl.attributes,
+            enc.SUPPRESS_OPERATION: decl.operations,
+        }
+        items = pools.get(kind)
+        if items is None:
+            raise reader.error(f"unknown suppression target kind {kind}")
+        if index >= len(items):
+            raise reader.error(
+                f"suppression refers to declaration {index}, "
+                f"dialect has {len(items)}"
+            )
+        items[index].suppressions.append(code)
+    if not reader.at_end():
+        raise reader.error(
+            f"{reader.remaining} trailing bytes after the last suppression"
+        )
+
+
 @_wrap_errors
 def decode_dialects(
     data: bytes, *, name: str = "<bytecode>"
@@ -768,6 +808,9 @@ def decode_dialects(
             raise body.error(
                 f"{body.remaining} trailing bytes after the last dialect"
             )
+        suppressions = sections.get(enc.SECTION_SUPPRESSIONS)
+        if suppressions is not None:
+            _apply_suppressions(suppressions, strings, decls)
     metrics = OBS.metrics
     if metrics.enabled:
         metrics.counter("bytecode.decode.dialects").inc(len(decls))

@@ -80,6 +80,16 @@ SECTION_STRINGS = 1
 SECTION_ATTRS = 2
 SECTION_OPS = 3
 SECTION_DIALECTS = 4
+#: Optional lint-suppression annotations of a dialects artifact.  Emitted
+#: only when some declaration carries a ``Suppress`` directive, so older
+#: readers (which skip unknown section ids) stay compatible.
+SECTION_SUPPRESSIONS = 5
+
+# Suppression-target kinds (SECTION_SUPPRESSIONS entries).
+SUPPRESS_DIALECT = 0
+SUPPRESS_TYPE = 1
+SUPPRESS_ATTRIBUTE = 2
+SUPPRESS_OPERATION = 3
 
 # ---------------------------------------------------------------------------
 # Attribute-pool entry tags
@@ -614,17 +624,47 @@ def _write_dialect(w: Writer, pools: Pools, decl: ast.DialectDecl) -> None:
         w.varint(pools.string(wrapper.py_printer))
 
 
+def _suppression_entries(
+    decls: Sequence[ast.DialectDecl],
+) -> list[tuple[int, int, int, str]]:
+    entries: list[tuple[int, int, int, str]] = []
+    for dialect_index, decl in enumerate(decls):
+        for code in decl.suppressions:
+            entries.append((dialect_index, SUPPRESS_DIALECT, 0, code))
+        for kind, items in (
+            (SUPPRESS_TYPE, decl.types),
+            (SUPPRESS_ATTRIBUTE, decl.attributes),
+            (SUPPRESS_OPERATION, decl.operations),
+        ):
+            for index, item in enumerate(items):
+                for code in item.suppressions:
+                    entries.append((dialect_index, kind, index, code))
+    return entries
+
+
 def _encode_dialects(decls: Sequence[ast.DialectDecl]) -> bytes:
     pools = Pools()
     body = Writer()
     body.varint(len(decls))
     for decl in decls:
         _write_dialect(body, pools, decl)
+    extra: list[tuple[int, bytes]] = []
+    entries = _suppression_entries(decls)
+    if entries:
+        w = Writer()
+        w.varint(len(entries))
+        for dialect_index, kind, index, code in entries:
+            w.varint(dialect_index)
+            w.varint(kind)
+            w.varint(index)
+            w.varint(pools.string(code))
+        extra.append((SECTION_SUPPRESSIONS, w.getvalue()))
     return _assemble(
         KIND_DIALECTS,
         [
             (SECTION_STRINGS, _strings_payload(pools)),
             (SECTION_DIALECTS, body.getvalue()),
+            *extra,
         ],
     )
 

@@ -139,6 +139,8 @@ class TypeDecl:
     #: Declarative parameter format (§4.7), e.g. ``"$bitwidth x $lanes"``.
     format: str | None = None
     py_constraints: list[str] = field(default_factory=list)
+    #: Lint codes silenced for this definition (``Suppress "code"``).
+    suppressions: list[str] = field(default_factory=list)
     span: Span | None = None
 
 
@@ -158,6 +160,8 @@ class OperationDecl:
     format: str | None = None
     summary: str = ""
     py_constraints: list[str] = field(default_factory=list)
+    #: Lint codes silenced for this operation (``Suppress "code"``).
+    suppressions: list[str] = field(default_factory=list)
     span: Span | None = None
 
     @property
@@ -220,6 +224,8 @@ class DialectDecl:
     enums: list[EnumDecl] = field(default_factory=list)
     constraints: list[ConstraintDecl] = field(default_factory=list)
     param_wrappers: list[ParamWrapperDecl] = field(default_factory=list)
+    #: Lint codes silenced dialect-wide (``Suppress "code"``).
+    suppressions: list[str] = field(default_factory=list)
     span: Span | None = None
 
     def all_decl_names(self) -> list[str]:

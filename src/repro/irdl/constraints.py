@@ -88,6 +88,43 @@ class Constraint:
         """Names of constraint variables occurring in this constraint."""
         return set()
 
+    def children(self) -> tuple["Constraint", ...]:
+        """Immediate sub-constraints, enabling generic tree walks."""
+        return ()
+
+    def _structural_parts(self) -> tuple:
+        """Class-local payload distinguishing this node from its siblings."""
+        return ()
+
+    def structural_key(self) -> tuple:
+        """A hashable key identifying this constraint up to structure.
+
+        Two constraints with equal keys accept exactly the same values:
+        the key combines the node class, its class-local payload, and the
+        keys of its children.  This is the equality the symbolic analysis
+        engine (:mod:`repro.analysis.sat`) reasons with — ``__eq__`` on
+        constraints stays identity-based for use as dictionary keys.
+        """
+        return (
+            type(self).__name__,
+            self._structural_parts(),
+            tuple(child.structural_key() for child in self.children()),
+        )
+
+
+def _hashable(value: Any) -> Any:
+    """A hashable stand-in for an arbitrary expected value."""
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+def structurally_equal(a: Constraint, b: Constraint) -> bool:
+    """Whether two constraint trees are equal up to structure."""
+    return a is b or a.structural_key() == b.structural_key()
+
 
 def _describe(value: Any) -> str:
     if isinstance(value, Attribute):
@@ -169,6 +206,9 @@ class AnyOfConstraint(Constraint):
             names |= alternative.variables()
         return names
 
+    def children(self) -> tuple[Constraint, ...]:
+        return tuple(self.alternatives)
+
     def __repr__(self) -> str:
         return f"AnyOf<{', '.join(map(repr, self.alternatives))}>"
 
@@ -197,6 +237,9 @@ class AndConstraint(Constraint):
             names |= conjunct.variables()
         return names
 
+    def children(self) -> tuple[Constraint, ...]:
+        return tuple(self.conjuncts)
+
     def __repr__(self) -> str:
         return f"And<{', '.join(map(repr, self.conjuncts))}>"
 
@@ -223,6 +266,9 @@ class NotConstraint(Constraint):
 
     def variables(self) -> set[str]:
         return self.inner.variables()
+
+    def children(self) -> tuple[Constraint, ...]:
+        return (self.inner,)
 
     def __repr__(self) -> str:
         return f"Not<{self.inner!r}>"
@@ -261,6 +307,12 @@ class VarConstraint(Constraint):
     def variables(self) -> set[str]:
         return {self.name} | self.base.variables()
 
+    def children(self) -> tuple[Constraint, ...]:
+        return (self.base,)
+
+    def _structural_parts(self) -> tuple:
+        return (self.name,)
+
     def __repr__(self) -> str:
         return f"Var({self.name}: {self.base!r})"
 
@@ -288,6 +340,9 @@ class EqConstraint(Constraint):
     def infer(self, ctx: ConstraintContext) -> Any:
         return self.expected
 
+    def _structural_parts(self) -> tuple:
+        return (_hashable(self.expected),)
+
     def __repr__(self) -> str:
         return f"Eq({_describe(self.expected)})"
 
@@ -309,6 +364,9 @@ class BaseConstraint(Constraint):
                 f"expected a {self.definition.qualified_name}, got "
                 f"{_describe(value)}"
             )
+
+    def _structural_parts(self) -> tuple:
+        return (self.definition.canonical_name,)
 
     def __repr__(self) -> str:
         return f"Base({self.definition.qualified_name})"
@@ -354,6 +412,12 @@ class ParametricConstraint(Constraint):
             names |= constraint.variables()
         return names
 
+    def children(self) -> tuple[Constraint, ...]:
+        return tuple(self.param_constraints)
+
+    def _structural_parts(self) -> tuple:
+        return (self.definition.canonical_name,)
+
     def __repr__(self) -> str:
         inner = ", ".join(map(repr, self.param_constraints))
         return f"{self.definition.qualified_name}<{inner}>"
@@ -384,6 +448,9 @@ class IntTypeConstraint(Constraint):
                 f"expected a {self.type_name} parameter, got {value.type_name}"
             )
 
+    def _structural_parts(self) -> tuple:
+        return (self.bitwidth, self.signed)
+
     def __repr__(self) -> str:
         return self.type_name
 
@@ -402,6 +469,9 @@ class IntLiteralConstraint(Constraint):
 
     def infer(self, ctx: ConstraintContext) -> Any:
         return self.param
+
+    def _structural_parts(self) -> tuple:
+        return (self.param,)
 
     def __repr__(self) -> str:
         return str(self.param)
@@ -433,6 +503,9 @@ class StringLiteralConstraint(Constraint):
     def infer(self, ctx: ConstraintContext) -> Any:
         return StringParam(self.value)
 
+    def _structural_parts(self) -> tuple:
+        return (self.value,)
+
     def __repr__(self) -> str:
         return f'"{self.value}"'
 
@@ -461,6 +534,9 @@ class FloatAttrConstraint(Constraint):
                 f"expected an f{self.bitwidth} float attribute, got one of "
                 f"type {value.type}"
             )
+
+    def _structural_parts(self) -> tuple:
+        return (self.bitwidth,)
 
     def __repr__(self) -> str:
         return f"#f{self.bitwidth}_attr"
@@ -494,6 +570,9 @@ class IntegerAttrConstraint(Constraint):
                 f"{value.type}"
             )
 
+    def _structural_parts(self) -> tuple:
+        return (self.bitwidth,)
+
     def __repr__(self) -> str:
         name = f"i{self.bitwidth}" if self.bitwidth is not None else "index"
         return f"#{name}_attr"
@@ -513,6 +592,9 @@ class AnyFloatConstraint(Constraint):
                 f"expected a float{self.bitwidth}_t parameter, got "
                 f"{_describe(value)}"
             )
+
+    def _structural_parts(self) -> tuple:
+        return (self.bitwidth,)
 
     def __repr__(self) -> str:
         return f"float{self.bitwidth}_t"
@@ -562,6 +644,9 @@ class EnumConstraint(Constraint):
                 f"{self.enum.qualified_name}"
             )
 
+    def _structural_parts(self) -> tuple:
+        return (self.enum.qualified_name, tuple(self.enum.constructors))
+
     def __repr__(self) -> str:
         return f"Enum({self.enum.qualified_name})"
 
@@ -582,6 +667,9 @@ class EnumConstructorConstraint(Constraint):
 
     def infer(self, ctx: ConstraintContext) -> Any:
         return EnumParam(self.enum.qualified_name, self.constructor)
+
+    def _structural_parts(self) -> tuple:
+        return (self.enum.qualified_name, self.constructor)
 
     def __repr__(self) -> str:
         return f"{self.enum.base_name}.{self.constructor}"
@@ -604,6 +692,9 @@ class ArrayAnyConstraint(Constraint):
 
     def variables(self) -> set[str]:
         return self.element.variables()
+
+    def children(self) -> tuple[Constraint, ...]:
+        return (self.element,)
 
     def __repr__(self) -> str:
         return f"array<{self.element!r}>"
@@ -639,6 +730,9 @@ class ArrayExactConstraint(Constraint):
         for element in self.elements:
             names |= element.variables()
         return names
+
+    def children(self) -> tuple[Constraint, ...]:
+        return tuple(self.elements)
 
     def __repr__(self) -> str:
         return "[" + ", ".join(map(repr, self.elements)) + "]"
@@ -676,6 +770,12 @@ class PyConstraint(Constraint):
     def variables(self) -> set[str]:
         return self.base.variables()
 
+    def children(self) -> tuple[Constraint, ...]:
+        return (self.base,)
+
+    def _structural_parts(self) -> tuple:
+        return (self.name, self.code)
+
     def __repr__(self) -> str:
         return f"PyConstraint({self.name})"
 
@@ -693,6 +793,9 @@ class ParamWrapperConstraint(Constraint):
                 f"expected a {self.name} parameter (wrapping "
                 f"{self.class_name}), got {_describe(value)}"
             )
+
+    def _structural_parts(self) -> tuple:
+        return (self.name, self.class_name)
 
     def __repr__(self) -> str:
         return f"TypeOrAttrParam({self.name})"

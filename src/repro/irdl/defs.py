@@ -74,6 +74,8 @@ class TypeDef:
     summary: str = ""
     #: IRDL-Py verifier predicates over the whole type/attribute (§5.1).
     py_constraints: list[str] = field(default_factory=list)
+    #: Lint codes silenced for this definition (``Suppress "code"``).
+    suppressions: list[str] = field(default_factory=list)
 
     @property
     def qualified_name(self) -> str:
@@ -106,6 +108,8 @@ class OpDef:
     summary: str = ""
     #: IRDL-Py global-constraint predicates (§5.1, Figure 11b).
     py_constraints: list[str] = field(default_factory=list)
+    #: Lint codes silenced for this operation (``Suppress "code"``).
+    suppressions: list[str] = field(default_factory=list)
 
     @property
     def qualified_name(self) -> str:
@@ -203,6 +207,8 @@ class DialectDef:
     enums: list[EnumDef] = field(default_factory=list)
     constraints: list[ConstraintDef] = field(default_factory=list)
     param_wrappers: list[ParamWrapperDef] = field(default_factory=list)
+    #: Lint codes silenced dialect-wide (``Suppress "code"``).
+    suppressions: list[str] = field(default_factory=list)
 
     def get_op(self, name: str) -> OpDef | None:
         for op in self.operations:

@@ -706,6 +706,50 @@ def _scan_directives(op_def: OpDef) -> list[Directive]:
     return directives
 
 
+#: Directives that parse an *open-ended* value: numeric attributes and
+#: parameters greedily consume an optional ``: type`` suffix, and
+#: arrays/dictionaries consume arbitrarily nested elements, so the
+#: parser cannot always tell where the value ends and the next format
+#: element begins.
+_OPEN_ENDED = (AttributeDirective, VarParamDirective)
+
+
+def find_format_ambiguities(
+    directives: list[Directive],
+) -> list[tuple[int, str]]:
+    """Positions where a format's parse is not uniquely determined.
+
+    Returns ``(directive_index, reason)`` pairs for two provable
+    ambiguity patterns:
+
+    * an open-ended directive (attribute or ``$var.param``) immediately
+      followed by a ``:`` literal — numeric values greedily consume an
+      optional ``: type`` suffix, so ``42 : i32`` can bind either way;
+    * two adjacent open-ended directives with no separating literal —
+      nothing marks where the first value stops.
+    """
+    problems: list[tuple[int, str]] = []
+    for index in range(len(directives) - 1):
+        directive = directives[index]
+        if not isinstance(directive, _OPEN_ENDED):
+            continue
+        successor = directives[index + 1]
+        if isinstance(successor, LiteralDirective):
+            if successor.text == ":":
+                problems.append((
+                    index,
+                    "an open-ended value followed by ':' is ambiguous — "
+                    "numeric values greedily parse a ': type' suffix",
+                ))
+        elif isinstance(successor, _OPEN_ENDED):
+            problems.append((
+                index,
+                "two adjacent open-ended values have no separating "
+                "literal, so the boundary between them is ambiguous",
+            ))
+    return problems
+
+
 def _param_index(op_def: OpDef, var: str, param: str) -> int:
     var_constraint = op_def.constraint_vars.get(var)
     if var_constraint is None:

@@ -126,6 +126,11 @@ class IRDLParser:
                 decl.constraints.append(self._parse_constraint_decl())
             elif token.text == "TypeOrAttrParam":
                 decl.param_wrappers.append(self._parse_param_wrapper_decl())
+            elif token.text == "Suppress":
+                self.next()
+                decl.suppressions.append(
+                    self.expect(TokenKind.STRING, "lint code string").value
+                )
             else:
                 raise self.error(
                     f"unknown declaration kind {token.text!r}", token
@@ -151,6 +156,10 @@ class IRDLParser:
                 decl.summary = self.expect(TokenKind.STRING, "summary string").value
             elif field.text == "Format":
                 decl.format = self.expect(TokenKind.STRING, "format string").value
+            elif field.text == "Suppress":
+                decl.suppressions.append(
+                    self.expect(TokenKind.STRING, "lint code string").value
+                )
             elif _CODE_SPELLINGS.get(field.text) == "PyConstraint":
                 decl.py_constraints.append(
                     self.expect(TokenKind.STRING, "constraint code string").value
@@ -186,6 +195,10 @@ class IRDLParser:
                 decl.format = self.expect(TokenKind.STRING, "format string").value
             elif field.text == "Summary":
                 decl.summary = self.expect(TokenKind.STRING, "summary string").value
+            elif field.text == "Suppress":
+                decl.suppressions.append(
+                    self.expect(TokenKind.STRING, "lint code string").value
+                )
             elif _CODE_SPELLINGS.get(field.text) == "PyConstraint":
                 decl.py_constraints.append(
                     self.expect(TokenKind.STRING, "constraint code string").value

@@ -34,6 +34,8 @@ class IRDLPrinter:
     def print_dialect(self, decl: ast.DialectDecl) -> None:
         self._line(f"Dialect {decl.name} {{")
         self._indent += 1
+        for code in decl.suppressions:
+            self._line(f'Suppress "{_escape(code)}"')
         for enum in decl.enums:
             self.print_enum(enum)
         for alias in decl.aliases:
@@ -102,6 +104,8 @@ class IRDLPrinter:
             self._line(f'Summary "{decl.summary}"')
         for code in decl.py_constraints:
             self._line(f'PyConstraint "{_escape(code)}"')
+        for code in decl.suppressions:
+            self._line(f'Suppress "{_escape(code)}"')
         self._indent -= 1
         self._line("}")
 
@@ -132,6 +136,8 @@ class IRDLPrinter:
             self._line(f'Summary "{decl.summary}"')
         for code in decl.py_constraints:
             self._line(f'PyConstraint "{_escape(code)}"')
+        for code in decl.suppressions:
+            self._line(f'Suppress "{_escape(code)}"')
         self._indent -= 1
         self._line("}")
 

@@ -389,23 +389,7 @@ def constraint_uses_wrapper(constraint: C.Constraint) -> bool:
 
 
 def _children(constraint: C.Constraint) -> list[C.Constraint]:
-    if isinstance(constraint, C.AnyOfConstraint):
-        return constraint.alternatives
-    if isinstance(constraint, C.AndConstraint):
-        return constraint.conjuncts
-    if isinstance(constraint, C.NotConstraint):
-        return [constraint.inner]
-    if isinstance(constraint, C.VarConstraint):
-        return [constraint.base]
-    if isinstance(constraint, C.ParametricConstraint):
-        return constraint.param_constraints
-    if isinstance(constraint, C.ArrayAnyConstraint):
-        return [constraint.element]
-    if isinstance(constraint, C.ArrayExactConstraint):
-        return constraint.elements
-    if isinstance(constraint, C.PyConstraint):
-        return [constraint.base]
-    return []
+    return list(constraint.children())
 
 
 def classify_param_kind(constraint: C.Constraint, dialect_name: str) -> str:
@@ -460,7 +444,7 @@ def resolve_dialect_body(decl: ast.DialectDecl, scope: Scope) -> DialectDef:
     registered in ``scope.context`` (the instantiation layer does this)
     so that self-references resolve.
     """
-    dialect = DialectDef(decl.name)
+    dialect = DialectDef(decl.name, suppressions=list(decl.suppressions))
 
     for enum_decl in decl.enums:
         dialect.enums.append(
@@ -540,6 +524,7 @@ def _resolve_type_decl(decl: ast.TypeDecl, scope: Scope) -> TypeDef:
         parameters=params,
         summary=decl.summary,
         py_constraints=list(decl.py_constraints),
+        suppressions=list(decl.suppressions),
     )
 
 
@@ -567,6 +552,7 @@ def _resolve_op_decl(decl: ast.OperationDecl, scope: Scope) -> OpDef:
             format=decl.format,
             summary=decl.summary,
             py_constraints=list(decl.py_constraints),
+            suppressions=list(decl.suppressions),
         )
     finally:
         scope.constraint_vars = {}

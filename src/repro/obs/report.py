@@ -61,6 +61,15 @@ INSTRUMENT_CATALOG: dict[str, str] = {
     "bytecode.decode.sections_skipped": "unknown sections skipped "
     "(forward compatibility)",
     "bytecode.decode.time": "wall time decoding bytecode",
+    "analysis.sat.queries": "symbolic engine queries "
+    "(satisfiable/subsumes/disjoint)",
+    "analysis.sat.sat": "constraints decided satisfiable (witnessed)",
+    "analysis.sat.unsat": "constraints decided unsatisfiable",
+    "analysis.sat.unknown": "constraints the engine could not decide",
+    "analysis.sat.witness_checks": "candidate witnesses verified against "
+    "original constraints",
+    "analysis.sat.sampler_fallbacks": "UNKNOWN verdicts handed to the "
+    "random sampler",
 }
 
 

@@ -326,6 +326,52 @@ class DeclarativePattern(RewritePattern):
         return [operands[0].type] * len(template.result_names)
 
 
+def check_pattern(context: Context,
+                  decl: PatternDecl) -> list[tuple[str, str]]:
+    """Static applicability problems of one pattern.
+
+    Returns ``(severity, message)`` pairs: ``"error"`` for patterns
+    that can never apply for structural reasons (unknown operation,
+    operand/result arity that the matcher can never satisfy).  Deeper
+    constraint-level checks live in :mod:`repro.analysis.lints`.
+    """
+    problems: list[tuple[str, str]] = []
+    for template in (*decl.match_ops, *decl.rewrite_ops):
+        binding = context.get_op_def(template.op_name)
+        if binding is None:
+            problems.append((
+                "error", f"unknown operation {template.op_name!r}"
+            ))
+            continue
+        # Arity is only knowable for IRDL-defined operations: natively
+        # registered bindings carry no operand/result declarations.
+        op_def = getattr(binding, "op_def", None)
+        if op_def is None:
+            continue
+        if (
+            not any(o.is_variadic for o in op_def.operands)
+            and len(template.operand_names) != len(op_def.operands)
+        ):
+            problems.append((
+                "error",
+                f"{template.op_name} takes {len(op_def.operands)} "
+                f"operand(s), the pattern supplies "
+                f"{len(template.operand_names)}",
+            ))
+        if (
+            template.result_names
+            and not any(r.is_variadic for r in op_def.results)
+            and len(template.result_names) > len(op_def.results)
+        ):
+            problems.append((
+                "error",
+                f"{template.op_name} produces {len(op_def.results)} "
+                f"result(s), the pattern binds "
+                f"{len(template.result_names)}",
+            ))
+    return problems
+
+
 def parse_patterns(context: Context, text: str,
                    name: str = "<patterns>") -> list[DeclarativePattern]:
     """Parse a pattern file into ready-to-apply rewrite patterns."""

@@ -116,9 +116,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--lint",
+        action="append",
+        default=[],
         metavar="FILE",
         help="lint the dialect definitions of an IRDL file and exit "
-        "(exit code 1 when errors are found)",
+        "(repeatable; with --patterns the pattern files are linted too). "
+        "Exit code: 0 clean, 1 warnings only, 2 any error",
+    )
+    parser.add_argument(
+        "--lint-format",
+        choices=("text", "json"),
+        default="text",
+        help="findings output format for --lint: human-readable text "
+        "(default) or a stable JSON array with "
+        "code/severity/subject/message/loc",
     )
     parser.add_argument(
         "--patterns",
@@ -388,24 +399,61 @@ def render_docs(path: str) -> int:
     return 0
 
 
-def lint_file(path: str) -> int:
+def lint_files(
+    paths: list[str],
+    pattern_paths: list[str] | None = None,
+    output_format: str = "text",
+) -> int:
+    """Lint IRDL files (and optionally pattern files) and report.
+
+    Exit code: 0 when clean (at most notes), 1 when the worst finding
+    is a warning, 2 when any error is found (including files that fail
+    to parse or register).
+    """
+    from repro.analysis.sat import SatEngine
+    from repro.ir.context import Context
     from repro.irdl.instantiate import register_dialect
     from repro.irdl.parser import parse_irdl
-    from repro.tools.lint import lint_dialect, render_findings
+    from repro.tools.lint import (
+        exit_code,
+        findings_to_json,
+        lint_dialect,
+        lint_patterns,
+        render_findings,
+    )
 
-    ctx = default_context()
+    engine = SatEngine()
+    findings = []
     try:
-        with open(path, encoding="utf-8") as handle:
-            decls = parse_irdl(handle.read(), path)
-        findings = []
-        for decl in decls:
-            dialect = register_dialect(ctx, decl)
-            findings.extend(lint_dialect(dialect, decl))
+        parsed = []
+        for path in paths:
+            with open(path, encoding="utf-8") as handle:
+                parsed.append(parse_irdl(handle.read(), path))
+        # Self-contained dialect sets (e.g. the corpus, whose
+        # builtin.irdl redefines the natively-registered builtin
+        # dialect) are linted in a bare context; everything else gets
+        # the default context so builtin types resolve.
+        ctx = default_context()
+        if any(decl.name in ctx.dialects
+               for decls in parsed for decl in decls):
+            ctx = Context()
+        for decls in parsed:
+            for decl in decls:
+                dialect = register_dialect(ctx, decl)
+                findings.extend(lint_dialect(dialect, decl, engine=engine))
+        for path in pattern_paths or []:
+            with open(path, encoding="utf-8") as handle:
+                findings.extend(
+                    lint_patterns(ctx, handle.read(), path, engine=engine)
+                )
     except DiagnosticError as err:
         print(err, file=sys.stderr)
-        return 1
-    print(render_findings(findings), end="")
-    return 1 if any(f.severity == "error" for f in findings) else 0
+        return 2
+    if output_format == "json":
+        print(findings_to_json(findings), end="")
+    else:
+        print(render_findings(findings), end="")
+    return exit_code(findings)
 
 
 def dump_generated(ctx, name: str) -> int:
@@ -460,7 +508,7 @@ def _main(args: argparse.Namespace) -> int:
     if args.doc:
         return render_docs(args.doc)
     if args.lint:
-        return lint_file(args.lint)
+        return lint_files(args.lint, args.patterns, args.lint_format)
     if args.recover_native:
         from repro.irdl.recover import recover_dialect_source
 

@@ -1,208 +1,55 @@
 """An IRDL linter: definition-level diagnostics for dialect authors.
 
-§4 motivates DSLs because definitions "can be analyzed for correctness
-and tool support"; this linter is that analysis.  It inspects resolved
-dialect definitions and reports:
-
-* ``unsatisfiable-constraint`` — an operand/result/attribute/parameter
-  constraint no value can satisfy (checked constructively, by asking the
-  sampler for a witness);
-* ``empty-anyof`` — an ``AnyOf`` with contradictory alternatives;
-* ``unused-alias`` / ``unused-constraint`` / ``unused-wrapper`` — named
-  declarations nothing references;
-* ``segment-attribute-required`` — an operation with several variadic
-  operand/result definitions, whose users must supply
-  ``operand_segment_sizes``/``result_segment_sizes`` (informational);
-* ``duplicate-name`` — two definitions sharing a name;
-* ``missing-summary`` — undocumented public definitions (style).
+This module is the stable CLI-facing surface; the checks themselves
+live in :mod:`repro.analysis.lints`, built on the symbolic constraint
+engine (:mod:`repro.analysis.sat`).  Satisfiability is decided
+symbolically; the random sampler is consulted only when the engine
+answers ``UNKNOWN``, and a missing witness is then reported as
+``possibly-unsatisfiable`` — never as a definite error.  See
+``docs/linting.md`` for the full lint-code catalog.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-
+from repro.analysis.lints import (
+    LINT_CODES,
+    LintFinding,
+    exit_code,
+    findings_to_json,
+    lint_dialect,
+    lint_patterns,
+    render_findings,
+)
+from repro.analysis.sat import SatEngine, Verdict
+from repro.analysis.lints.satisfiability import sampler_witness
 from repro.irdl import constraints as C
-from repro.irdl.ast import DialectDecl, RefExpr
-from repro.irdl.defs import DialectDef
-from repro.irdl.sampler import CannotSample, ConstraintSampler
+
+__all__ = [
+    "LINT_CODES",
+    "LintFinding",
+    "exit_code",
+    "findings_to_json",
+    "lint_dialect",
+    "lint_patterns",
+    "render_findings",
+]
+
+_ENGINE = SatEngine()
 
 
-@dataclass(frozen=True)
-class LintFinding:
-    """One linter diagnostic."""
+def _is_satisfiable(constraint: C.Constraint) -> bool:
+    """Engine-first satisfiability with a sound sampler fallback.
 
-    code: str
-    severity: str  # "error" | "warning" | "note"
-    subject: str   # qualified name of the definition
-    message: str
-
-    def render(self) -> str:
-        return f"{self.severity}[{self.code}] {self.subject}: {self.message}"
-
-
-def _is_satisfiable(constraint: C.Constraint, attempts: int = 8) -> bool:
-    """Constructive satisfiability: can the sampler produce a witness?"""
-    for seed in range(attempts):
-        try:
-            ConstraintSampler(random.Random(seed)).sample(constraint)
-            return True
-        except CannotSample:
-            continue
-        except Exception:
-            return True  # sampling limitation, not unsatisfiability
-    # Some satisfiable constraints are simply not samplable (e.g. Not of
-    # an exotic type); only report definite contradictions.
-    return not _definitely_unsatisfiable(constraint)
-
-
-def _definitely_unsatisfiable(constraint: C.Constraint) -> bool:
-    if isinstance(constraint, C.PyConstraint):
-        # Reached only when rejection sampling exhausted every attempt:
-        # a predicate that rejected hundreds of candidates is reported.
+    The symbolic engine decides first; only when it answers ``UNKNOWN``
+    (opaque ``PyConstraint`` bodies) is the sampler consulted, and there
+    only :class:`~repro.irdl.sampler.CannotSample` counts as "no
+    witness" — any other exception is a real crash and propagates.
+    Satisfiable-but-unsamplable constraints (e.g. ``Not`` of an exotic
+    type) are therefore decided by the engine, not guessed at.
+    """
+    verdict = _ENGINE.satisfiable(constraint)
+    if verdict is Verdict.SAT:
         return True
-    if isinstance(constraint, C.AnyOfConstraint):
-        return all(_definitely_unsatisfiable(a) for a in constraint.alternatives)
-    if isinstance(constraint, C.AndConstraint):
-        # Eq conjuncts with different expectations cannot both hold.
-        expectations = [
-            c.expected for c in constraint.conjuncts
-            if isinstance(c, C.EqConstraint)
-        ]
-        if len({id(type(e)) for e in expectations}) > 1:
-            return True
-        if len(expectations) > 1 and any(
-            e != expectations[0] for e in expectations[1:]
-        ):
-            return True
-        return any(_definitely_unsatisfiable(c) for c in constraint.conjuncts)
-    if isinstance(constraint, C.NotConstraint):
-        inner = constraint.inner
-        return isinstance(inner, (C.AnyTypeConstraint, C.AnyAttrConstraint,
-                                  C.AnyParamConstraint))
-    return False
-
-
-def _collect_names(expr, names: set[str]) -> None:
-    if isinstance(expr, RefExpr):
-        names.add(expr.name)
-        for param in expr.params or ():
-            _collect_names(param, names)
-    elif hasattr(expr, "elements"):
-        for element in expr.elements:
-            _collect_names(element, names)
-
-
-def _referenced_names(decl: DialectDecl) -> set[str]:
-    names: set[str] = set()
-    exprs = []
-    for type_decl in (*decl.types, *decl.attributes):
-        exprs.extend(p.constraint for p in type_decl.parameters)
-    for op in decl.operations:
-        exprs.extend(a.constraint for a in (*op.operands, *op.results,
-                                            *op.attributes))
-        exprs.extend(v.constraint for v in op.constraint_vars)
-        for region in op.regions:
-            exprs.extend(a.constraint for a in region.arguments)
-    for alias in decl.aliases:
-        exprs.append(alias.body)
-    for constraint_decl in decl.constraints:
-        exprs.append(constraint_decl.base)
-    for expr in exprs:
-        _collect_names(expr, names)
-    return names
-
-
-def lint_dialect(dialect: DialectDef,
-                 decl: DialectDecl | None = None) -> list[LintFinding]:
-    """Lint one resolved dialect (optionally with its syntax tree)."""
-    findings: list[LintFinding] = []
-    prefix = dialect.name
-
-    # -- satisfiability -------------------------------------------------
-    for op in dialect.operations:
-        for arg in (*op.operands, *op.results, *op.attributes):
-            if not _is_satisfiable(arg.constraint):
-                findings.append(LintFinding(
-                    "unsatisfiable-constraint", "error", op.qualified_name,
-                    f"no value can satisfy the constraint of {arg.name!r}",
-                ))
-    for type_def in (*dialect.types, *dialect.attributes):
-        for param in type_def.parameters:
-            if not _is_satisfiable(param.constraint):
-                findings.append(LintFinding(
-                    "unsatisfiable-constraint", "error",
-                    type_def.qualified_name,
-                    f"no value can satisfy parameter {param.name!r}",
-                ))
-
-    # -- multi-variadic segments ----------------------------------------
-    for op in dialect.operations:
-        for kind, count in (("operand", op.num_variadic_operands),
-                            ("result", op.num_variadic_results)):
-            if count > 1:
-                findings.append(LintFinding(
-                    "segment-attribute-required", "note", op.qualified_name,
-                    f"{count} variadic {kind} definitions: instances must "
-                    f"carry a {kind}_segment_sizes attribute (§4.6)",
-                ))
-
-    # -- duplicate names --------------------------------------------------
-    seen: dict[str, str] = {}
-    for kind, items in (
-        ("operation", dialect.operations),
-        ("type", dialect.types),
-        ("attribute", dialect.attributes),
-    ):
-        for item in items:
-            key = f"{kind}:{item.name}"
-            if key in seen:
-                findings.append(LintFinding(
-                    "duplicate-name", "error", f"{prefix}.{item.name}",
-                    f"{kind} defined more than once",
-                ))
-            seen[key] = kind
-
-    # -- missing summaries -------------------------------------------------
-    for op in dialect.operations:
-        if not op.summary:
-            findings.append(LintFinding(
-                "missing-summary", "warning", op.qualified_name,
-                "operation has no Summary documentation",
-            ))
-    for type_def in (*dialect.types, *dialect.attributes):
-        if not type_def.summary:
-            findings.append(LintFinding(
-                "missing-summary", "warning", type_def.qualified_name,
-                "definition has no Summary documentation",
-            ))
-
-    # -- unused declarations (needs the syntax tree) -------------------------
-    if decl is not None:
-        used = _referenced_names(decl)
-        for alias in decl.aliases:
-            if alias.name not in used:
-                findings.append(LintFinding(
-                    "unused-alias", "warning", f"{prefix}.{alias.name}",
-                    "alias is never referenced",
-                ))
-        for constraint_decl in decl.constraints:
-            if constraint_decl.name not in used:
-                findings.append(LintFinding(
-                    "unused-constraint", "warning",
-                    f"{prefix}.{constraint_decl.name}",
-                    "named constraint is never referenced",
-                ))
-        for wrapper in decl.param_wrappers:
-            if wrapper.name not in used:
-                findings.append(LintFinding(
-                    "unused-wrapper", "warning", f"{prefix}.{wrapper.name}",
-                    "TypeOrAttrParam is never referenced",
-                ))
-    return findings
-
-
-def render_findings(findings: list[LintFinding]) -> str:
-    if not findings:
-        return "no findings\n"
-    return "\n".join(f.render() for f in findings) + "\n"
+    if verdict is Verdict.UNSAT:
+        return False
+    return sampler_witness(constraint)

@@ -1,0 +1,481 @@
+"""The deep lint suite: every engine-backed code, positive and negative.
+
+Each lint code introduced with the symbolic constraint engine gets at
+least one test that triggers it and one that shows the quiet path, so
+the codes neither rot into dead checks nor fire on healthy dialects.
+The ``Suppress`` annotation mechanism is exercised end to end: parse,
+print, bytecode, and lint filtering.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.lints import (
+    LINT_CODES,
+    LintFinding,
+    exit_code,
+    findings_to_json,
+    lint_dialect,
+    lint_patterns,
+    render_findings,
+)
+from repro.builtin import default_context
+from repro.bytecode import decode_dialects, encode_dialects
+from repro.corpus import cmath_source
+from repro.irdl import register_irdl
+from repro.irdl.instantiate import register_dialect
+from repro.irdl.parser import parse_irdl
+from repro.irdl.printer import print_dialect
+
+
+def lint(text):
+    ctx = default_context()
+    (decl,) = parse_irdl(text)
+    dialect = register_dialect(ctx, decl)
+    return lint_dialect(dialect, decl)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def cmath_context():
+    ctx = default_context()
+    register_irdl(ctx, cmath_source())
+    return ctx
+
+
+class TestContradictoryAnd:
+    def test_positive(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            Operands (a: And<!f32, !f64>)
+            Summary "doc"
+          }
+        }
+        """)
+        found = [f for f in findings if f.code == "contradictory-and"]
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+        # The top-level constraint is also reported as unsatisfiable.
+        assert "unsatisfiable-constraint" in codes(findings)
+
+    def test_negative(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            Operands (a: And<AnyType, !f32>)
+            Summary "doc"
+          }
+        }
+        """)
+        assert "contradictory-and" not in codes(findings)
+
+
+class TestVacuousNot:
+    def test_positive(self):
+        # The negated body is itself unsatisfiable, so the Not accepts
+        # everything — almost certainly not what the author meant.
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            Operands (a: Not<And<!f32, !f64>>)
+            Summary "doc"
+          }
+        }
+        """)
+        found = [f for f in findings if f.code == "vacuous-not"]
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+
+    def test_negative(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            Operands (a: Not<!f32>)
+            Summary "doc"
+          }
+        }
+        """)
+        assert "vacuous-not" not in codes(findings)
+
+
+class TestUnreachableAnyOfAlt:
+    def test_subsumed_alternative(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            Operands (a: AnyOf<AnyType, !f32>)
+            Summary "doc"
+          }
+        }
+        """)
+        found = [f for f in findings if f.code == "unreachable-anyof-alt"]
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+        assert "2" in found[0].message
+
+    def test_unsat_alternative(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            Operands (a: AnyOf<!f32, And<!f32, !f64>>)
+            Summary "doc"
+          }
+        }
+        """)
+        assert "unreachable-anyof-alt" in codes(findings)
+
+    def test_negative(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            Operands (a: AnyOf<!f32, !f64>)
+            Summary "doc"
+          }
+        }
+        """)
+        assert "unreachable-anyof-alt" not in codes(findings)
+
+
+class TestDeadConstraintVar:
+    def test_never_used(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            ConstraintVar (!T: !f32)
+            Operands (a: !f64)
+            Summary "doc"
+          }
+        }
+        """)
+        found = [f for f in findings if f.code == "dead-constraint-var"]
+        assert len(found) == 1
+        assert "never used" in found[0].message
+
+    def test_single_binding_never_read(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            ConstraintVar (!T: AnyType)
+            Operands (a: !T)
+            Summary "doc"
+          }
+        }
+        """)
+        found = [f for f in findings if f.code == "dead-constraint-var"]
+        assert len(found) == 1
+        assert "single position" in found[0].message
+
+    def test_var_linking_positions_is_live(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            ConstraintVar (!T: AnyType)
+            Operands (a: !T)
+            Results (r: !T)
+            Summary "doc"
+          }
+        }
+        """)
+        assert "dead-constraint-var" not in codes(findings)
+
+    def test_var_read_by_format_is_live(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            ConstraintVar (!T: AnyType)
+            Operands (a: !T)
+            Format "$a : $T"
+            Summary "doc"
+          }
+        }
+        """)
+        assert "dead-constraint-var" not in codes(findings)
+
+
+class TestOverlappingOpDefs:
+    TWIN_OPS = """
+    Dialect d {
+      Operation first {
+        Operands (a: !f32)
+        Results (r: !f32)
+        Summary "doc"
+      }
+      Operation second {
+        Operands (a: !f32)
+        Results (r: !f32)
+        Summary "doc"
+      }
+    }
+    """
+
+    def test_positive(self):
+        findings = lint(self.TWIN_OPS)
+        found = [f for f in findings if f.code == "overlapping-op-defs"]
+        assert found, codes(findings)
+        assert all(f.severity == "note" for f in found)
+        assert any("d.second" in f.message or "d.second" == f.subject
+                   for f in found)
+
+    def test_negative_distinct_signatures(self):
+        findings = lint("""
+        Dialect d {
+          Operation first {
+            Operands (a: !f32)
+            Summary "doc"
+          }
+          Operation second {
+            Operands (a: !f64)
+            Summary "doc"
+          }
+        }
+        """)
+        assert "overlapping-op-defs" not in codes(findings)
+
+    def test_negative_merely_overlapping(self):
+        # Overlap without equivalence (AnyType vs !f32) stays quiet: the
+        # note fires only on *provably equivalent* signatures.
+        findings = lint("""
+        Dialect d {
+          Operation first {
+            Operands (a: AnyType)
+            Summary "doc"
+          }
+          Operation second {
+            Operands (a: !f32)
+            Summary "doc"
+          }
+        }
+        """)
+        assert "overlapping-op-defs" not in codes(findings)
+
+
+class TestAmbiguousFormat:
+    def test_attribute_before_colon(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            Attributes (v: #f32_attr)
+            Format "$v : f32"
+            Summary "doc"
+          }
+        }
+        """)
+        found = [f for f in findings if f.code == "ambiguous-format"]
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+
+    def test_adjacent_open_ended(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            Attributes (v: #f32_attr, w: #f32_attr)
+            Format "$v $w"
+            Summary "doc"
+          }
+        }
+        """)
+        assert "ambiguous-format" in codes(findings)
+
+    def test_negative_separated(self):
+        findings = lint("""
+        Dialect d {
+          Operation op {
+            Attributes (v: #f32_attr, w: #f32_attr)
+            Format "$v , $w"
+            Summary "doc"
+          }
+        }
+        """)
+        assert "ambiguous-format" not in codes(findings)
+
+    def test_negative_operand_before_colon(self):
+        # Operands are closed-form (SSA value names); ':' after one is
+        # the classic MLIR trailer and perfectly unambiguous.
+        ctx = cmath_context()
+        from repro.corpus import parse_corpus_decl
+
+        decl = parse_irdl(cmath_source())[0]
+        dialect = ctx.get_dialect("cmath").irdl_def
+        findings = lint_dialect(dialect, decl)
+        assert "ambiguous-format" not in codes(findings)
+
+
+class TestDeadRewritePattern:
+    def test_unknown_operation(self):
+        findings = lint_patterns(cmath_context(), """
+        Pattern p {
+          Match { %r = nosuch.op(%a) }
+          Rewrite { %r = nosuch.op(%a) }
+        }
+        """)
+        found = [f for f in findings if f.code == "dead-rewrite-pattern"]
+        assert found
+        assert all(f.severity == "error" for f in found)
+
+    def test_operand_arity_mismatch(self):
+        findings = lint_patterns(cmath_context(), """
+        Pattern p {
+          Match { %r = cmath.mul(%a) }
+          Rewrite { %r = cmath.mul(%a) }
+        }
+        """)
+        assert "dead-rewrite-pattern" in codes(findings)
+
+    def test_disjoint_producer_consumer(self):
+        # norm produces a float, but norm's operand must be a complex
+        # type — the chain can never match.
+        findings = lint_patterns(cmath_context(), """
+        Pattern p {
+          Match {
+            %n = cmath.norm(%c)
+            %r = cmath.norm(%n)
+          }
+          Rewrite { %r = cmath.norm(%c) }
+        }
+        """)
+        found = [f for f in findings if f.code == "dead-rewrite-pattern"]
+        assert found
+        assert any("disjoint" in f.message for f in found)
+
+    def test_negative_well_formed(self):
+        findings = lint_patterns(cmath_context(), """
+        Pattern ok {
+          Match { %r = cmath.norm(%c) }
+          Rewrite { %r = cmath.norm(%c) }
+        }
+        """)
+        assert "dead-rewrite-pattern" not in codes(findings)
+
+
+class TestSuppress:
+    def test_dialect_level_parse(self):
+        (decl,) = parse_irdl("""
+        Dialect d {
+          Suppress "overlapping-op-defs"
+          Operation op { Summary "doc" }
+        }
+        """)
+        assert decl.suppressions == ["overlapping-op-defs"]
+
+    def test_dialect_level_filters_findings(self):
+        text = TestOverlappingOpDefs.TWIN_OPS.replace(
+            "Dialect d {",
+            'Dialect d {\n  Suppress "overlapping-op-defs"', 1,
+        )
+        assert "overlapping-op-defs" not in codes(lint(text))
+
+    def test_op_level_filters_only_that_op(self):
+        findings = lint("""
+        Dialect d {
+          Operation quiet {
+            Suppress "missing-summary"
+          }
+          Operation loud {}
+        }
+        """)
+        missing = [f for f in findings if f.code == "missing-summary"]
+        assert [f.subject for f in missing] == ["d.loud"]
+
+    def test_print_roundtrip(self):
+        (decl,) = parse_irdl("""
+        Dialect d {
+          Suppress "overlapping-op-defs"
+          Type t {
+            Suppress "missing-summary"
+            Parameters (p: AnyType)
+          }
+          Operation op {
+            Suppress "missing-summary"
+          }
+        }
+        """)
+        text = print_dialect(decl)
+        assert text.count("Suppress") == 3
+        (reparsed,) = parse_irdl(text)
+        assert reparsed.suppressions == ["overlapping-op-defs"]
+        assert reparsed.types[0].suppressions == ["missing-summary"]
+        assert reparsed.operations[0].suppressions == ["missing-summary"]
+
+    def test_bytecode_roundtrip(self):
+        (decl,) = parse_irdl("""
+        Dialect d {
+          Suppress "overlapping-op-defs"
+          Operation op {
+            Suppress "missing-summary"
+          }
+        }
+        """)
+        (decoded,) = decode_dialects(encode_dialects(decl))
+        assert decoded.suppressions == ["overlapping-op-defs"]
+        assert decoded.operations[0].suppressions == ["missing-summary"]
+
+    def test_bytecode_without_suppressions_unchanged(self):
+        # No annotations -> no optional section: the encoding is
+        # byte-identical to what pre-suppression readers expect.
+        (decl,) = parse_irdl('Dialect d { Operation op { Summary "s" } }')
+        (decoded,) = decode_dialects(encode_dialects(decl))
+        assert decoded.suppressions == []
+        assert decoded.operations[0].suppressions == []
+
+
+class TestReportingSurface:
+    def test_every_new_code_is_cataloged(self):
+        for code in (
+            "unreachable-anyof-alt", "contradictory-and", "vacuous-not",
+            "dead-constraint-var", "overlapping-op-defs",
+            "ambiguous-format", "dead-rewrite-pattern",
+            "possibly-unsatisfiable",
+        ):
+            assert code in LINT_CODES
+
+    def test_exit_codes(self):
+        note = LintFinding("segment-attribute-required", "note", "d.op", "m")
+        warning = LintFinding("missing-summary", "warning", "d.op", "m")
+        error = LintFinding("unsatisfiable-constraint", "error", "d.op", "m")
+        assert exit_code([]) == 0
+        assert exit_code([note]) == 0
+        assert exit_code([note, warning]) == 1
+        assert exit_code([note, warning, error]) == 2
+
+    def test_findings_to_json(self):
+        finding = LintFinding(
+            "missing-summary", "warning", "d.op", "msg", loc="x.irdl:3"
+        )
+        payload = json.loads(findings_to_json([finding]))
+        assert payload == [{
+            "code": "missing-summary",
+            "severity": "warning",
+            "subject": "d.op",
+            "message": "msg",
+            "loc": "x.irdl:3",
+        }]
+        assert json.loads(findings_to_json([])) == []
+
+    def test_render_with_loc(self):
+        finding = LintFinding(
+            "missing-summary", "warning", "d.op", "msg", loc="x.irdl:3"
+        )
+        assert finding.render() == (
+            "warning[missing-summary] d.op: msg (x.irdl:3)"
+        )
+
+    def test_findings_sorted_errors_first(self):
+        findings = lint("""
+        Dialect d {
+          Operation bad {
+            Operands (a: And<!f32, !f64>)
+          }
+        }
+        """)
+        severities = [f.severity for f in findings]
+        assert severities == sorted(
+            severities, key=("error", "warning", "note").index
+        )
+        assert "unsatisfiable-constraint" in codes(findings)
+        assert "missing-summary" in codes(findings)

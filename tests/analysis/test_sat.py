@@ -1,0 +1,234 @@
+"""The symbolic constraint engine: three-valued decisions with proofs.
+
+Soundness contract under test:
+
+* ``UNSAT`` is only answered when every clause of the normal form is
+  refuted — so a sampler witness for an ``UNSAT`` constraint would be a
+  bug (the differential suite hammers this);
+* ``SAT`` is always backed by a concrete witness verified against the
+  *original* constraint;
+* opaque bodies (``PyConstraint`` predicates the engine cannot read)
+  yield ``UNKNOWN``, never a guess.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sat import (
+    SatEngine,
+    Ternary,
+    Verdict,
+    disjoint,
+    find_witness,
+    satisfiable,
+    subsumes,
+)
+from repro.builtin import f32, f64, i1, i32, i64
+from repro.ir.params import IntegerParam, StringParam
+from repro.irdl import constraints as C
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SatEngine()
+
+
+def int_t(width, signed=True):
+    return C.IntTypeConstraint(width, signed)
+
+
+class TestSatisfiable:
+    def test_any_constraints_sat(self, engine):
+        for c in (C.AnyTypeConstraint(), C.AnyAttrConstraint(),
+                  C.AnyParamConstraint(), C.AnyStringConstraint()):
+            assert engine.satisfiable(c) is Verdict.SAT
+
+    def test_contradictory_widths_unsat(self, engine):
+        c = C.AndConstraint([int_t(32), int_t(64)])
+        assert engine.satisfiable(c) is Verdict.UNSAT
+
+    def test_conflicting_eq_unsat(self, engine):
+        c = C.AndConstraint([C.EqConstraint(f32), C.EqConstraint(i32)])
+        assert engine.satisfiable(c) is Verdict.UNSAT
+
+    def test_eq_and_its_negation_unsat(self, engine):
+        c = C.AndConstraint([
+            C.EqConstraint(i32), C.NotConstraint(C.EqConstraint(i32)),
+        ])
+        assert engine.satisfiable(c) is Verdict.UNSAT
+
+    def test_category_and_its_negation_unsat(self, engine):
+        c = C.AndConstraint([
+            C.AnyStringConstraint(),
+            C.NotConstraint(C.AnyStringConstraint()),
+        ])
+        assert engine.satisfiable(c) is Verdict.UNSAT
+
+    def test_empty_anyof_unsat(self, engine):
+        assert engine.satisfiable(C.AnyOfConstraint([])) is Verdict.UNSAT
+
+    def test_not_of_everything_unsat(self, engine):
+        c = C.NotConstraint(C.AnyParamConstraint())
+        assert engine.satisfiable(c) is Verdict.UNSAT
+
+    def test_not_of_anytype_is_sat(self, engine):
+        # Types are not the whole value domain: a string parameter is a
+        # fine witness for "not a type".
+        verdict, witness = engine.satisfiable_with_witness(
+            C.NotConstraint(C.AnyTypeConstraint())
+        )
+        assert verdict is Verdict.SAT
+        assert witness is not None
+
+    def test_opaque_predicate_unknown(self, engine):
+        c = C.PyConstraint("never", C.AnyParamConstraint(), "False  # opaque")
+        assert engine.satisfiable(c) is Verdict.UNKNOWN
+
+    def test_opaque_predicate_with_witness_sat(self, engine):
+        c = C.PyConstraint(
+            "even", C.IntLiteralConstraint(0), "$_self % 2 == 0"
+        )
+        assert engine.satisfiable(c) is Verdict.SAT
+
+    def test_module_level_helpers(self):
+        assert satisfiable(C.AnyTypeConstraint()) is Verdict.SAT
+        assert find_witness(C.IntLiteralConstraint(7)) == IntegerParam(7)
+
+
+class TestWitnesses:
+    def test_witness_verifies_against_original(self, engine):
+        cases = [
+            C.AnyOfConstraint([C.EqConstraint(f32), C.EqConstraint(i64)]),
+            C.AndConstraint([C.AnyTypeConstraint(),
+                             C.NotConstraint(C.EqConstraint(f32))]),
+            C.IntTypeConstraint(8, False),
+            C.StringLiteralConstraint("hello"),
+            C.ArrayAnyConstraint(C.IntTypeConstraint(32, True)),
+        ]
+        for constraint in cases:
+            verdict, witness = engine.satisfiable_with_witness(constraint)
+            assert verdict is Verdict.SAT, constraint
+            constraint.verify(witness, C.ConstraintContext())
+
+    def test_int_literal_witness_exact(self, engine):
+        witness = engine.find_witness(C.IntLiteralConstraint(42, 8, True))
+        assert witness == IntegerParam(42, 8, True)
+
+    def test_string_literal_witness_exact(self, engine):
+        witness = engine.find_witness(C.StringLiteralConstraint("abc"))
+        assert witness == StringParam("abc")
+
+
+class TestSubsumes:
+    def test_reflexive(self, engine):
+        c = C.AnyOfConstraint([C.EqConstraint(f32), C.EqConstraint(i32)])
+        assert engine.subsumes(c, c) is Ternary.TRUE
+
+    def test_anyof_subsumes_member(self, engine):
+        general = C.AnyOfConstraint([C.EqConstraint(f32),
+                                     C.EqConstraint(i32)])
+        assert engine.subsumes(general, C.EqConstraint(f32)) is Ternary.TRUE
+
+    def test_member_does_not_subsume_anyof(self, engine):
+        general = C.AnyOfConstraint([C.EqConstraint(f32),
+                                     C.EqConstraint(i32)])
+        assert engine.subsumes(C.EqConstraint(f32), general) is Ternary.FALSE
+
+    def test_anytype_subsumes_width(self, engine):
+        assert engine.subsumes(
+            C.AnyTypeConstraint(), C.EqConstraint(i1)
+        ) is Ternary.TRUE
+
+    def test_negation_subsumes_other_category(self, engine):
+        # "not a string" covers every integer type.
+        assert engine.subsumes(
+            C.NotConstraint(C.AnyStringConstraint()), int_t(32)
+        ) is Ternary.TRUE
+
+    def test_disjoint_categories_not_subsuming(self, engine):
+        assert engine.subsumes(
+            C.AnyStringConstraint(), int_t(32)
+        ) is Ternary.FALSE
+
+    def test_module_level_helper(self):
+        assert subsumes(
+            C.AnyParamConstraint(), C.AnyStringConstraint()
+        ) is Ternary.TRUE
+
+
+class TestDisjoint:
+    def test_different_widths_disjoint(self, engine):
+        assert engine.disjoint(int_t(32), int_t(64)) is Ternary.TRUE
+
+    def test_same_constraint_not_disjoint(self, engine):
+        assert engine.disjoint(int_t(32), int_t(32)) is Ternary.FALSE
+
+    def test_eq_vs_eq(self, engine):
+        assert engine.disjoint(
+            C.EqConstraint(f32), C.EqConstraint(f64)
+        ) is Ternary.TRUE
+        assert engine.disjoint(
+            C.EqConstraint(f32), C.EqConstraint(f32)
+        ) is Ternary.FALSE
+
+    def test_category_split_disjoint(self, engine):
+        assert engine.disjoint(
+            C.AnyStringConstraint(), C.AnyTypeConstraint()
+        ) is Ternary.TRUE
+
+    def test_overlapping_anyofs(self, engine):
+        a = C.AnyOfConstraint([C.EqConstraint(f32), C.EqConstraint(i32)])
+        b = C.AnyOfConstraint([C.EqConstraint(i32), C.EqConstraint(i64)])
+        assert engine.disjoint(a, b) is Ternary.FALSE
+
+    def test_module_level_helper(self):
+        assert disjoint(
+            C.StringLiteralConstraint("a"), C.StringLiteralConstraint("b")
+        ) is Ternary.TRUE
+
+
+class TestSequences:
+    def test_consistent_var_sequence_sat(self, engine):
+        var = C.VarConstraint("T", C.AnyTypeConstraint())
+        assert engine.sequence_satisfiable([var, var]) is Verdict.SAT
+
+    def test_unsat_position_fails_sequence(self, engine):
+        bad = C.AndConstraint([int_t(32), int_t(64)])
+        assert engine.sequence_satisfiable(
+            [C.AnyTypeConstraint(), bad]
+        ) is Verdict.UNSAT
+
+    def test_signatures_overlap_on_shared_type(self, engine):
+        sig_a = [C.EqConstraint(i32), C.AnyTypeConstraint()]
+        sig_b = [C.AnyTypeConstraint(), C.EqConstraint(i32)]
+        assert engine.signatures_overlap(sig_a, sig_b) is Ternary.TRUE
+
+    def test_signatures_disjoint_position(self, engine):
+        sig_a = [C.EqConstraint(i32)]
+        sig_b = [C.EqConstraint(f32)]
+        assert engine.signatures_overlap(sig_a, sig_b) is Ternary.FALSE
+
+    def test_signatures_length_mismatch(self, engine):
+        assert engine.signatures_overlap(
+            [C.AnyTypeConstraint()], []
+        ) is Ternary.FALSE
+
+
+class TestStructuralHelpers:
+    def test_structural_equality(self):
+        a = C.AnyOfConstraint([C.EqConstraint(f32), int_t(32)])
+        b = C.AnyOfConstraint([C.EqConstraint(f32), int_t(32)])
+        assert C.structurally_equal(a, b)
+        assert a.structural_key() == b.structural_key()
+
+    def test_structural_difference(self):
+        a = C.AnyOfConstraint([C.EqConstraint(f32)])
+        b = C.AnyOfConstraint([C.EqConstraint(f64)])
+        assert not C.structurally_equal(a, b)
+
+    def test_children_accessor(self):
+        inner = C.EqConstraint(f32)
+        assert C.NotConstraint(inner).children() == (inner,)
+        assert C.AndConstraint([inner, inner]).children() == (inner, inner)
+        assert inner.children() == ()

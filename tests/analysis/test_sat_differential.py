@@ -1,0 +1,159 @@
+"""Differential soundness harness: symbolic engine vs. random sampler.
+
+Hypothesis builds random constraint trees from the IRDL connective
+grammar (``AnyOf`` / ``And`` / ``Not`` over concrete leaves) and checks
+the engine's three-valued verdicts against concrete evidence:
+
+* ``SAT`` must come with a witness that the *original* constraint's own
+  ``verify`` accepts;
+* ``UNSAT`` must reject every value in a 200-strong sampled pool, and
+  the random sampler itself must fail to produce a witness;
+* ``subsumes(a, b) == TRUE`` means every sampled witness of ``b`` also
+  satisfies ``a``.
+
+Any counterexample here is an engine soundness bug, not a flaky test.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sat import SatEngine, Ternary, Verdict
+from repro.builtin import f32, f64, i1, i32, i64
+from repro.irdl import constraints as C
+from repro.irdl.constraints import ConstraintContext, VerifyError
+from repro.irdl.sampler import CannotSample, sample
+
+ENGINE = SatEngine()
+
+_LEAF_BUILDERS = (
+    lambda: C.AnyTypeConstraint(),
+    lambda: C.AnyParamConstraint(),
+    lambda: C.AnyStringConstraint(),
+    lambda: C.EqConstraint(i1),
+    lambda: C.EqConstraint(i32),
+    lambda: C.EqConstraint(i64),
+    lambda: C.EqConstraint(f32),
+    lambda: C.EqConstraint(f64),
+    lambda: C.IntTypeConstraint(8, True),
+    lambda: C.IntTypeConstraint(32, True),
+    lambda: C.IntTypeConstraint(32, False),
+    lambda: C.IntTypeConstraint(64, True),
+    lambda: C.IntLiteralConstraint(0),
+    lambda: C.IntLiteralConstraint(7),
+    lambda: C.StringLiteralConstraint("a"),
+    lambda: C.StringLiteralConstraint("b"),
+)
+
+_leaves = st.sampled_from(_LEAF_BUILDERS).map(lambda build: build())
+
+constraint_trees = st.recursive(
+    _leaves,
+    lambda inner: st.one_of(
+        st.lists(inner, min_size=1, max_size=3).map(C.AnyOfConstraint),
+        st.lists(inner, min_size=1, max_size=3).map(C.AndConstraint),
+        inner.map(C.NotConstraint),
+    ),
+    max_leaves=8,
+)
+
+
+def _build_value_pool() -> list:
+    """~200 concrete values spanning every value category the leaves
+    talk about — the rejection jury for ``UNSAT`` verdicts."""
+    pool = []
+    sources = [
+        C.AnyTypeConstraint(),
+        C.AnyParamConstraint(),
+        C.AnyStringConstraint(),
+        C.IntTypeConstraint(8, True),
+        C.IntTypeConstraint(32, True),
+        C.IntTypeConstraint(32, False),
+        C.IntTypeConstraint(64, True),
+        C.ArrayAnyConstraint(C.AnyTypeConstraint()),
+        C.FloatAttrConstraint(32),
+        C.IntegerAttrConstraint(32),
+    ]
+    for constraint in sources:
+        for seed in range(20):
+            try:
+                pool.append(sample(constraint, seed))
+            except CannotSample:
+                continue
+    for value in (i1, i32, i64, f32, f64):
+        pool.append(value)
+    for literal in (0, 1, 7, -1, 255):
+        pool.append(C.IntLiteralConstraint(literal).param)
+    return pool
+
+
+VALUE_POOL = _build_value_pool()
+
+
+def test_value_pool_is_a_real_jury():
+    assert len(VALUE_POOL) >= 200
+
+
+def _accepts(constraint: C.Constraint, value) -> bool:
+    try:
+        constraint.verify(value, ConstraintContext())
+    except VerifyError:
+        return False
+    return True
+
+
+@settings(max_examples=120, deadline=None)
+@given(constraint_trees)
+def test_sat_verdicts_are_witnessed(constraint):
+    verdict, witness = ENGINE.satisfiable_with_witness(constraint)
+    if verdict is Verdict.SAT:
+        # The engine's own witness must survive the original verifier.
+        constraint.verify(witness, ConstraintContext())
+
+
+@settings(max_examples=120, deadline=None)
+@given(constraint_trees)
+def test_unsat_verdicts_reject_the_pool(constraint):
+    if ENGINE.satisfiable(constraint) is not Verdict.UNSAT:
+        return
+    accepted = [v for v in VALUE_POOL if _accepts(constraint, v)]
+    assert accepted == [], (
+        f"engine said UNSAT for {constraint!r} but the pool holds "
+        f"witnesses: {accepted[:3]!r}"
+    )
+    # The random sampler must agree: no seed yields a verified witness.
+    for seed in range(5):
+        with pytest.raises((CannotSample, VerifyError)):
+            sample(constraint, seed)
+
+
+@settings(max_examples=120, deadline=None)
+@given(constraint_trees, constraint_trees)
+def test_subsumption_transfers_witnesses(a, b):
+    if ENGINE.subsumes(a, b) is not Ternary.TRUE:
+        return
+    for seed in range(20):
+        try:
+            witness = sample(b, seed)
+        except CannotSample:
+            continue
+        assert _accepts(a, witness), (
+            f"subsumes({a!r}, {b!r}) is TRUE but sampled witness "
+            f"{witness!r} of b violates a"
+        )
+
+
+@settings(max_examples=120, deadline=None)
+@given(constraint_trees, constraint_trees)
+def test_disjoint_means_no_shared_witness(a, b):
+    if ENGINE.disjoint(a, b) is not Ternary.TRUE:
+        return
+    shared = [
+        v for v in VALUE_POOL if _accepts(a, v) and _accepts(b, v)
+    ]
+    assert shared == [], (
+        f"disjoint({a!r}, {b!r}) is TRUE but the pool holds shared "
+        f"witnesses: {shared[:3]!r}"
+    )

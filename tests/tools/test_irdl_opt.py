@@ -474,6 +474,118 @@ class TestBytecodeEmission:
         assert "cannot read" in capsys.readouterr().err
 
 
+class TestLintCli:
+    """``--lint`` exit codes: 0 clean, 1 warnings only, 2 any error."""
+
+    def write_irdl(self, tmp_path, text, name="d.irdl"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_clean_file_exits_zero(self, tmp_path, cmath_irdl, capsys):
+        exit_code = main(["--lint", cmath_irdl])
+        assert exit_code == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_warnings_only_exit_one(self, tmp_path, capsys):
+        path = self.write_irdl(
+            tmp_path, "Dialect d { Operation quiet {} }"
+        )
+        exit_code = main(["--lint", path])
+        assert exit_code == 1
+        out = capsys.readouterr().out
+        assert "warning[missing-summary]" in out
+
+    def test_errors_exit_two(self, tmp_path, capsys):
+        path = self.write_irdl(tmp_path, """
+        Dialect d {
+          Operation op {
+            Operands (a: And<!f32, !f64>)
+            Summary "doc"
+          }
+        }
+        """)
+        exit_code = main(["--lint", path])
+        assert exit_code == 2
+        assert "error[unsatisfiable-constraint]" in capsys.readouterr().out
+
+    def test_notes_only_still_clean(self, tmp_path):
+        path = self.write_irdl(tmp_path, """
+        Dialect d {
+          Operation op {
+            Operands (xs: Variadic<!f32>, ys: Variadic<!f32>)
+            Summary "doc"
+          }
+        }
+        """)
+        assert main(["--lint", path]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        path = self.write_irdl(
+            tmp_path, "Dialect d { Operation quiet {} }"
+        )
+        exit_code = main(["--lint", path, "--lint-format=json"])
+        assert exit_code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and payload
+        finding = payload[0]
+        assert set(finding) == {
+            "code", "severity", "subject", "message", "loc",
+        }
+        assert finding["code"] == "missing-summary"
+        assert finding["subject"] == "d.quiet"
+
+    def test_json_output_clean_is_empty_list(self, tmp_path, cmath_irdl,
+                                             capsys):
+        import json
+
+        exit_code = main(["--lint", cmath_irdl, "--lint-format=json"])
+        assert exit_code == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_multiple_files_worst_exit_wins(self, tmp_path, cmath_irdl,
+                                            capsys):
+        warn = self.write_irdl(
+            tmp_path, "Dialect w { Operation quiet {} }", "w.irdl"
+        )
+        exit_code = main(["--lint", cmath_irdl, "--lint", warn])
+        assert exit_code == 1
+
+    def test_lint_with_patterns(self, tmp_path, cmath_irdl, capsys):
+        pattern_file = tmp_path / "dead.pattern"
+        pattern_file.write_text("""
+        Pattern p {
+          Match { %r = nosuch.op(%a) }
+          Rewrite { %r = nosuch.op(%a) }
+        }
+        """)
+        exit_code = main([
+            "--lint", cmath_irdl, "--patterns", str(pattern_file),
+        ])
+        assert exit_code == 2
+        assert "dead-rewrite-pattern" in capsys.readouterr().out
+
+    def test_unparsable_file_exits_two(self, tmp_path, capsys):
+        path = self.write_irdl(tmp_path, "Dialect { }")
+        exit_code = main(["--lint", path])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_suppressed_findings_drop_out(self, tmp_path, capsys):
+        path = self.write_irdl(tmp_path, """
+        Dialect d {
+          Operation quiet {
+            Suppress "missing-summary"
+          }
+        }
+        """)
+        exit_code = main(["--lint", path])
+        assert exit_code == 0
+        assert "no findings" in capsys.readouterr().out
+
+
 class TestCompileIrdl:
     def test_compile_and_load(self, tmp_path, cmath_irdl, capsys):
         compiled = tmp_path / "cmath.irbc"

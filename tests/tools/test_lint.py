@@ -55,13 +55,32 @@ class TestSatisfiability:
         assert "unsatisfiable-constraint" not in codes(findings)
 
     def test_false_predicate_reported(self):
+        # An opaque predicate is UNKNOWN to the engine; with no sampler
+        # witness it is a *possible* problem, never a definite error.
         findings = lint("""
         Dialect d {
           Constraint Impossible : uint32_t { PyConstraint "False" Summary "s" }
           Operation op { Attributes (a: Impossible) Summary "doc" }
         }
         """)
-        assert "unsatisfiable-constraint" in codes(findings)
+        assert "possibly-unsatisfiable" in codes(findings)
+        assert "unsatisfiable-constraint" not in codes(findings)
+
+    def test_not_of_exotic_type_is_not_flagged(self):
+        # Regression for the sampler false-confidence path: Not of an
+        # exotic (unsamplable) type is satisfiable — the engine proves
+        # it with a witness from another value category, so no finding.
+        findings = lint("""
+        Dialect d {
+          Type exotic { Parameters (p: AnyType) Summary "doc" }
+          Operation op {
+            Attributes (a: Not<!exotic<!f32>>)
+            Summary "doc"
+          }
+        }
+        """)
+        assert "unsatisfiable-constraint" not in codes(findings)
+        assert "possibly-unsatisfiable" not in codes(findings)
 
 
 class TestStructuralLints:
