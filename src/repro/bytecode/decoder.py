@@ -56,6 +56,7 @@ from repro.bytecode.wire import (
 from repro.ir.attributes import Attribute, TypeAttribute
 from repro.ir.block import Block
 from repro.ir.context import Context
+from repro.ir.location import FileLineColLoc, FusedLoc, Location
 from repro.ir.operation import Operation
 from repro.ir.params import (
     ArrayParam,
@@ -138,6 +139,7 @@ def _read_sections(reader: Reader) -> dict[int, Reader]:
         enc.SECTION_OPS,
         enc.SECTION_DIALECTS,
         enc.SECTION_SUPPRESSIONS,
+        enc.SECTION_LOCATIONS,
     )
     skipped = 0
     while not reader.at_end():
@@ -525,6 +527,48 @@ class _ModuleReader:
         return region
 
 
+def _apply_locations(
+    reader: Reader, strings: _StringTable, root: Operation
+) -> None:
+    """Re-attach op locations from their optional section.
+
+    The pool is decoded in one forward pass (fused entries may only
+    reference earlier slots); the sparse mapping then patches ops by
+    their ``walk()`` pre-order index — the order the encoder used.
+    """
+    pool: list[Location] = []
+    count = reader.bounded_varint(reader.remaining + 1, "location count")
+    for _ in range(count):
+        tag = reader.varint()
+        if tag == enc.LOC_FILE:
+            filename = strings.get(reader)
+            line = reader.varint()
+            pool.append(FileLineColLoc(filename, line, reader.varint()))
+        elif tag == enc.LOC_FUSED:
+            arity = reader.bounded_varint(
+                reader.remaining + 1, "fused location arity"
+            )
+            parts = []
+            for _ in range(arity):
+                ref = reader.bounded_varint(len(pool), "location reference")
+                parts.append(pool[ref])
+            pool.append(FusedLoc(parts))
+        else:
+            raise reader.error(f"unknown location pool tag {tag}")
+    ops = list(root.walk())
+    mapping_count = reader.bounded_varint(
+        reader.remaining + 1, "location mapping count"
+    )
+    for _ in range(mapping_count):
+        op_index = reader.bounded_varint(len(ops), "location op index")
+        ref = reader.bounded_varint(len(pool), "location reference")
+        ops[op_index].location = pool[ref]
+    if not reader.at_end():
+        raise reader.error(
+            f"{reader.remaining} trailing bytes after the last location"
+        )
+
+
 @_wrap_errors
 def decode_module(
     context: Context, data: bytes, *, name: str = "<bytecode>"
@@ -553,6 +597,9 @@ def decode_module(
         root = module_reader.read(
             _require_section(sections, enc.SECTION_OPS, "op", name)
         )
+        locations = sections.get(enc.SECTION_LOCATIONS)
+        if locations is not None:
+            _apply_locations(locations, strings, root)
     metrics = OBS.metrics
     if metrics.enabled:
         metrics.counter("bytecode.decode.modules").inc()

@@ -55,6 +55,7 @@ from repro.bytecode.wire import (
     Writer,
 )
 from repro.ir.attributes import Attribute, DynamicParametrizedAttribute
+from repro.ir.location import FileLineColLoc, FusedLoc, Location
 from repro.ir.operation import Operation
 from repro.ir.params import (
     ArrayParam,
@@ -84,6 +85,15 @@ SECTION_DIALECTS = 4
 #: only when some declaration carries a ``Suppress`` directive, so older
 #: readers (which skip unknown section ids) stay compatible.
 SECTION_SUPPRESSIONS = 5
+#: Optional op-location provenance of a module artifact: a pool of
+#: locations plus a sparse (op pre-order index → pool ref) mapping.
+#: Emitted only when some op carries a known location, so location-free
+#: modules stay byte-identical to artifacts from older encoders.
+SECTION_LOCATIONS = 6
+
+# Location pool entry tags (SECTION_LOCATIONS).
+LOC_FILE = 1
+LOC_FUSED = 2
 
 # Suppression-target kinds (SECTION_SUPPRESSIONS entries).
 SUPPRESS_DIALECT = 0
@@ -451,20 +461,76 @@ def _write_op(
                 _write_op(w, inner, pools, values, inner_ids)
 
 
+def _locations_payload(root: Operation, pools: Pools) -> bytes | None:
+    """The optional location section of a module artifact.
+
+    A pool of location entries (fused entries reference earlier pool
+    slots, so the pool is acyclic like the attribute pool) followed by a
+    sparse mapping from op pre-order index — the order :func:`_write_op`
+    emits ops, which is ``Operation.walk()`` — to a pool slot.  Returns
+    ``None`` when every op's location is unknown."""
+    pool_entries: list[bytes] = []
+    pool_ids: dict[Location, int] = {}
+
+    def pool_ref(loc: Location) -> int:
+        index = pool_ids.get(loc)
+        if index is not None:
+            return index
+        w = Writer()
+        if isinstance(loc, FileLineColLoc):
+            w.varint(LOC_FILE)
+            w.varint(pools.string(loc.filename))
+            w.varint(loc.line)
+            w.varint(loc.col)
+        elif isinstance(loc, FusedLoc):
+            refs = [pool_ref(part) for part in loc.locations]
+            w.varint(LOC_FUSED)
+            w.varint(len(refs))
+            for ref in refs:
+                w.varint(ref)
+        else:
+            raise BytecodeError(
+                f"cannot encode location class {type(loc).__qualname__}"
+            )
+        index = len(pool_entries)
+        pool_entries.append(w.getvalue())
+        pool_ids[loc] = index
+        return index
+
+    mapping: list[tuple[int, int]] = []
+    for op_index, op in enumerate(root.walk()):
+        location = op.location
+        if location.is_unknown:
+            continue
+        mapping.append((op_index, pool_ref(location)))
+    if not mapping:
+        return None
+    w = Writer()
+    w.varint(len(pool_entries))
+    for entry in pool_entries:
+        w.raw(entry)
+    w.varint(len(mapping))
+    for op_index, ref in mapping:
+        w.varint(op_index)
+        w.varint(ref)
+    return w.getvalue()
+
+
 def _encode_module(root: Operation) -> bytes:
     pools = Pools()
     values = _number_values(root)
     ops = Writer()
     ops.varint(len(values))
     _write_op(ops, root, pools, values, {})
-    return _assemble(
-        KIND_MODULE,
-        [
-            (SECTION_STRINGS, _strings_payload(pools)),
-            (SECTION_ATTRS, _attrs_payload(pools)),
-            (SECTION_OPS, ops.getvalue()),
-        ],
-    )
+    locations = _locations_payload(root, pools)
+    sections = [
+        (SECTION_STRINGS, _strings_payload(pools)),
+        (SECTION_ATTRS, _attrs_payload(pools)),
+        (SECTION_OPS, ops.getvalue()),
+    ]
+    if locations is not None:
+        sections.append((SECTION_LOCATIONS, locations))
+    return _assemble(KIND_MODULE, sections)
 
 
 def encode_module(root: Operation) -> bytes:

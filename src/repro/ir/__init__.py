@@ -31,6 +31,14 @@ from repro.ir.exceptions import (
     UnregisteredConstructError,
     VerifyError,
 )
+from repro.ir.location import (
+    UNKNOWN_LOC,
+    FileLineColLoc,
+    FusedLoc,
+    Location,
+    UnknownLoc,
+    caller_location,
+)
 from repro.ir.operation import Operation
 from repro.ir.params import (
     ArrayParam,
@@ -70,6 +78,12 @@ __all__ = [
     "UnregisteredConstructError",
     "VerifyError",
     "Operation",
+    "Location",
+    "UnknownLoc",
+    "FileLineColLoc",
+    "FusedLoc",
+    "UNKNOWN_LOC",
+    "caller_location",
     "ArrayParam",
     "EnumParam",
     "FloatParam",

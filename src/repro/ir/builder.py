@@ -7,6 +7,7 @@ from typing import Any, Mapping, Sequence
 from repro.ir.attributes import Attribute
 from repro.ir.block import Block
 from repro.ir.context import Context
+from repro.ir.location import Location, caller_location
 from repro.ir.operation import Operation
 from repro.ir.region import Region
 from repro.ir.value import SSAValue
@@ -49,9 +50,14 @@ class Builder:
         mul = builder.create("cmath.mul", operands=[p, q], result_types=[t])
     """
 
-    def __init__(self, context: Context, insert_point: InsertPoint | None = None):
+    def __init__(self, context: Context, insert_point: InsertPoint | None = None,
+                 track_locations: bool = True):
         self.context = context
         self.insert_point = insert_point
+        #: When set (the default), :meth:`create` stamps operations with
+        #: the Python caller's file/line, so programmatically built IR
+        #: carries provenance just like parsed IR.
+        self.track_locations = track_locations
 
     def set_insertion_point(self, insert_point: InsertPoint) -> None:
         self.insert_point = insert_point
@@ -72,8 +78,15 @@ class Builder:
         attributes: Mapping[str, Attribute] | None = None,
         successors: Sequence[Block] = (),
         regions: Sequence[Region] = (),
+        location: Location | None = None,
     ) -> Operation:
-        """Create an operation via the context and insert it."""
+        """Create an operation via the context and insert it.
+
+        Without an explicit ``location`` the operation is attributed to
+        the calling Python frame (when ``track_locations`` is on).
+        """
+        if location is None and self.track_locations:
+            location = caller_location()
         op = self.context.create_operation(
             name,
             operands=operands,
@@ -81,6 +94,7 @@ class Builder:
             attributes=attributes,
             successors=successors,
             regions=regions,
+            location=location,
         )
         return self.insert(op)
 

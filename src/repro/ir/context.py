@@ -22,6 +22,7 @@ from repro.ir.uniquer import DEFAULT_UNIQUER, AttributeUniquer
 
 if TYPE_CHECKING:
     from repro.ir.block import Block
+    from repro.ir.location import Location
     from repro.ir.operation import Operation
     from repro.ir.region import Region
     from repro.ir.value import SSAValue
@@ -118,6 +119,7 @@ class Context:
         attributes: Mapping[str, Attribute] | None = None,
         successors: Sequence["Block"] = (),
         regions: Sequence["Region"] = (),
+        location: "Location | None" = None,
     ) -> "Operation":
         """Create an operation, binding it to its registered definition.
 
@@ -140,6 +142,7 @@ class Context:
             successors=successors,
             regions=regions,
             definition=definition,
+            location=location,
         )
 
     def make_type(self, qualified_name: str, parameters: Sequence[Any] = ()) -> Attribute:

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.ir.attributes import Attribute
 from repro.ir.exceptions import VerifyError
+from repro.ir.location import UNKNOWN_LOC, Location
 
 if TYPE_CHECKING:
     from repro.ir.operation import Operation
@@ -47,6 +48,10 @@ class OpDefBinding:
         self.summary = summary
         self.is_terminator = is_terminator
         self._verifier = verifier
+        #: Where the definition lives (IRDL instantiation fills this in
+        #: with the declaration's source span; native dialects keep the
+        #: unknown default).
+        self.location: Location = UNKNOWN_LOC
 
     @property
     def dialect_name(self) -> str:

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
 
 from repro.ir.attributes import Attribute
 from repro.ir.exceptions import InvalidIRStructureError, VerifyError
+from repro.ir.location import UNKNOWN_LOC, Location
 from repro.ir.value import OpResult, SSAValue, Use
 
 if TYPE_CHECKING:
@@ -38,6 +39,7 @@ class Operation:
         "regions",
         "parent",
         "definition",
+        "location",
     )
 
     def __init__(
@@ -49,6 +51,7 @@ class Operation:
         successors: Sequence["Block"] = (),
         regions: Sequence["Region"] = (),
         definition: "OpDefBinding | None" = None,
+        location: Location | None = None,
     ):
         self.name = name
         self._operands: tuple[SSAValue, ...] = ()
@@ -60,6 +63,9 @@ class Operation:
         self.regions: list[Region] = []
         self.parent: Block | None = None
         self.definition = definition
+        self.location: Location = (
+            location if location is not None else UNKNOWN_LOC
+        )
         self._set_operands(operands)
         for region in regions:
             self.add_region(region)
@@ -190,6 +196,7 @@ class Operation:
             attributes=dict(self.attributes),
             successors=list(self.successors),
             definition=self.definition,
+            location=self.location,
         )
         for old_res, new_res in zip(self.results, new_op.results):
             value_map[old_res] = new_res
@@ -238,7 +245,22 @@ class Operation:
             for region in self.regions:
                 region.verify()
         if self.definition is not None:
-            self.definition.verify(self)
+            try:
+                self.definition.verify(self)
+            except VerifyError as err:
+                from repro.obs.instrument import OBS
+
+                remarks = OBS.remarks
+                if remarks.enabled:
+                    remarks.emit(
+                        "verify-failure",
+                        origin="verifier",
+                        name=type(err).__name__,
+                        op=self.name,
+                        location=self.location,
+                        message=str(err),
+                    )
+                raise
 
     # ------------------------------------------------------------------
 

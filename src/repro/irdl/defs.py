@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.ir.location import UNKNOWN_LOC, Location
 from repro.irdl.ast import Variadicity
 from repro.irdl.constraints import Constraint
 
@@ -76,6 +77,8 @@ class TypeDef:
     py_constraints: list[str] = field(default_factory=list)
     #: Lint codes silenced for this definition (``Suppress "code"``).
     suppressions: list[str] = field(default_factory=list)
+    #: Where the definition appears in its IRDL source file.
+    location: Location = UNKNOWN_LOC
 
     @property
     def qualified_name(self) -> str:
@@ -110,6 +113,8 @@ class OpDef:
     py_constraints: list[str] = field(default_factory=list)
     #: Lint codes silenced for this operation (``Suppress "code"``).
     suppressions: list[str] = field(default_factory=list)
+    #: Where the definition appears in its IRDL source file.
+    location: Location = UNKNOWN_LOC
 
     @property
     def qualified_name(self) -> str:

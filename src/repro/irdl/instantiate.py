@@ -144,6 +144,7 @@ class DynamicOpDef(OpDefBinding):
             verifier=make_op_verifier(op_def),
         )
         self.op_def = op_def
+        self.location = op_def.location
         self.format_program: FormatProgram | None = None
         if op_def.format is not None:
             self.format_program = FormatProgram.compile(op_def)

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 
 from repro.ir.context import Context
 from repro.ir.dialect import AttrDefBinding, DialectBinding, EnumBinding
+from repro.ir.location import UNKNOWN_LOC, Location
 from repro.irdl import ast
 from repro.irdl import constraints as C
 from repro.irdl.defs import (
@@ -525,7 +526,16 @@ def _resolve_type_decl(decl: ast.TypeDecl, scope: Scope) -> TypeDef:
         summary=decl.summary,
         py_constraints=list(decl.py_constraints),
         suppressions=list(decl.suppressions),
+        location=_decl_location(decl),
     )
+
+
+def _decl_location(decl) -> "Location":
+    """The source location of a declaration's span, when it has one."""
+    span = getattr(decl, "span", None)
+    if span is None:
+        return UNKNOWN_LOC
+    return Location.from_span(span)
 
 
 def _resolve_op_decl(decl: ast.OperationDecl, scope: Scope) -> OpDef:
@@ -553,6 +563,7 @@ def _resolve_op_decl(decl: ast.OperationDecl, scope: Scope) -> OpDef:
             summary=decl.summary,
             py_constraints=list(decl.py_constraints),
             suppressions=list(decl.suppressions),
+            location=_decl_location(decl),
         )
     finally:
         scope.constraint_vars = {}

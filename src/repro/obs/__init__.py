@@ -23,9 +23,12 @@ from repro.obs.instrument import (
     count_ops,
     disable_metrics,
     enable_metrics,
+    install_remarks,
     install_tracer,
     observed,
+    recent_events,
     reset,
+    uninstall_remarks,
     uninstall_tracer,
 )
 from repro.obs.metrics import (
@@ -40,6 +43,13 @@ from repro.obs.report import (
     render_pass_statistics,
     render_timing_report,
 )
+from repro.obs.remarks import (
+    NULL_REMARKS,
+    NullRemarkEngine,
+    Remark,
+    RemarkEngine,
+)
+from repro.obs.ring import EventRing
 from repro.obs.timing import PassRunRecord
 from repro.obs.tracing import NullTracer, Tracer
 
@@ -53,12 +63,20 @@ __all__ = [
     "MetricsScope",
     "Tracer",
     "NullTracer",
+    "Remark",
+    "RemarkEngine",
+    "NullRemarkEngine",
+    "NULL_REMARKS",
+    "EventRing",
     "PassRunRecord",
     "count_ops",
     "enable_metrics",
     "disable_metrics",
     "install_tracer",
     "uninstall_tracer",
+    "install_remarks",
+    "uninstall_remarks",
+    "recent_events",
     "observed",
     "reset",
     "render_metrics",

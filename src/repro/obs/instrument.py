@@ -27,6 +27,8 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.obs import timing
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.remarks import NULL_REMARKS, NullRemarkEngine, RemarkEngine
+from repro.obs.ring import EventRing
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 
 if TYPE_CHECKING:
@@ -34,13 +36,18 @@ if TYPE_CHECKING:
 
 
 class Observability:
-    """The pair of global sinks: a metrics registry and a tracer."""
+    """The global sinks: metrics registry, tracer, remark engine, ring."""
 
-    __slots__ = ("metrics", "tracer")
+    __slots__ = ("metrics", "tracer", "remarks", "ring")
 
     def __init__(self):
         self.metrics = MetricsRegistry(enabled=False)
         self.tracer: Tracer | NullTracer = NULL_TRACER
+        self.remarks: RemarkEngine | NullRemarkEngine = NULL_REMARKS
+        #: The flight-recorder ring; only populated while a remark
+        #: engine (or another pusher) is installed, so the disabled
+        #: path never touches it.
+        self.ring = EventRing()
 
     @property
     def active(self) -> bool:
@@ -78,10 +85,31 @@ def uninstall_tracer() -> Tracer | NullTracer:
     return previous
 
 
+def install_remarks(engine: RemarkEngine | None = None) -> RemarkEngine:
+    """Install (and return) a remark engine; emitters start recording."""
+    installed = engine if engine is not None else RemarkEngine()
+    OBS.remarks = installed
+    return installed
+
+
+def uninstall_remarks() -> RemarkEngine | NullRemarkEngine:
+    """Stop remark collection; returns the engine that was recording."""
+    previous = OBS.remarks
+    OBS.remarks = NULL_REMARKS
+    return previous
+
+
+def recent_events() -> list[dict]:
+    """The flight-recorder snapshot: the last events, oldest first."""
+    return OBS.ring.snapshot()
+
+
 def reset() -> None:
     """Return the global state to its fully disabled default."""
     OBS.metrics = MetricsRegistry(enabled=False)
     OBS.tracer = NULL_TRACER
+    OBS.remarks = NULL_REMARKS
+    OBS.ring.clear()
 
 
 @contextmanager

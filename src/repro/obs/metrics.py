@@ -106,6 +106,23 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """An upper-bound estimate of the ``q``-quantile (0 < q <= 1).
+
+        Resolution is the bucket width: the estimate is the inclusive
+        upper bound of the bucket the quantile falls into, clamped to
+        the observed maximum (the true value can never exceed it).
+        """
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for bound in sorted(self.buckets):
+            cumulative += self.buckets[bound]
+            if cumulative >= target:
+                return min(bound, self.max)
+        return self.max
+
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, n={self.count})"
 
@@ -163,6 +180,9 @@ class NullHistogram:
 
     def observe(self, value: float) -> None:
         return None
+
+    def percentile(self, q: float) -> float:
+        return 0.0
 
 
 NULL_COUNTER = NullCounter()
@@ -276,6 +296,9 @@ class MetricsRegistry:
                     "mean": h.mean,
                     "min": h.min if h.count else 0.0,
                     "max": h.max,
+                    "p50": h.percentile(0.50),
+                    "p95": h.percentile(0.95),
+                    "p99": h.percentile(0.99),
                     "buckets": {
                         str(bound): n for bound, n in sorted(h.buckets.items())
                     },

@@ -1,0 +1,222 @@
+"""Optimization remarks: the machine-readable "what did the compiler do".
+
+LLVM ships ``-Rpass``/``-fsave-optimization-record``; MLIR forwards
+pattern and pass activity through its own remark engine.  This module
+is the reproduction's equivalent: pipeline layers emit structured
+:class:`Remark` records — *applied* and *missed* rewrites from the
+greedy driver, per-pass summaries from the PassManager, verifier
+failures, and lint findings — into the process-wide engine installed on
+:data:`repro.obs.instrument.OBS`.
+
+Each remark carries the acting component (``origin``), a specific name
+(the pattern / pass / lint code), the subject operation's name and
+:class:`~repro.ir.location.Location`, a human message, and a payload
+dict of machine-readable details.  Streams render as text or JSONL
+(one JSON object per line — the schema checked by
+:mod:`repro.tools.remark_schema`).
+
+Disabled-path cost: the shared :data:`NULL_REMARKS` engine answers
+``enabled`` with a class attribute and every hot emitter guards on it,
+so the default pipeline allocates nothing remark-related.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Callable, Iterable
+
+from repro.ir.location import UNKNOWN_LOC, Location
+
+#: The remark kinds the engine accepts (and the JSONL schema allows).
+REMARK_KINDS = ("applied", "missed", "pass", "verify-failure", "lint")
+
+
+class Remark:
+    """One structured record of something the pipeline did (or skipped)."""
+
+    __slots__ = (
+        "seq", "kind", "origin", "name", "op", "location", "message",
+        "payload",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        origin: str,
+        name: str,
+        op: str = "",
+        location: Location = UNKNOWN_LOC,
+        message: str = "",
+        payload: dict[str, Any] | None = None,
+        seq: int = 0,
+    ):
+        self.seq = seq
+        self.kind = kind
+        self.origin = origin
+        self.name = name
+        self.op = op
+        self.location = location
+        self.message = message
+        self.payload: dict[str, Any] = payload if payload is not None else {}
+
+    @property
+    def key(self) -> str:
+        """The string ``--remark-filter`` regexes are matched against."""
+        return f"{self.kind}:{self.origin}/{self.name}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSONL-schema form of this remark."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "origin": self.origin,
+            "name": self.name,
+            "op": self.op,
+            "loc": None if self.location.is_unknown else str(self.location),
+            "message": self.message,
+            "payload": self.payload,
+        }
+
+    def render(self) -> str:
+        """One human-readable line, compiler-remark style."""
+        parts = [f"remark: [{self.kind}] {self.origin}/{self.name}"]
+        if self.op:
+            parts.append(f"on {self.op}")
+        if not self.location.is_unknown:
+            parts.append(f"at {self.location}")
+        line = " ".join(parts)
+        if self.message:
+            line += f": {self.message}"
+        if self.payload:
+            details = ", ".join(
+                f"{key}={value!r}" for key, value in self.payload.items()
+            )
+            line += f" {{{details}}}"
+        return line
+
+    def __repr__(self) -> str:
+        return f"<Remark {self.key} op={self.op!r}>"
+
+
+class RemarkEngine:
+    """Collects remarks, counts them per kind, and feeds the event ring.
+
+    ``filter_pattern`` (a regex, matched with ``search`` against
+    :attr:`Remark.key` strings such as ``applied:canonicalize/norm_of_
+    product``) drops non-matching remarks at the source; dropped remarks
+    are tallied in :attr:`filtered` so streams can report the omission.
+    """
+
+    enabled = True
+
+    def __init__(self, filter_pattern: str | None = None):
+        self.remarks: list[Remark] = []
+        self.counts: dict[str, int] = {}
+        self.filtered = 0
+        self._seq = 0
+        self._filter: re.Pattern[str] | None = (
+            re.compile(filter_pattern) if filter_pattern else None
+        )
+        #: Extra per-remark callbacks (the tracer bridge installs one).
+        self.sinks: list[Callable[[Remark], None]] = []
+
+    def emit(
+        self,
+        kind: str,
+        origin: str,
+        name: str,
+        op: str = "",
+        location: Location = UNKNOWN_LOC,
+        message: str = "",
+        **payload: Any,
+    ) -> Remark | None:
+        """Record one remark; returns it, or None when filtered out."""
+        self._seq += 1
+        remark = Remark(
+            kind, origin, name, op=op, location=location, message=message,
+            payload=payload, seq=self._seq,
+        )
+        if self._filter is not None and not self._filter.search(remark.key):
+            self.filtered += 1
+            return None
+        self.remarks.append(remark)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self._record(remark)
+        return remark
+
+    def _record(self, remark: Remark) -> None:
+        """Mirror a remark into the global ring / metrics / sinks."""
+        from repro.obs.instrument import OBS
+
+        OBS.ring.push(
+            "remark",
+            remark=remark.kind,
+            origin=remark.origin,
+            name=remark.name,
+            op=remark.op,
+            loc=None if remark.location.is_unknown else str(remark.location),
+        )
+        metrics = OBS.metrics
+        if metrics.enabled:
+            metrics.counter("obs.remarks.emitted").inc()
+            metrics.counter(f"obs.remarks.{remark.kind}").inc()
+        tracer = OBS.tracer
+        if tracer.enabled:
+            tracer.instant(
+                f"remark:{remark.kind}",
+                category="remark",
+                key=f"{remark.origin}/{remark.name}",
+                op=remark.op,
+            )
+        for sink in self.sinks:
+            sink(remark)
+
+    # -- rendering -----------------------------------------------------
+
+    def render_text(self) -> str:
+        """The whole stream as human-readable lines."""
+        lines = [remark.render() for remark in self.remarks]
+        if self.filtered:
+            lines.append(
+                f"# {self.filtered} remark(s) dropped by --remark-filter"
+            )
+        return "\n".join(lines)
+
+    def render_jsonl(self) -> str:
+        """The whole stream as JSON Lines (one object per remark)."""
+        return "\n".join(
+            json.dumps(remark.to_dict(), sort_keys=True)
+            for remark in self.remarks
+        )
+
+    def write(self, path: str, fmt: str = "text") -> None:
+        text = self.render_jsonl() if fmt == "jsonl" else self.render_text()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if text:
+                handle.write("\n")
+
+
+class NullRemarkEngine:
+    """The disabled engine: ``emit`` is a cheap no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+    remarks: list[Remark] = []
+    counts: dict[str, int] = {}
+    filtered = 0
+
+    def emit(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+
+#: The shared disabled instance `OBS.remarks` points at by default.
+NULL_REMARKS = NullRemarkEngine()
+
+
+def iter_dicts(remarks: Iterable[Remark]) -> Iterable[dict[str, Any]]:
+    """Schema-shaped dicts for a remark stream (JSONL writers, tests)."""
+    for remark in remarks:
+        yield remark.to_dict()

@@ -70,6 +70,13 @@ INSTRUMENT_CATALOG: dict[str, str] = {
     "original constraints",
     "analysis.sat.sampler_fallbacks": "UNKNOWN verdicts handed to the "
     "random sampler",
+    "obs.remarks.emitted": "optimization remarks recorded (all kinds)",
+    "obs.remarks.applied": "rewrite patterns applied (one remark each)",
+    "obs.remarks.missed": "rewrite patterns that matched an op name "
+    "but did not fire",
+    "obs.remarks.pass": "per-pass summary remarks from the PassManager",
+    "obs.remarks.verify-failure": "verifier failures surfaced as remarks",
+    "obs.remarks.lint": "lint findings surfaced as remarks",
 }
 
 
@@ -149,7 +156,10 @@ def render_metrics(registry: MetricsRegistry) -> str:
             lines.append(
                 f"{pad(histogram.name)} n={histogram.count} "
                 f"min={histogram.min if histogram.count else 0:g} "
-                f"mean={histogram.mean:g} max={histogram.max:g}"
+                f"mean={histogram.mean:g} max={histogram.max:g} "
+                f"p50={histogram.percentile(0.50):g} "
+                f"p95={histogram.percentile(0.95):g} "
+                f"p99={histogram.percentile(0.99):g}"
             )
     recorded = (
         {c.name for c in counters}

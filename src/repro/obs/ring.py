@@ -1,0 +1,57 @@
+"""A bounded in-memory event ring: the pipeline's flight recorder.
+
+The ring keeps the last *N* structured events (remarks, diagnostics,
+phase markers) so that when something goes wrong the driver can dump
+"what just happened" without having asked for full tracing up front —
+the same idea as an aircraft flight recorder, or MLIR's crash
+reproducer generation.
+
+Events are plain dicts with a monotonically increasing ``seq`` so a
+reader can tell how much history was evicted.  The ring never grows
+beyond its capacity and costs nothing when no one pushes to it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+#: Default number of events retained by the global ring.
+DEFAULT_CAPACITY = 256
+
+
+class EventRing:
+    """A fixed-capacity ring of structured events."""
+
+    __slots__ = ("capacity", "_events", "_seq")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._events: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def push(self, kind: str, **fields: Any) -> None:
+        """Append one event, evicting the oldest when full."""
+        self._seq += 1
+        event: dict[str, Any] = {"seq": self._seq, "kind": kind}
+        event.update(fields)
+        self._events.append(event)
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """The retained events, oldest first (copies of the ring slots)."""
+        return [dict(event) for event in self._events]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._seq = 0
+
+    @property
+    def total_pushed(self) -> int:
+        """How many events were ever pushed (evicted ones included)."""
+        return self._seq
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return len(self._events) > 0

@@ -29,8 +29,10 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, process_name: str = "repro"):
+    def __init__(self, process_name: str = "repro",
+                 thread_name: str = "pipeline"):
         self.process_name = process_name
+        self.thread_name = thread_name
         self.events: list[dict[str, Any]] = []
         self._origin = time.perf_counter()
         self._depth = 0
@@ -82,19 +84,33 @@ class Tracer:
         self.events.append(event)
 
     def to_dict(self) -> dict[str, Any]:
-        """The JSON-object form of the trace (``traceEvents`` container)."""
-        metadata = {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 1,
-            "tid": 1,
-            "args": {"name": self.process_name},
-        }
+        """The JSON-object form of the trace (``traceEvents`` container).
+
+        Both ``process_name`` and ``thread_name`` metadata events are
+        emitted so Perfetto and ``chrome://tracing`` label the tracks
+        instead of showing bare pid/tid numbers.
+        """
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 1,
+                "args": {"name": self.process_name},
+            },
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 1,
+                "args": {"name": self.thread_name},
+            },
+        ]
         events = sorted(
             self.events, key=lambda e: (e.get("ts", 0.0), -e.get("dur", 0.0))
         )
         return {
-            "traceEvents": [metadata, *events],
+            "traceEvents": [*metadata, *events],
             "displayTimeUnit": "ms",
         }
 

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 
 from repro.ir.context import Context
 from repro.ir.exceptions import VerifyError
+from repro.ir.location import Location
 from repro.ir.operation import Operation
 from repro.ir.value import OpResult, SSAValue
 from repro.irdl.constraints import CannotInfer, ConstraintContext
@@ -54,7 +55,7 @@ from repro.irdl.defs import OpDef
 from repro.rewriting.pattern import PatternRewriter, RewritePattern
 from repro.textir.lexer import Lexer, TokenKind
 from repro.utils.diagnostics import DiagnosticError
-from repro.utils.source import SourceFile
+from repro.utils.source import SourceFile, Span
 
 
 # ---------------------------------------------------------------------------
@@ -68,6 +69,9 @@ class OpTemplate:
     result_names: list[str]
     op_name: str
     operand_names: list[str]
+    #: The template's span in its pattern file (None when constructed
+    #: programmatically).
+    span: Span | None = None
 
 
 @dataclass
@@ -75,10 +79,37 @@ class PatternDecl:
     name: str
     match_ops: list[OpTemplate] = field(default_factory=list)
     rewrite_ops: list[OpTemplate] = field(default_factory=list)
+    #: The span of the pattern's name in its pattern file.
+    span: Span | None = None
 
     @property
     def root(self) -> OpTemplate:
         return self.match_ops[-1]
+
+
+def _pattern_error(
+    message: str,
+    decl: PatternDecl,
+    template: OpTemplate | None = None,
+    context: Context | None = None,
+) -> DiagnosticError:
+    """A diagnostic pointing at the best available provenance.
+
+    Preference order: the offending template's span, the pattern
+    declaration's span, and — for patterns with no source at all
+    (constructed programmatically) — the *dialect definition's* location
+    of the template's operation, so the error never renders with an
+    empty position.
+    """
+    span = (template.span if template is not None else None) or decl.span
+    if span is not None:
+        return DiagnosticError.at(message, span)
+    if context is not None and template is not None:
+        binding = context.get_op_def(template.op_name)
+        location = getattr(binding, "location", None)
+        if isinstance(location, Location) and not location.is_unknown:
+            return DiagnosticError.at(message, location=location)
+    return DiagnosticError.at(message)
 
 
 # ---------------------------------------------------------------------------
@@ -125,8 +156,8 @@ class PatternParser:
 
     def parse_pattern(self) -> PatternDecl:
         self.expect_keyword("Pattern")
-        name = self.expect(TokenKind.BARE_IDENT, "pattern name").text
-        decl = PatternDecl(name)
+        name_token = self.expect(TokenKind.BARE_IDENT, "pattern name")
+        decl = PatternDecl(name_token.text, span=name_token.span)
         self.expect(TokenKind.LBRACE, "'{'")
         self.expect_keyword("Match")
         decl.match_ops = self._parse_op_block()
@@ -150,6 +181,7 @@ class PatternParser:
         return templates
 
     def _parse_op_template(self) -> OpTemplate:
+        start_token = self.peek()
         result_names = []
         if self.peek().kind is TokenKind.PERCENT_IDENT:
             result_names.append(self.next().value)
@@ -174,8 +206,11 @@ class PatternParser:
                 operand_names.append(
                     self.expect(TokenKind.PERCENT_IDENT, "operand").value
                 )
-        self.expect(TokenKind.RPAREN, "')'")
-        return OpTemplate(result_names, ".".join(parts), operand_names)
+        end_token = self.expect(TokenKind.RPAREN, "')'")
+        return OpTemplate(
+            result_names, ".".join(parts), operand_names,
+            span=start_token.span.until(end_token.span),
+        )
 
     def _validate(self, decl: PatternDecl) -> None:
         bound: set[str] = set()
@@ -188,24 +223,27 @@ class PatternParser:
         for template in decl.rewrite_ops:
             for operand in template.operand_names:
                 if operand not in rewrite_bound:
-                    raise DiagnosticError.at(
+                    raise _pattern_error(
                         f"pattern {decl.name}: %{operand} is not bound by "
-                        "the match section"
+                        "the match section",
+                        decl, template,
                     )
             for result in template.result_names:
                 if result in bound and result not in root_results:
-                    raise DiagnosticError.at(
+                    raise _pattern_error(
                         f"pattern {decl.name}: %{result} rebinds a matched "
-                        "value that is not a root result"
+                        "value that is not a root result",
+                        decl, template,
                     )
                 rewrite_bound.add(result)
                 if result in root_results:
                     redefined.add(result)
         if redefined != root_results:
             missing = ", ".join(f"%{r}" for r in sorted(root_results - redefined))
-            raise DiagnosticError.at(
+            raise _pattern_error(
                 f"pattern {decl.name}: rewrite must redefine the root "
-                f"result(s) {missing}"
+                f"result(s) {missing}",
+                decl,
             )
 
 
@@ -248,21 +286,27 @@ class DeclarativePattern(RewritePattern):
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         bindings: dict[str, SSAValue] = {}
-        if not self._match(op, self.decl.root, bindings):
+        matched: list[Operation] = []
+        if not self._match(op, self.decl.root, bindings, matched):
             return False
-        self._rewrite(op, bindings, rewriter)
+        # Replacement ops carry the fused location of the whole matched
+        # set — the FusedLoc provenance MLIR attaches on folding.
+        fused = Location.fuse(m.location for m in matched)
+        self._rewrite(op, bindings, rewriter, fused)
         return True
 
     # -- matching --------------------------------------------------------
 
     def _match(self, op: Operation, template: OpTemplate,
-               bindings: dict[str, SSAValue]) -> bool:
+               bindings: dict[str, SSAValue],
+               matched: list[Operation]) -> bool:
         if op.name != template.op_name:
             return False
         if len(op.operands) != len(template.operand_names):
             return False
         if len(op.results) != len(template.result_names):
             return False
+        matched.append(op)
         producers = {
             name: t for t in self.decl.match_ops for name in t.result_names
         }
@@ -275,7 +319,8 @@ class DeclarativePattern(RewritePattern):
             if producer_template is not None and producer_template is not template:
                 if not isinstance(value, OpResult):
                     return False
-                if not self._match(value.op, producer_template, bindings):
+                if not self._match(value.op, producer_template, bindings,
+                                   matched):
                     return False
                 # _match on the producer bound its result names, including
                 # this one; check consistency.
@@ -292,7 +337,8 @@ class DeclarativePattern(RewritePattern):
     # -- rewriting --------------------------------------------------------
 
     def _rewrite(self, root: Operation, bindings: dict[str, SSAValue],
-                 rewriter: PatternRewriter) -> None:
+                 rewriter: PatternRewriter,
+                 location: Location | None = None) -> None:
         root_result_names = self.decl.root.result_names
         new_root_values: dict[str, SSAValue] = {}
         values = dict(bindings)
@@ -302,6 +348,7 @@ class DeclarativePattern(RewritePattern):
             new_op = rewriter.create(
                 template.op_name, operands=operands,
                 result_types=result_types, before=root,
+                location=location,
             )
             for name, result in zip(template.result_names, new_op.results):
                 values[name] = result
@@ -379,8 +426,9 @@ def parse_patterns(context: Context, text: str,
     for decl in decls:
         for template in (*decl.match_ops, *decl.rewrite_ops):
             if context.get_op_def(template.op_name) is None:
-                raise DiagnosticError.at(
+                raise _pattern_error(
                     f"pattern {decl.name}: unknown operation "
-                    f"{template.op_name!r}"
+                    f"{template.op_name!r}",
+                    decl, template, context,
                 )
     return [DeclarativePattern(context, decl) for decl in decls]

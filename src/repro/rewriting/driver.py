@@ -41,6 +41,9 @@ class GreedyPatternDriver:
         self.context = context
         self.patterns = sorted(patterns, key=lambda p: -p.benefit)
         self.max_iterations = max_iterations
+        #: The ``origin`` field of emitted remarks; the owning pass
+        #: (e.g. the Canonicalizer) overwrites it with its own name.
+        self.remark_origin = "greedy-driver"
         self.rewrites_applied = 0
         self.match_attempts = 0
         self.rounds = 0
@@ -73,9 +76,14 @@ class GreedyPatternDriver:
 
     def _one_round(self, root: Operation, rewriter: PatternRewriter) -> None:
         attempts = 0
+        remarks = OBS.remarks
+        emit_remarks = remarks.enabled
         for op in list(root.walk(include_self=False)):
             if op.parent is None and op is not root:
                 continue  # erased by an earlier rewrite this round
+            # Captured before the match: a fired rewrite erases ``op``.
+            rewriter.root_location = op_location = op.location
+            op_name = op.name
             for rewrite_pattern, stats in self._pattern_slots:
                 if (
                     rewrite_pattern.op_name is not None
@@ -87,7 +95,24 @@ class GreedyPatternDriver:
                 if rewrite_pattern.match_and_rewrite(op, rewriter):
                     self.rewrites_applied += 1
                     stats.applications += 1
+                    if emit_remarks:
+                        remarks.emit(
+                            "applied",
+                            origin=self.remark_origin,
+                            name=rewrite_pattern.label,
+                            op=op_name,
+                            location=op_location,
+                        )
                     break
+                if emit_remarks and rewrite_pattern.op_name is not None:
+                    remarks.emit(
+                        "missed",
+                        origin=self.remark_origin,
+                        name=rewrite_pattern.label,
+                        op=op_name,
+                        location=op_location,
+                        message="pattern did not match",
+                    )
         self.match_attempts += attempts
 
     def statistics(self) -> list[tuple[str, int]]:

@@ -192,6 +192,7 @@ class Canonicalizer(Pass):
         #: and back this pass's :meth:`statistics`.
         self.driver = GreedyPatternDriver(context, self.patterns,
                                           max_iterations)
+        self.driver.remark_origin = self.name
 
     def run(self, root: Operation) -> bool:
         return self.driver.run(root)
@@ -270,6 +271,19 @@ class PassManager:
             OBS.metrics.timer(
                 f"rewriting.passes.{pipeline_pass.name}"
             ).record(wall_time)
+        remarks = OBS.remarks
+        if remarks.enabled:
+            remarks.emit(
+                "pass",
+                origin=pipeline_pass.name,
+                name=pipeline_pass.name,
+                op=root.name,
+                location=root.location,
+                changed=changed,
+                wall_time_s=wall_time,
+                ops_before=ops_before,
+                ops_after=ops_after,
+            )
         return changed
 
     def timing_report(self) -> str:

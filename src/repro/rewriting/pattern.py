@@ -12,6 +12,7 @@ from typing import Callable, Sequence
 
 from repro.ir.block import Block
 from repro.ir.context import Context
+from repro.ir.location import UNKNOWN_LOC, Location
 from repro.ir.operation import Operation
 from repro.ir.value import SSAValue
 
@@ -20,6 +21,11 @@ class PatternRewriter:
     """The mutation handle a pattern uses inside ``match_and_rewrite``.
 
     Tracks whether anything changed so the driver knows when to stop.
+    The driver also parks the current root's location in
+    :attr:`root_location`; operations a pattern creates without an
+    explicit location inherit it, so rewrite products always carry the
+    provenance of the op they replace (declarative patterns refine this
+    to the fused location of the whole matched set).
     """
 
     def __init__(self, context: Context):
@@ -27,12 +33,16 @@ class PatternRewriter:
         self.changed = False
         #: Ops inserted/affected this round, re-visited by the driver.
         self.touched: list[Operation] = []
+        #: The location of the op currently offered to patterns.
+        self.root_location: Location = UNKNOWN_LOC
 
     def insert_before(self, anchor: Operation, op: Operation) -> Operation:
         assert anchor.parent is not None
         anchor.parent.insert_op_before(op, anchor)
         self.changed = True
         self.touched.append(op)
+        if op.location.is_unknown:
+            op.location = self.root_location
         return op
 
     def insert_after(self, anchor: Operation, op: Operation) -> Operation:
@@ -40,6 +50,8 @@ class PatternRewriter:
         anchor.parent.insert_op_after(op, anchor)
         self.changed = True
         self.touched.append(op)
+        if op.location.is_unknown:
+            op.location = self.root_location
         return op
 
     def create(
@@ -49,6 +61,7 @@ class PatternRewriter:
         result_types: Sequence = (),
         attributes=None,
         before: Operation | None = None,
+        location: Location | None = None,
     ) -> Operation:
         """Create an operation via the context and insert it before ``before``."""
         op = self.context.create_operation(
@@ -56,6 +69,7 @@ class PatternRewriter:
             operands=operands,
             result_types=result_types,
             attributes=attributes,
+            location=location if location is not None else self.root_location,
         )
         if before is not None:
             self.insert_before(before, op)

@@ -28,6 +28,12 @@ from repro.ir.attributes import Attribute, TypeAttribute
 from repro.ir.block import Block
 from repro.ir.context import Context
 from repro.ir.exceptions import UnregisteredConstructError, VerifyError
+from repro.ir.location import (
+    UNKNOWN_LOC,
+    FileLineColLoc,
+    FusedLoc,
+    Location,
+)
 from repro.ir.operation import Operation
 from repro.ir.params import (
     ArrayParam,
@@ -633,7 +639,58 @@ class IRParser:
             )
         for name_token, result in zip(result_tokens, op.results):
             self.define_value(name_token.value, result, name_token)
+        # Provenance: an explicit trailing ``loc(...)`` wins (so printed
+        # IR round-trips); otherwise the op is attributed to the span of
+        # its name token in this source file.
+        explicit = self._parse_optional_location()
+        if explicit is not None:
+            op.location = explicit
+        elif op.location.is_unknown:
+            op.location = Location.from_span(token.span)
         return op
+
+    def _parse_optional_location(self) -> Location | None:
+        """A trailing ``loc(...)`` attachment, if present.
+
+        Operation names always contain a dot, so a bare ``loc(`` after
+        an operation is unambiguous.
+        """
+        token = self.peek()
+        if (
+            token.kind is not TokenKind.BARE_IDENT
+            or token.text != "loc"
+            or self.peek(1).kind is not TokenKind.LPAREN
+        ):
+            return None
+        self.next()
+        self.next()
+        location = self._parse_location_value()
+        self.expect(TokenKind.RPAREN, "')'")
+        return location
+
+    def _parse_location_value(self) -> Location:
+        token = self.peek()
+        if token.kind is TokenKind.BARE_IDENT and token.text == "unknown":
+            self.next()
+            return UNKNOWN_LOC
+        if token.kind is TokenKind.BARE_IDENT and token.text == "fused":
+            self.next()
+            self.expect(TokenKind.LBRACKET, "'['")
+            parts = [self._parse_location_value()]
+            while self.accept(TokenKind.COMMA):
+                parts.append(self._parse_location_value())
+            self.expect(TokenKind.RBRACKET, "']'")
+            return FusedLoc(parts)
+        if token.kind is TokenKind.STRING:
+            filename = self.next().value
+            self.expect(TokenKind.COLON, "':'")
+            line = int(self.expect(TokenKind.INTEGER, "line number").text)
+            self.expect(TokenKind.COLON, "':'")
+            col = int(self.expect(TokenKind.INTEGER, "column number").text)
+            return FileLineColLoc(filename, line, col)
+        raise self.error(
+            f"expected a location, found {token.text!r}", token
+        )
 
     def _parse_generic_operation(self) -> Operation:
         name_token = self.expect(TokenKind.STRING, "operation name")
@@ -804,7 +861,12 @@ class IRParser:
         if len(ops) == 1 and ops[0].name == "builtin.module":
             return ops[0]
         region = Region([Block(ops=ops)])
-        return self.context.create_operation("builtin.module", regions=[region])
+        return self.context.create_operation(
+            "builtin.module",
+            regions=[region],
+            # The synthesized wrapper is attributed to the whole file.
+            location=FileLineColLoc(self.source.name, 1, 1),
+        )
 
     def parse_single_op(self) -> Operation:
         op = self.parse_operation()

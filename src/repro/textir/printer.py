@@ -31,9 +31,14 @@ from repro.ir.value import SSAValue
 class Printer:
     """Stateful printer tracking value and block names."""
 
-    def __init__(self, stream: io.TextIOBase | None = None, indent_width: int = 2):
+    def __init__(self, stream: io.TextIOBase | None = None, indent_width: int = 2,
+                 print_locations: bool = False):
         self.stream = stream if stream is not None else io.StringIO()
         self.indent_width = indent_width
+        #: When set, every operation prints a trailing ``loc(...)``
+        #: attachment (the parser accepts it back, so provenance
+        #: round-trips through text).
+        self.print_locations = print_locations
         self._indent = 0
         self._value_names: dict[SSAValue, str] = {}
         self._used_names: set[str] = set()
@@ -156,11 +161,20 @@ class Printer:
                 definition.prepare_custom(op)
             except VerifyError:
                 self._print_generic(op)
+                self._print_location_suffix(op)
                 return
             self.write(op.name)
             definition.print_custom(op, self)
+            self._print_location_suffix(op)
             return
         self._print_generic(op)
+        self._print_location_suffix(op)
+
+    def _print_location_suffix(self, op: Operation) -> None:
+        if self.print_locations:
+            self.write(" loc(")
+            self.write(str(op.location))
+            self.write(")")
 
     def _print_generic(self, op: Operation) -> None:
         self.write(f'"{op.name}"(')
@@ -232,9 +246,9 @@ class Printer:
         return self.getvalue() if isinstance(self.stream, io.StringIO) else ""
 
 
-def print_op(op: Operation) -> str:
+def print_op(op: Operation, print_locations: bool = False) -> str:
     """Convenience helper: print one operation tree to a string."""
-    printer = Printer()
+    printer = Printer(print_locations=print_locations)
     printer.print_op(op)
     return printer.getvalue()
 

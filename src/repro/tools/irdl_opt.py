@@ -192,6 +192,31 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="print the full metric catalog collected during the run to "
         "stderr",
     )
+    parser.add_argument(
+        "--remarks-out",
+        metavar="FILE",
+        help="write the optimization-remark stream (applied/missed "
+        "patterns, per-pass summaries, verifier failures, lint findings) "
+        "to FILE",
+    )
+    parser.add_argument(
+        "--remark-filter",
+        metavar="REGEX",
+        help="only record remarks whose 'kind:origin/name' key matches "
+        "REGEX (dropped remarks are tallied at the end of the stream)",
+    )
+    parser.add_argument(
+        "--remark-format",
+        choices=("text", "jsonl"),
+        help="format of --remarks-out: human-readable text or JSON Lines "
+        "(default: jsonl when FILE ends in .jsonl/.json, else text)",
+    )
+    parser.add_argument(
+        "--print-locations",
+        action="store_true",
+        help="print a loc(...) suffix after every operation (file "
+        "positions from the parser, fused locations from rewrites)",
+    )
     return parser
 
 
@@ -202,18 +227,29 @@ class _Observation:
         self.args = args
         self.enabled = bool(
             args.timing or args.pass_statistics or args.trace_out
-            or args.metrics
+            or args.metrics or args.remarks_out
         )
         self.registry = None
         self.tracer = None
+        self.remarks = None
         self.records: list = []
         self.manager = None
         if self.enabled:
-            from repro.obs import enable_metrics, install_tracer
+            from repro.obs import (
+                RemarkEngine,
+                Tracer,
+                enable_metrics,
+                install_remarks,
+                install_tracer,
+            )
 
             self.registry = enable_metrics()
             if args.trace_out:
-                self.tracer = install_tracer()
+                self.tracer = install_tracer(Tracer(process_name="irdl-opt"))
+            if args.remarks_out:
+                self.remarks = install_remarks(
+                    RemarkEngine(args.remark_filter)
+                )
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -245,11 +281,32 @@ class _Observation:
 
         ok = True
         try:
+            if self.remarks is not None and self.tracer is not None:
+                # Final per-kind tallies as one instant marker, so the
+                # trace shows the remark totals next to the timeline.
+                self.tracer.instant(
+                    "remark-counts", category="remark",
+                    **dict(self.remarks.counts),
+                )
             if self.tracer is not None and self.args.trace_out:
                 try:
                     self.tracer.write(self.args.trace_out)
                 except OSError as err:
                     print(f"error: cannot write trace file: {err}",
+                          file=sys.stderr)
+                    ok = False
+            if self.remarks is not None and self.args.remarks_out:
+                fmt = self.args.remark_format
+                if fmt is None:
+                    fmt = (
+                        "jsonl"
+                        if self.args.remarks_out.endswith((".jsonl", ".json"))
+                        else "text"
+                    )
+                try:
+                    self.remarks.write(self.args.remarks_out, fmt)
+                except OSError as err:
+                    print(f"error: cannot write remarks file: {err}",
                           file=sys.stderr)
                     ok = False
             if self.args.timing and self.records:
@@ -293,7 +350,7 @@ def _emit_module(module, args: argparse.Namespace,
         _write_output(data, args.output)
         return 0
     with observation.phase("print"):
-        text_out = print_op(module)
+        text_out = print_op(module, print_locations=args.print_locations)
     _write_output(text_out, args.output)
     return 0
 
@@ -449,11 +506,38 @@ def lint_files(
     except DiagnosticError as err:
         print(err, file=sys.stderr)
         return 2
+    from repro.obs import OBS
+
+    remarks = OBS.remarks
+    if remarks.enabled:
+        for finding in findings:
+            remarks.emit(
+                "lint",
+                origin="lint",
+                name=finding.code,
+                op=finding.subject,
+                location=_lint_location(finding.loc),
+                message=finding.message,
+                severity=finding.severity,
+            )
     if output_format == "json":
         print(findings_to_json(findings), end="")
     else:
         print(render_findings(findings), end="")
     return exit_code(findings)
+
+
+def _lint_location(loc: str):
+    """Parse a lint finding's ``file:line:col`` string into a Location."""
+    from repro.ir.location import UNKNOWN_LOC, FileLineColLoc
+
+    if not loc:
+        return UNKNOWN_LOC
+    filename, _, rest = loc.rpartition(":")
+    filename, _, line = filename.rpartition(":")
+    if not filename or not line.isdigit() or not rest.isdigit():
+        return UNKNOWN_LOC
+    return FileLineColLoc(filename, int(line), int(rest))
 
 
 def dump_generated(ctx, name: str) -> int:
@@ -507,8 +591,6 @@ def _main(args: argparse.Namespace) -> int:
         return corpus_stats()
     if args.doc:
         return render_docs(args.doc)
-    if args.lint:
-        return lint_files(args.lint, args.patterns, args.lint_format)
     if args.recover_native:
         from repro.irdl.recover import recover_dialect_source
 
@@ -522,10 +604,38 @@ def _main(args: argparse.Namespace) -> int:
 
     observation = _Observation(args)
     try:
-        exit_code = _run_pipeline(args, observation)
+        if args.lint:
+            # Inside the observation scope so --lint composes with
+            # --remarks-out (findings stream as "lint" remarks).
+            exit_code = lint_files(args.lint, args.patterns,
+                                   args.lint_format)
+        else:
+            exit_code = _run_pipeline(args, observation)
+    except DiagnosticError as err:
+        # An uncaught diagnostic: dump the flight recorder so the
+        # events leading up to the failure are not lost.
+        _dump_flight_recorder()
+        print(err, file=sys.stderr)
+        exit_code = 1
     finally:
         finished = observation.finish()
     return exit_code if finished else 1
+
+
+def _dump_flight_recorder() -> None:
+    """Print the event-ring snapshot to stderr, one JSON object per line."""
+    import json
+
+    from repro.obs import recent_events
+
+    events = recent_events()
+    if not events:
+        return
+    print(f"--- flight recorder ({len(events)} event(s), oldest first) ---",
+          file=sys.stderr)
+    for event in events:
+        print(json.dumps(event, sort_keys=True, default=str),
+              file=sys.stderr)
 
 
 def _run_pipeline(args: argparse.Namespace, observation: _Observation) -> int:

@@ -1,0 +1,111 @@
+"""Schema validation for remark JSONL streams.
+
+``irdl-opt --remarks-out=FILE --remark-format=jsonl`` (or a ``.jsonl``
+extension) writes one JSON object per line; this module checks each
+line against the fixed schema :meth:`repro.obs.remarks.Remark.to_dict`
+produces, so CI can gate the stream's validity without golden files::
+
+    python -m repro.tools.remark_schema remarks.jsonl
+
+Exit code 0 when every line conforms, 1 otherwise (problems are listed
+on stderr, one per offending line).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.remarks import REMARK_KINDS
+
+#: Required key → accepted value type(s) of one remark object.
+_FIELDS: dict[str, tuple[type, ...]] = {
+    "seq": (int,),
+    "kind": (str,),
+    "origin": (str,),
+    "name": (str,),
+    "op": (str,),
+    "loc": (str, type(None)),
+    "message": (str,),
+    "payload": (dict,),
+}
+
+
+def validate_remark(obj: object) -> list[str]:
+    """Problems with one decoded remark object (empty when valid)."""
+    if not isinstance(obj, dict):
+        return [f"remark is {type(obj).__name__}, expected an object"]
+    problems = []
+    for key, types in _FIELDS.items():
+        if key not in obj:
+            problems.append(f"missing key {key!r}")
+            continue
+        value = obj[key]
+        if not isinstance(value, types) or (
+            # bool is an int subclass; seq must be a genuine integer.
+            key == "seq" and isinstance(value, bool)
+        ):
+            accepted = "/".join(t.__name__ for t in types)
+            problems.append(
+                f"key {key!r} is {type(value).__name__}, expected {accepted}"
+            )
+    for key in obj:
+        if key not in _FIELDS:
+            problems.append(f"unexpected key {key!r}")
+    if isinstance(obj.get("kind"), str) and obj["kind"] not in REMARK_KINDS:
+        problems.append(
+            f"kind {obj['kind']!r} not one of {', '.join(REMARK_KINDS)}"
+        )
+    if isinstance(obj.get("seq"), int) and not isinstance(obj["seq"], bool) \
+            and obj["seq"] < 1:
+        problems.append(f"seq {obj['seq']} is not a positive integer")
+    return problems
+
+
+def validate_remarks_jsonl(path: str) -> list[str]:
+    """All problems in a remark JSONL file, prefixed ``path:line:``."""
+    problems: list[str] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as err:
+                problems.append(f"{path}:{lineno}: invalid JSON: {err}")
+                continue
+            problems.extend(
+                f"{path}:{lineno}: {problem}"
+                for problem in validate_remark(obj)
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if not args:
+        print("usage: python -m repro.tools.remark_schema FILE...",
+              file=sys.stderr)
+        return 2
+    total = 0
+    checked = 0
+    for path in args:
+        try:
+            problems = validate_remarks_jsonl(path)
+        except OSError as err:
+            print(f"error: cannot read {path}: {err}", file=sys.stderr)
+            return 2
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        total += len(problems)
+        checked += 1
+    if total:
+        print(f"{total} schema problem(s) in {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,20 +11,34 @@ renders a caret snippet, e.g.::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.utils.source import Span
+
+if TYPE_CHECKING:
+    from repro.ir.location import Location
 
 
 @dataclass
 class Diagnostic:
-    """A single error or note attached to an optional source span."""
+    """A single error or note attached to an optional source span.
+
+    When no span is available a :class:`~repro.ir.location.Location`
+    may stand in: the header then names the location (no caret snippet,
+    since the original source text is not at hand).
+    """
 
     message: str
     span: Span | None = None
     severity: str = "error"
+    location: "Location | Any | None" = None
 
     def render(self) -> str:
         if self.span is None:
+            if self.location is not None and not getattr(
+                self.location, "is_unknown", True
+            ):
+                return f"{self.location}: {self.severity}: {self.message}"
             return f"{self.severity}: {self.message}"
         start = self.span.start_position
         header = f"{self.span.source.name}:{start}: {self.severity}: {self.message}"
@@ -54,5 +68,6 @@ class DiagnosticError(Exception):
         super().__init__("\n".join(d.render() for d in self.diagnostics))
 
     @classmethod
-    def at(cls, message: str, span: Span | None = None) -> "DiagnosticError":
-        return cls(Diagnostic(message, span))
+    def at(cls, message: str, span: Span | None = None,
+           location: "Location | None" = None) -> "DiagnosticError":
+        return cls(Diagnostic(message, span, location=location))

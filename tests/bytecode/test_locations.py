@@ -1,0 +1,100 @@
+"""The optional SECTION_LOCATIONS: round-trips and forward compat."""
+
+from repro.bytecode import decode_module, encode_module
+from repro.bytecode.encoder import SECTION_LOCATIONS
+from repro.ir import UNKNOWN_LOC, FileLineColLoc, FusedLoc, Location
+from repro.textir import parse_module
+
+IR = """\
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %np = cmath.norm %p : f32
+  %nq = cmath.norm %q : f32
+  %pq = "arith.mulf"(%np, %nq) : (f32, f32) -> (f32)
+  "func.return"(%pq) : (f32) -> ()
+}) {sym_name = "conorm",
+    function_type = (!cmath.complex<f32>, !cmath.complex<f32>) -> f32}
+   : () -> ()
+"""
+
+
+class TestLocationRoundTrip:
+    def test_file_locations_round_trip_bit_exactly(self, cmath_ctx):
+        module = parse_module(cmath_ctx, IR, "conorm.mlir")
+        data = encode_module(module)
+        decoded = decode_module(cmath_ctx, data)
+        for before, after in zip(module.walk(), decoded.walk()):
+            assert before.location == after.location, before.name
+        assert encode_module(decoded) == data
+
+    def test_fused_locations_round_trip(self, cmath_ctx):
+        module = parse_module(cmath_ctx, IR, "conorm.mlir")
+        ops = list(module.walk())
+        ops[2].location = Location.fuse(
+            [ops[2].location, ops[3].location]
+        )
+        data = encode_module(module)
+        decoded = decode_module(cmath_ctx, data)
+        fused = list(decoded.walk())[2].location
+        assert isinstance(fused, FusedLoc)
+        assert fused == ops[2].location
+        assert encode_module(decoded) == data
+
+    def test_shared_locations_pool_once(self, cmath_ctx):
+        module = parse_module(cmath_ctx, IR, "conorm.mlir")
+        shared = FileLineColLoc("same.c", 1, 1)
+        for op in module.walk():
+            op.location = shared
+        data = encode_module(module)
+        decoded = decode_module(cmath_ctx, data)
+        assert all(op.location == shared for op in decoded.walk())
+        # One pool entry referenced many times: cheaper than distinct
+        # locations per op.
+        distinct = parse_module(cmath_ctx, IR, "conorm.mlir")
+        assert len(data) < len(encode_module(distinct))
+
+
+class TestForwardCompat:
+    def test_location_free_module_emits_no_section(self, cmath_ctx):
+        module = parse_module(cmath_ctx, IR, "conorm.mlir")
+        with_locations = encode_module(module)
+        for op in module.walk():
+            op.location = UNKNOWN_LOC
+        bare = encode_module(module)
+        assert len(bare) < len(with_locations)
+        decoded = decode_module(cmath_ctx, bare)
+        assert all(op.location.is_unknown for op in decoded.walk())
+
+    def test_old_reader_semantics_skip_the_section(self, cmath_ctx):
+        # A reader that does not know SECTION_LOCATIONS must still load
+        # the module: the section is framed, so skipping is structural.
+        from repro.bytecode import decoder as dec
+
+        module = parse_module(cmath_ctx, IR, "conorm.mlir")
+        data = encode_module(module)
+        original = dec._read_sections
+
+        def read_sections_without_locations(reader):
+            sections = original(reader)
+            sections.pop(SECTION_LOCATIONS, None)
+            return sections
+
+        dec._read_sections = read_sections_without_locations
+        try:
+            decoded = decode_module(cmath_ctx, data)
+        finally:
+            dec._read_sections = original
+        assert all(op.location.is_unknown for op in decoded.walk())
+
+    def test_trailing_garbage_in_section_rejected(self, cmath_ctx):
+        from repro.bytecode.wire import BytecodeError
+
+        module = parse_module(cmath_ctx, IR, "conorm.mlir")
+        data = encode_module(module)
+        # The location section is last: appending to its payload corrupts
+        # it, but the frame length no longer matches, so the reader
+        # reports a clean BytecodeError either way.
+        import pytest
+
+        with pytest.raises(BytecodeError):
+            decode_module(cmath_ctx, data[:-1])

@@ -1,0 +1,117 @@
+"""Locations: construction, fusion, builder/caller provenance."""
+
+from repro.builtin import default_context
+from repro.ir import (
+    UNKNOWN_LOC,
+    Builder,
+    Context,
+    FileLineColLoc,
+    FusedLoc,
+    Location,
+    UnknownLoc,
+    caller_location,
+)
+from repro.utils.source import SourceFile
+
+
+class TestLocationKinds:
+    def test_unknown_singleton(self):
+        assert UNKNOWN_LOC.is_unknown
+        assert UNKNOWN_LOC == UnknownLoc()
+        assert str(UNKNOWN_LOC) == "unknown"
+        assert UNKNOWN_LOC.resolve() is None
+
+    def test_file_line_col(self):
+        loc = FileLineColLoc("a.mlir", 3, 7)
+        assert not loc.is_unknown
+        assert str(loc) == '"a.mlir":3:7'
+        assert loc == FileLineColLoc("a.mlir", 3, 7)
+        assert loc != FileLineColLoc("a.mlir", 3, 8)
+        assert loc.resolve() is loc
+
+    def test_locations_are_hashable(self):
+        a = FileLineColLoc("a.mlir", 1, 1)
+        b = FusedLoc([a, FileLineColLoc("b.mlir", 2, 2)])
+        assert len({a, FileLineColLoc("a.mlir", 1, 1), b}) == 2
+
+    def test_fused_resolves_to_first_file_position(self):
+        a = FileLineColLoc("a.mlir", 1, 1)
+        fused = FusedLoc([a, FileLineColLoc("b.mlir", 2, 2)])
+        assert fused.resolve() == a
+        assert str(fused) == 'fused["a.mlir":1:1, "b.mlir":2:2]'
+
+
+class TestFuse:
+    def test_empty_fuse_is_unknown(self):
+        assert Location.fuse([]) is UNKNOWN_LOC
+        assert Location.fuse([UNKNOWN_LOC, UNKNOWN_LOC]) is UNKNOWN_LOC
+
+    def test_single_location_collapses(self):
+        loc = FileLineColLoc("a.mlir", 1, 1)
+        assert Location.fuse([loc]) is loc
+        assert Location.fuse([UNKNOWN_LOC, loc]) is loc
+
+    def test_duplicates_dropped(self):
+        loc = FileLineColLoc("a.mlir", 1, 1)
+        other = FileLineColLoc("a.mlir", 2, 1)
+        fused = Location.fuse([loc, FileLineColLoc("a.mlir", 1, 1), other])
+        assert isinstance(fused, FusedLoc)
+        assert fused.locations == (loc, other)
+
+    def test_nested_fused_flattened(self):
+        a = FileLineColLoc("a.mlir", 1, 1)
+        b = FileLineColLoc("b.mlir", 2, 2)
+        c = FileLineColLoc("c.mlir", 3, 3)
+        fused = Location.fuse([FusedLoc([a, b]), c])
+        assert fused.locations == (a, b, c)
+
+    def test_from_span(self):
+        source = SourceFile("x = 1\ny = 2\n", "demo.txt")
+        span = source.span(6, 11)
+        loc = Location.from_span(span)
+        assert loc == FileLineColLoc("demo.txt", 2, 1)
+
+
+class TestOperationLocations:
+    def test_default_is_unknown(self, ctx):
+        op = ctx.create_operation("arith.constant", result_types=[])
+        assert op.location.is_unknown
+
+    def test_explicit_location(self):
+        ctx = default_context(allow_unregistered=True)
+        loc = FileLineColLoc("a.mlir", 4, 2)
+        op = ctx.create_operation("test.op", location=loc)
+        assert op.location is loc
+
+    def test_clone_preserves_location(self):
+        ctx = default_context(allow_unregistered=True)
+        loc = FileLineColLoc("a.mlir", 4, 2)
+        op = ctx.create_operation("test.op", location=loc)
+        assert op.clone().location is loc
+
+
+class TestBuilderLocations:
+    def test_builder_attaches_caller_frame(self):
+        ctx = default_context(allow_unregistered=True)
+        builder = Builder(ctx)
+        op = builder.create("test.op")  # this line is the provenance
+        loc = op.location
+        assert isinstance(loc, FileLineColLoc)
+        assert loc.filename.endswith("test_location.py")
+
+    def test_builder_tracking_can_be_disabled(self):
+        ctx = default_context(allow_unregistered=True)
+        builder = Builder(ctx, track_locations=False)
+        assert builder.create("test.op").location.is_unknown
+
+    def test_explicit_location_wins(self):
+        ctx = default_context(allow_unregistered=True)
+        loc = FileLineColLoc("a.mlir", 9, 9)
+        builder = Builder(ctx)
+        assert builder.create("test.op", location=loc).location is loc
+
+    def test_caller_location_helper(self):
+        # depth=0 attributes to the direct caller (this line).
+        loc = caller_location(depth=0)
+        assert isinstance(loc, FileLineColLoc)
+        assert loc.filename.endswith("test_location.py")

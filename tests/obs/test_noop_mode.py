@@ -1,0 +1,185 @@
+"""Disabled observability is a true no-op, and the flags compose.
+
+The contract the <5% overhead budget rests on: with nothing installed,
+the pipeline must not allocate observability state, retain events, or
+touch the flight-recorder ring.  The second half exercises the
+``irdl-opt`` composition path: ``--trace-out`` and ``--remarks-out``
+in one invocation produce both artifacts from one run.
+"""
+
+import json
+
+import pytest
+
+from repro.corpus import cmath_source
+from repro.obs import NULL_REMARKS, OBS, recent_events, reset
+from repro.obs.tracing import NULL_TRACER
+from repro.rewriting import apply_patterns_greedily, parse_patterns
+from repro.textir import parse_module
+from repro.tools.irdl_opt import main
+from repro.tools.remark_schema import validate_remarks_jsonl
+
+CONORM_PATTERN = """
+Pattern norm_of_product {
+  Match {
+    %na = cmath.norm(%a)
+    %nb = cmath.norm(%b)
+    %r = arith.mulf(%na, %nb)
+  }
+  Rewrite {
+    %m = cmath.mul(%a, %b)
+    %r = cmath.norm(%m)
+  }
+}
+"""
+
+CONORM_IR = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %np = cmath.norm %p : f32
+  %nq = cmath.norm %q : f32
+  %pq = "arith.mulf"(%np, %nq) : (f32, f32) -> (f32)
+  "func.return"(%pq) : (f32) -> ()
+}) {sym_name = "conorm",
+    function_type = (!cmath.complex<f32>, !cmath.complex<f32>) -> f32}
+   : () -> ()
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    reset()
+    yield
+    reset()
+
+
+class TestDisabledPath:
+    def test_defaults_are_the_null_instruments(self):
+        assert OBS.tracer is NULL_TRACER
+        assert OBS.remarks is NULL_REMARKS
+        assert not OBS.metrics.enabled
+        assert not OBS.active
+
+    def test_pipeline_retains_nothing_when_disabled(self, cmath_ctx):
+        patterns = parse_patterns(cmath_ctx, CONORM_PATTERN)
+        module = parse_module(cmath_ctx, CONORM_IR, "conorm.mlir")
+        changed = apply_patterns_greedily(cmath_ctx, module, patterns)
+        module.verify()
+        assert changed
+        assert recent_events() == []
+        assert len(OBS.ring) == 0
+        assert OBS.ring.total_pushed == 0
+        assert NULL_REMARKS.remarks == []
+        assert NULL_REMARKS.counts == {}
+
+    def test_null_remarks_allocate_no_records(self):
+        before = NULL_REMARKS.remarks
+        for _ in range(100):
+            assert OBS.remarks.emit(
+                "applied", origin="o", name="n", op="x"
+            ) is None
+        assert NULL_REMARKS.remarks is before
+        assert NULL_REMARKS.remarks == []
+        assert NULL_REMARKS.filtered == 0
+
+    def test_reset_uninstalls_everything(self):
+        from repro.obs import enable_metrics, install_remarks, install_tracer
+
+        enable_metrics()
+        install_tracer()
+        install_remarks()
+        OBS.ring.push("tick")
+        assert OBS.active
+        reset()
+        assert OBS.tracer is NULL_TRACER
+        assert OBS.remarks is NULL_REMARKS
+        assert not OBS.metrics.enabled
+        assert recent_events() == []
+
+
+class TestComposedInvocation:
+    def test_trace_and_remarks_in_one_run(self, tmp_path, capsys):
+        irdl = tmp_path / "cmath.irdl"
+        irdl.write_text(cmath_source())
+        ir = tmp_path / "input.mlir"
+        ir.write_text(CONORM_IR)
+        pattern = tmp_path / "norm.pattern"
+        pattern.write_text(CONORM_PATTERN)
+        trace_out = tmp_path / "trace.json"
+        remarks_out = tmp_path / "remarks.jsonl"
+
+        exit_code = main([
+            "--irdl", str(irdl), "--patterns", str(pattern),
+            "--trace-out", str(trace_out),
+            "--remarks-out", str(remarks_out),
+            str(ir),
+        ])
+        assert exit_code == 0
+        capsys.readouterr()
+
+        # Both artifacts exist and are well-formed.
+        trace = json.loads(trace_out.read_text())
+        events = trace["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in metadata} == {
+            "process_name", "thread_name"
+        }
+        assert metadata[0]["args"]["name"] == "irdl-opt"
+        instants = [e["name"] for e in events if e["ph"] == "i"]
+        assert "remark:applied" in instants
+        assert "remark-counts" in instants
+
+        assert validate_remarks_jsonl(str(remarks_out)) == []
+        remarks = [
+            json.loads(line)
+            for line in remarks_out.read_text().splitlines()
+        ]
+        applied = [r for r in remarks if r["kind"] == "applied"]
+        assert len(applied) == 1
+        assert applied[0]["name"] == "norm_of_product"
+        assert applied[0]["loc"].startswith('"')
+
+        # The invocation tore the global state back down.
+        assert OBS.tracer is NULL_TRACER
+        assert OBS.remarks is NULL_REMARKS
+        assert not OBS.metrics.enabled
+
+    def test_remark_filter_composes(self, tmp_path, capsys):
+        irdl = tmp_path / "cmath.irdl"
+        irdl.write_text(cmath_source())
+        ir = tmp_path / "input.mlir"
+        ir.write_text(CONORM_IR)
+        pattern = tmp_path / "norm.pattern"
+        pattern.write_text(CONORM_PATTERN)
+        remarks_out = tmp_path / "remarks.jsonl"
+
+        exit_code = main([
+            "--irdl", str(irdl), "--patterns", str(pattern),
+            "--remarks-out", str(remarks_out),
+            "--remark-filter", "^applied:",
+            str(ir),
+        ])
+        assert exit_code == 0
+        capsys.readouterr()
+        remarks = [
+            json.loads(line)
+            for line in remarks_out.read_text().splitlines()
+        ]
+        assert remarks
+        assert all(r["kind"] == "applied" for r in remarks)
+
+    def test_text_format_by_default_extension(self, tmp_path, capsys):
+        irdl = tmp_path / "cmath.irdl"
+        irdl.write_text(cmath_source())
+        ir = tmp_path / "input.mlir"
+        ir.write_text(CONORM_IR)
+        remarks_out = tmp_path / "remarks.txt"
+
+        exit_code = main([
+            "--irdl", str(irdl), "--remarks-out", str(remarks_out), str(ir),
+        ])
+        assert exit_code == 0
+        capsys.readouterr()
+        # No patterns ran, so the stream is empty text — but the file
+        # must exist (CI artifact contract).
+        assert remarks_out.exists()

@@ -1,0 +1,211 @@
+"""The remark engine, its pipeline emitters, and the flight recorder."""
+
+import json
+
+import pytest
+
+from repro.ir import FileLineColLoc, VerifyError
+from repro.obs import (
+    NULL_REMARKS,
+    OBS,
+    EventRing,
+    RemarkEngine,
+    install_remarks,
+    recent_events,
+    reset,
+    uninstall_remarks,
+)
+from repro.rewriting import (
+    Canonicalizer,
+    DeadCodeElimination,
+    PassManager,
+    apply_patterns_greedily,
+    parse_patterns,
+)
+from repro.textir import parse_module
+from repro.tools.remark_schema import validate_remark, validate_remarks_jsonl
+
+CONORM_PATTERN = """
+Pattern norm_of_product {
+  Match {
+    %na = cmath.norm(%a)
+    %nb = cmath.norm(%b)
+    %r = arith.mulf(%na, %nb)
+  }
+  Rewrite {
+    %m = cmath.mul(%a, %b)
+    %r = cmath.norm(%m)
+  }
+}
+"""
+
+CONORM_IR = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %np = cmath.norm %p : f32
+  %nq = cmath.norm %q : f32
+  %pq = "arith.mulf"(%np, %nq) : (f32, f32) -> (f32)
+  "func.return"(%pq) : (f32) -> ()
+}) {sym_name = "conorm",
+    function_type = (!cmath.complex<f32>, !cmath.complex<f32>) -> f32}
+   : () -> ()
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    reset()
+    yield
+    reset()
+
+
+class TestRemarkEngine:
+    def test_emit_records_and_counts(self):
+        engine = RemarkEngine()
+        remark = engine.emit(
+            "applied", origin="canonicalize", name="p",
+            op="arith.mulf", location=FileLineColLoc("a.mlir", 1, 2),
+            extra=42,
+        )
+        assert remark is not None
+        assert remark.seq == 1
+        assert remark.key == "applied:canonicalize/p"
+        assert engine.counts == {"applied": 1}
+        assert remark.payload == {"extra": 42}
+
+    def test_filter_drops_and_tallies(self):
+        engine = RemarkEngine(filter_pattern=r"^applied:")
+        assert engine.emit("applied", origin="o", name="n") is not None
+        assert engine.emit("missed", origin="o", name="n") is None
+        assert engine.filtered == 1
+        assert "1 remark(s) dropped" in engine.render_text()
+
+    def test_render_text_and_jsonl(self):
+        engine = RemarkEngine()
+        engine.emit("applied", origin="o", name="n", op="x.y",
+                    location=FileLineColLoc("a.mlir", 3, 4), message="hi")
+        assert 'at "a.mlir":3:4' in engine.render_text()
+        (line,) = engine.render_jsonl().splitlines()
+        obj = json.loads(line)
+        assert obj["loc"] == '"a.mlir":3:4'
+        assert validate_remark(obj) == []
+
+    def test_null_engine_is_inert(self):
+        assert not NULL_REMARKS.enabled
+        assert NULL_REMARKS.emit("applied", origin="o", name="n") is None
+        assert NULL_REMARKS.remarks == []
+
+    def test_install_uninstall(self):
+        engine = install_remarks()
+        assert OBS.remarks is engine
+        assert uninstall_remarks() is engine
+        assert OBS.remarks is NULL_REMARKS
+
+
+class TestEventRing:
+    def test_bounded_capacity(self):
+        ring = EventRing(capacity=4)
+        for index in range(10):
+            ring.push("tick", index=index)
+        events = ring.snapshot()
+        assert len(events) == 4
+        assert [e["index"] for e in events] == [6, 7, 8, 9]
+        assert [e["seq"] for e in events] == [7, 8, 9, 10]
+        assert ring.total_pushed == 10
+
+    def test_remarks_feed_the_global_ring(self):
+        install_remarks()
+        OBS.remarks.emit("applied", origin="o", name="n", op="x.y")
+        (event,) = recent_events()
+        assert event["kind"] == "remark"
+        assert event["op"] == "x.y"
+
+
+class TestDriverRemarks:
+    def test_applied_remark_with_location(self, cmath_ctx):
+        engine = install_remarks()
+        patterns = parse_patterns(cmath_ctx, CONORM_PATTERN)
+        module = parse_module(cmath_ctx, CONORM_IR, "conorm.mlir")
+        apply_patterns_greedily(cmath_ctx, module, patterns)
+        applied = [r for r in engine.remarks if r.kind == "applied"]
+        assert len(applied) == 1
+        remark = applied[0]
+        assert remark.name == "norm_of_product"
+        assert remark.op == "arith.mulf"
+        assert remark.location.resolve().filename == "conorm.mlir"
+
+    def test_missed_remark_has_reason(self, cmath_ctx):
+        engine = install_remarks()
+        patterns = parse_patterns(cmath_ctx, CONORM_PATTERN)
+        # norm feeding a return, not a mulf: the pattern cannot fire.
+        module = parse_module(cmath_ctx, """
+        "func.func"() ({
+        ^bb0(%p: !cmath.complex<f32>, %x: f32):
+          %m = "arith.mulf"(%x, %x) : (f32, f32) -> (f32)
+          "func.return"(%m) : (f32) -> ()
+        }) {sym_name = "f",
+            function_type = (!cmath.complex<f32>, f32) -> f32} : () -> ()
+        """, "f.mlir")
+        apply_patterns_greedily(cmath_ctx, module, patterns)
+        missed = [r for r in engine.remarks if r.kind == "missed"]
+        assert missed
+        assert missed[0].message == "pattern did not match"
+        assert missed[0].op == "arith.mulf"
+
+    def test_pass_remarks_from_manager(self, cmath_ctx):
+        engine = install_remarks()
+        patterns = parse_patterns(cmath_ctx, CONORM_PATTERN)
+        module = parse_module(cmath_ctx, CONORM_IR, "conorm.mlir")
+        manager = PassManager()
+        manager.add(Canonicalizer(cmath_ctx, patterns))
+        manager.add(DeadCodeElimination())
+        manager.run(module)
+        pass_remarks = [r for r in engine.remarks if r.kind == "pass"]
+        assert [r.name for r in pass_remarks] == ["canonicalize", "dce"]
+        assert all("wall_time_s" in r.payload for r in pass_remarks)
+        assert pass_remarks[0].payload["changed"] is True
+        # The canonicalizer stamps its own name as the origin of the
+        # driver's applied/missed remarks.
+        applied = [r for r in engine.remarks if r.kind == "applied"]
+        assert applied[0].origin == "canonicalize"
+
+    def test_verify_failure_remark(self, cmath_ctx):
+        engine = install_remarks()
+        module = parse_module(cmath_ctx, """
+        "func.func"() ({
+        ^bb0(%p: !cmath.complex<f32>):
+          %n = "cmath.norm"(%p, %p)
+             : (!cmath.complex<f32>, !cmath.complex<f32>) -> (f32)
+          "func.return"(%n) : (f32) -> ()
+        }) {sym_name = "f",
+            function_type = (!cmath.complex<f32>) -> f32} : () -> ()
+        """, "bad.mlir")
+        with pytest.raises(VerifyError):
+            module.verify()
+        failures = [r for r in engine.remarks if r.kind == "verify-failure"]
+        assert failures
+        assert failures[0].op == "cmath.norm"
+        assert failures[0].location.resolve().filename == "bad.mlir"
+
+
+class TestJsonlStream:
+    def test_pipeline_stream_passes_schema(self, cmath_ctx, tmp_path):
+        engine = install_remarks()
+        patterns = parse_patterns(cmath_ctx, CONORM_PATTERN)
+        module = parse_module(cmath_ctx, CONORM_IR, "conorm.mlir")
+        manager = PassManager()
+        manager.add(Canonicalizer(cmath_ctx, patterns))
+        manager.add(DeadCodeElimination())
+        manager.run(module)
+        out = tmp_path / "remarks.jsonl"
+        engine.write(str(out), fmt="jsonl")
+        assert validate_remarks_jsonl(str(out)) == []
+        lines = out.read_text().splitlines()
+        assert len(lines) == len(engine.remarks)
+
+    def test_schema_rejects_malformed(self, tmp_path):
+        out = tmp_path / "bad.jsonl"
+        out.write_text('{"seq": true}\nnot json\n')
+        problems = validate_remarks_jsonl(str(out))
+        assert any("invalid JSON" in p for p in problems)
+        assert any("'seq'" in p for p in problems)

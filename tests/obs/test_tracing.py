@@ -53,10 +53,15 @@ class TestChromeTraceJson:
         payload = json.loads(tracer.to_json())
         assert payload["displayTimeUnit"] == "ms"
         events = payload["traceEvents"]
-        # Metadata event first, then the spans ordered by start time.
-        assert events[0]["ph"] == "M"
-        assert events[0]["args"] == {"name": "irdl-opt"}
-        spans = events[1:]
+        # Metadata events first (process and thread labels for
+        # Perfetto), then the spans ordered by start time.
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert [e["name"] for e in metadata] == [
+            "process_name", "thread_name"
+        ]
+        assert metadata[0]["args"] == {"name": "irdl-opt"}
+        assert metadata[1]["args"] == {"name": "pipeline"}
+        spans = events[len(metadata):]
         assert [e["name"] for e in spans] == ["a", "b"]
         for event in spans:
             for key in ("name", "cat", "ph", "pid", "tid", "ts", "dur"):
@@ -69,7 +74,7 @@ class TestChromeTraceJson:
         with tracer.span("parent"):
             with tracer.span("child"):
                 pass
-        names = [e["name"] for e in tracer.to_dict()["traceEvents"][1:]]
+        names = [e["name"] for e in tracer.to_dict()["traceEvents"][2:]]
         assert names == ["first", "parent", "child"]
 
     def test_write_creates_loadable_file(self, tmp_path):

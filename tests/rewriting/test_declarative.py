@@ -194,3 +194,63 @@ class TestResultTypeInference:
         assert apply_patterns_greedily(cmath_ctx, module, patterns)
         module.verify()
         assert any(op.name == "arith.mulf" for op in module.walk())
+
+
+class TestDiagnosticProvenance:
+    def test_parse_errors_carry_the_pattern_file_span(self):
+        with pytest.raises(DiagnosticError) as err:
+            PatternParser("""
+            Pattern p {
+              Match { %r = cmath.norm(%a) }
+              Rewrite { %r = cmath.norm(%ghost) }
+            }
+            """, "p.pattern").parse_file()
+        rendered = str(err.value)
+        # The caret snippet points into the pattern file.
+        assert "p.pattern:" in rendered
+        assert "^" in rendered
+
+    def test_unknown_op_error_points_at_the_template(self, cmath_ctx):
+        with pytest.raises(DiagnosticError) as err:
+            parse_patterns(cmath_ctx, """
+            Pattern p {
+              Match { %r = cmath.nothing(%a) }
+              Rewrite { %r = cmath.norm(%a) }
+            }
+            """, "p.pattern")
+        assert "p.pattern:3" in str(err.value)
+
+    def test_spanless_pattern_falls_back_to_definition_location(
+        self, cmath_ctx
+    ):
+        # A programmatic PatternDecl has no source spans; the diagnostic
+        # falls back to the *dialect definition's* location of the
+        # template's operation instead of rendering without a position.
+        from repro.rewriting.declarative import (
+            OpTemplate,
+            PatternDecl,
+            _pattern_error,
+        )
+
+        decl = PatternDecl("prog", match_ops=[
+            OpTemplate(["r"], "cmath.norm", ["a"]),
+        ])
+        err = _pattern_error(
+            "synthetic problem", decl, decl.root, cmath_ctx
+        )
+        rendered = str(err)
+        assert '"<irdl>":' in rendered
+        assert "synthetic problem" in rendered
+
+    def test_spanless_unknown_op_still_renders(self, cmath_ctx):
+        from repro.rewriting.declarative import (
+            OpTemplate,
+            PatternDecl,
+            _pattern_error,
+        )
+
+        decl = PatternDecl("prog", match_ops=[
+            OpTemplate(["r"], "cmath.nothing", ["a"]),
+        ])
+        err = _pattern_error("no such op", decl, decl.root, cmath_ctx)
+        assert "no such op" in str(err)
