@@ -26,7 +26,7 @@ from repro.analysis.lints.base import (
     render_findings,
     spans_of,
 )
-from repro.analysis.lints.patterns import lint_patterns
+from repro.analysis.lints.patterns import lint_pattern_set, lint_patterns
 from repro.analysis.sat import SatEngine
 from repro.irdl.ast import DialectDecl
 from repro.irdl.defs import DialectDef
@@ -39,6 +39,7 @@ __all__ = [
     "filter_suppressed",
     "findings_to_json",
     "lint_dialect",
+    "lint_pattern_set",
     "lint_patterns",
     "render_findings",
 ]

@@ -50,6 +50,10 @@ LINT_CODES: dict[str, str] = {
     "dead-rewrite-pattern": (
         "a declarative rewrite pattern that can never apply"
     ),
+    "unindexed-rewrite-pattern": (
+        "a rewrite pattern registered without an op_name: it defeats "
+        "root indexing and is offered to every operation"
+    ),
     "segment-attribute-required": (
         "several variadic segments: instances need a segment-sizes "
         "attribute"

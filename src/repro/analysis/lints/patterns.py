@@ -1,4 +1,4 @@
-"""Rewrite-pattern lints: declarative patterns that can never apply.
+"""Rewrite-pattern lints: dead patterns and indexing defeaters.
 
 ``dead-rewrite-pattern`` covers the structural cases (unknown
 operation, operand/result arity the matcher can never satisfy, from
@@ -10,9 +10,16 @@ constraint-level ones decided by the symbolic engine:
 * a matched value produced by one operation and consumed by another
   whose constraints are provably disjoint — the use-def edge can never
   type-check.
+
+``unindexed-rewrite-pattern`` (a warning, from
+:func:`lint_pattern_set`) flags programmatic patterns registered
+without an ``op_name``: the root-indexed matcher table cannot bucket
+them, so they are offered to *every* operation the driver visits.
 """
 
 from __future__ import annotations
+
+from typing import Iterable
 
 from repro.analysis.lints.base import LintFinding
 from repro.analysis.sat import SatEngine, Ternary, Verdict
@@ -22,6 +29,7 @@ from repro.rewriting.declarative import (
     PatternParser,
     check_pattern,
 )
+from repro.rewriting.pattern import RewritePattern
 from repro.utils.diagnostics import DiagnosticError
 
 
@@ -95,4 +103,32 @@ def lint_pattern(
             template.result_names, op_def.results
         ):
             producers[value_name] = (template.op_name, result.constraint)
+    return findings
+
+
+def lint_pattern_set(
+    patterns: Iterable[RewritePattern],
+    suppress: Iterable[str] = (),
+) -> list[LintFinding]:
+    """Lint a programmatic pattern set as registered with the driver.
+
+    Emits one ``unindexed-rewrite-pattern`` warning per pattern without
+    an ``op_name``.  Suppression composes from the set-wide ``suppress``
+    codes and each pattern's own :attr:`RewritePattern.suppressions`
+    (the same ``Suppress`` semantics IRDL definitions use).
+    """
+    suppressed = set(suppress)
+    findings: list[LintFinding] = []
+    for rewrite_pattern in patterns:
+        if rewrite_pattern.op_name is not None:
+            continue
+        if "unindexed-rewrite-pattern" in suppressed:
+            continue
+        if "unindexed-rewrite-pattern" in rewrite_pattern.suppressions:
+            continue
+        findings.append(LintFinding(
+            "unindexed-rewrite-pattern", "warning", rewrite_pattern.label,
+            "pattern has no op_name: it cannot be root-indexed and is "
+            "offered to every operation",
+        ))
     return findings

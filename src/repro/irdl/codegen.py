@@ -68,6 +68,7 @@ if TYPE_CHECKING:
     from repro.irdl.plan import VerificationPlan
 
 __all__ = [
+    "Emitter",
     "STATS",
     "Unsupported",
     "compile_op_verifier",
@@ -187,6 +188,12 @@ class _Emitter:
         namespace = dict(self.env)
         exec(compile(source, filename, "exec"), namespace)
         return namespace[fn_name]
+
+
+#: Public alias: other definition-time compilers (the rewrite-pattern
+#: matcher table in :mod:`repro.rewriting.matcher`) reuse the same
+#: source-accumulation + constant-binding + ``exec`` machinery.
+Emitter = _Emitter
 
 
 def _ident(name: str) -> str:

@@ -17,6 +17,10 @@ from repro.rewriting.driver import (
     PatternStatistics,
     apply_patterns_greedily,
 )
+from repro.rewriting.matcher import (
+    MatcherTable,
+    PatternSlot,
+)
 from repro.rewriting.passes import (
     Canonicalizer,
     CommonSubexpressionElimination,
@@ -43,6 +47,8 @@ __all__ = [
     "infer_result_types",
     "parse_patterns",
     "GreedyPatternDriver",
+    "MatcherTable",
+    "PatternSlot",
     "PatternStatistics",
     "apply_patterns_greedily",
     "Canonicalizer",

@@ -279,6 +279,11 @@ class DeclarativePattern(RewritePattern):
         self.context = context
         self.decl = decl
         self.op_name = decl.root.op_name
+        # Declared match prefix: the compiled matcher table inlines the
+        # root's arity checks (the first tests ``_match`` would run) and
+        # only calls into the interpretive DAG match past them.
+        self.operand_arity = len(decl.root.operand_names)
+        self.result_arity = len(decl.root.result_names)
 
     @property
     def label(self) -> str:

@@ -179,7 +179,12 @@ class CommonSubexpressionElimination(Pass):
 
 
 class Canonicalizer(Pass):
-    """Apply a pattern set greedily to a fixpoint."""
+    """Apply a pattern set greedily to a fixpoint.
+
+    The persistent :class:`GreedyPatternDriver` compiles the pattern
+    set into its root-indexed matcher table once, at pass construction,
+    so repeated :meth:`run` calls amortize the table build.
+    """
 
     name = "canonicalize"
 

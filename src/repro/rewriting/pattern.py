@@ -8,13 +8,13 @@ C++ code" (§3).
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.ir.block import Block
 from repro.ir.context import Context
 from repro.ir.location import UNKNOWN_LOC, Location
 from repro.ir.operation import Operation
-from repro.ir.value import SSAValue
+from repro.ir.value import OpResult, SSAValue
 
 
 class PatternRewriter:
@@ -26,15 +26,40 @@ class PatternRewriter:
     explicit location inherit it, so rewrite products always carry the
     provenance of the op they replace (declarative patterns refine this
     to the fused location of the whole matched set).
+
+    Beyond :attr:`changed`, the rewriter records *what* changed —
+    inserted ops (:attr:`touched`), the substitute values of replaced
+    results (:attr:`replaced_values`), the parents of erased ops
+    (:attr:`erased_parents`), and the defining ops of erased ops'
+    operands (:attr:`erased_defs`).  The worklist driver consumes these
+    to re-seed only the IR a rewrite could have affected instead of
+    re-walking the whole module.
     """
 
     def __init__(self, context: Context):
         self.context = context
         self.changed = False
-        #: Ops inserted/affected this round, re-visited by the driver.
+        #: Ops inserted this round, re-visited by the worklist driver.
         self.touched: list[Operation] = []
+        #: Values substituted for replaced results; their users may now
+        #: match patterns that previously missed.
+        self.replaced_values: list[SSAValue] = []
+        #: Parents of erased ops: an emptied region can enable a match.
+        self.erased_parents: list[Operation] = []
+        #: Defining ops of erased ops' operands: losing a use can make
+        #: them dead (the MLIR driver pushes these for the same reason).
+        self.erased_defs: list[Operation] = []
         #: The location of the op currently offered to patterns.
         self.root_location: Location = UNKNOWN_LOC
+
+    def _note_erasure(self, op: Operation) -> None:
+        """Record the neighborhood of an op about to leave the IR."""
+        parent = op.parent_op
+        if parent is not None:
+            self.erased_parents.append(parent)
+        for operand in op.operands:
+            if isinstance(operand, OpResult):
+                self.erased_defs.append(operand.op)
 
     def insert_before(self, anchor: Operation, op: Operation) -> Operation:
         assert anchor.parent is not None
@@ -87,10 +112,13 @@ class PatternRewriter:
             values: Sequence[SSAValue] = replacement.results
         else:
             values = replacement
+        self._note_erasure(op)
         op.replace_by(list(values))
+        self.replaced_values.extend(values)
         self.changed = True
 
     def erase_op(self, op: Operation) -> None:
+        self._note_erasure(op)
         op.erase()
         self.changed = True
 
@@ -109,6 +137,26 @@ class RewritePattern:
     #: Patterns with higher benefit run first, as in MLIR.
     benefit: int = 1
 
+    # -- match-prefix declarations -------------------------------------
+    # Sound *necessary* conditions the compiled matcher table inlines
+    # ahead of ``match_and_rewrite``: a pattern declaring one promises
+    # it can never fire on an op that fails the test.  All default to
+    # "no promise" so handwritten patterns are unaffected.
+
+    #: Exact number of operands the root must have, when declared.
+    operand_arity: int | None = None
+
+    #: Exact number of results the root must have, when declared.
+    result_arity: int | None = None
+
+    #: Attribute (name -> expected value) equalities on the root; the
+    #: compiled prefix tests identity first (interned attributes), then
+    #: structural equality.
+    root_attrs: Mapping[str, object] | None = None
+
+    #: Lint codes suppressed for this pattern (``Suppress`` machinery).
+    suppressions: frozenset[str] = frozenset()
+
     @property
     def label(self) -> str:
         """The name this pattern reports statistics under."""
@@ -126,10 +174,18 @@ class FunctionPattern(RewritePattern):
         fn: Callable[[Operation, PatternRewriter], bool],
         op_name: str | None = None,
         benefit: int = 1,
+        operand_arity: int | None = None,
+        result_arity: int | None = None,
+        root_attrs: Mapping[str, object] | None = None,
+        suppressions: frozenset[str] | Sequence[str] = frozenset(),
     ):
         self.fn = fn
         self.op_name = op_name
         self.benefit = benefit
+        self.operand_arity = operand_arity
+        self.result_arity = result_arity
+        self.root_attrs = root_attrs
+        self.suppressions = frozenset(suppressions)
 
     @property
     def label(self) -> str:
@@ -139,10 +195,23 @@ class FunctionPattern(RewritePattern):
         return self.fn(op, rewriter)
 
 
-def pattern(op_name: str | None = None, benefit: int = 1):
+def pattern(
+    op_name: str | None = None,
+    benefit: int = 1,
+    operand_arity: int | None = None,
+    result_arity: int | None = None,
+    root_attrs: Mapping[str, object] | None = None,
+    suppressions: frozenset[str] | Sequence[str] = frozenset(),
+):
     """Decorator turning a function into a :class:`RewritePattern`."""
 
     def wrap(fn: Callable[[Operation, PatternRewriter], bool]) -> FunctionPattern:
-        return FunctionPattern(fn, op_name, benefit)
+        return FunctionPattern(
+            fn, op_name, benefit,
+            operand_arity=operand_arity,
+            result_arity=result_arity,
+            root_attrs=root_attrs,
+            suppressions=suppressions,
+        )
 
     return wrap

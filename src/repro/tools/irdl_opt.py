@@ -156,6 +156,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "of the generated specializations (reference path)",
     )
     parser.add_argument(
+        "--no-compiled-match",
+        action="store_true",
+        help="disable compiled pattern matching: run the round-based "
+        "re-walk rewrite driver with interpretive pattern dispatch "
+        "instead of the root-indexed matcher table and worklist "
+        "(reference path)",
+    )
+    parser.add_argument(
         "--dump-generated",
         metavar="OP",
         help="print the generated Python verifier source for a "
@@ -569,17 +577,27 @@ def dump_generated(ctx, name: str) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
-    if not args.no_codegen:
-        return _main(args)
-    # Scope the switch to this invocation so embedding callers (tests,
-    # notebooks) do not observe a globally disabled codegen afterwards.
-    from repro.irdl import codegen
+    # Scope the reference-path switches to this invocation so embedding
+    # callers (tests, notebooks) do not observe globally disabled
+    # compilation afterwards.
+    toggles = []
+    if args.no_codegen:
+        from repro.irdl import codegen
 
-    codegen.set_enabled(False)
+        toggles.append(codegen.set_enabled)
+    if args.no_compiled_match:
+        from repro.rewriting import matcher
+
+        toggles.append(matcher.set_enabled)
+    if not toggles:
+        return _main(args)
+    for toggle in toggles:
+        toggle(False)
     try:
         return _main(args)
     finally:
-        codegen.set_enabled(True)
+        for toggle in toggles:
+            toggle(True)
 
 
 def _main(args: argparse.Namespace) -> int:

@@ -17,6 +17,7 @@ from repro.analysis.lints import (
     exit_code,
     findings_to_json,
     lint_dialect,
+    lint_pattern_set,
     lint_patterns,
     render_findings,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "exit_code",
     "findings_to_json",
     "lint_dialect",
+    "lint_pattern_set",
     "lint_patterns",
     "render_findings",
 ]

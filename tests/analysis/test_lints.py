@@ -430,7 +430,7 @@ class TestReportingSurface:
             "unreachable-anyof-alt", "contradictory-and", "vacuous-not",
             "dead-constraint-var", "overlapping-op-defs",
             "ambiguous-format", "dead-rewrite-pattern",
-            "possibly-unsatisfiable",
+            "possibly-unsatisfiable", "unindexed-rewrite-pattern",
         ):
             assert code in LINT_CODES
 

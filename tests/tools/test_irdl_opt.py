@@ -622,3 +622,56 @@ class TestCompileIrdl:
         exit_code = main(["--compile-irdl", "/nonexistent.irdl",
                           "-o", str(out)])
         assert exit_code == 1
+
+
+class TestCompiledMatchFlags:
+    """``--no-compiled-match`` selects the reference rewrite driver."""
+
+    def write_pattern(self, tmp_path):
+        pattern_file = tmp_path / "conorm.pattern"
+        pattern_file.write_text(PATTERN)
+        return str(pattern_file)
+
+    def test_no_compiled_match_rewrites_identically(self, tmp_path,
+                                                    cmath_irdl, capsys):
+        exit_code = main([
+            "--irdl", cmath_irdl, "--patterns", self.write_pattern(tmp_path),
+            write_ir(tmp_path, CONORM),
+        ])
+        assert exit_code == 0
+        compiled_out = capsys.readouterr().out
+        assert "cmath.mul" in compiled_out
+        exit_code = main([
+            "--irdl", cmath_irdl, "--patterns", self.write_pattern(tmp_path),
+            "--no-compiled-match", write_ir(tmp_path, CONORM),
+        ])
+        assert exit_code == 0
+        assert capsys.readouterr().out == compiled_out
+
+    def test_no_compiled_match_pass_statistics_identical(self, tmp_path,
+                                                         cmath_irdl, capsys):
+        def statistics_rows(extra):
+            exit_code = main([
+                "--irdl", cmath_irdl, "--patterns",
+                self.write_pattern(tmp_path), "--pass-statistics",
+                *extra, write_ir(tmp_path, CONORM),
+            ])
+            assert exit_code == 0
+            err = capsys.readouterr().err
+            assert "norm_of_product.rewrites" in err
+            return [
+                line.strip() for line in err.splitlines()
+                if "norm_of_product" in line or "pattern-" in line
+            ]
+
+        assert statistics_rows([]) == statistics_rows(["--no-compiled-match"])
+
+    def test_no_compiled_match_switch_is_scoped_to_the_invocation(
+            self, tmp_path, cmath_irdl):
+        from repro.rewriting import matcher
+
+        main([
+            "--irdl", cmath_irdl, "--patterns", self.write_pattern(tmp_path),
+            "--no-compiled-match", write_ir(tmp_path, CONORM),
+        ])
+        assert not matcher._disabled_by_flag
