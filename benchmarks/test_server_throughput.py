@@ -1,0 +1,174 @@
+"""Benchmark gate for the dialect service (PR 8).
+
+Boots a real :class:`DialectServer` on an ephemeral port and measures
+it from the client side:
+
+* ``throughput`` — a mixed workload (parse, verify, rewrite, roundtrip)
+  driven by the async :class:`LoadGenerator` over four concurrent
+  clients on four distinct tenants; reports req/s and client-observed
+  p50/p99 latency.  Informational (wall-clock throughput on shared CI
+  runners is too noisy to gate).
+* ``register_cache`` — the gated number: registering a dialect whose
+  payload hash is already hot in the :class:`DialectCache` must be at
+  least ``MIN_SPEEDUP``x faster than a cold registration that compiles
+  the payload (parse → resolve → codegen).  Cold payloads are the same
+  cmath source padded to a fresh hash, so both sides compile identical
+  structures and the delta is purely the cache.
+
+Results are exported to ``benchmarks/results/BENCH_server.json``.
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/test_server_throughput.py
+"""
+
+import asyncio
+import json
+import os
+import time
+
+from repro.corpus import cmath_source
+from repro.server.client import LoadGenerator, ServerClient
+from repro.server.daemon import DialectServer
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_server.json")
+
+#: The acceptance gate: a dialect-cache hit must beat a cold
+#: registration (full parse → resolve → codegen) by at least this
+#: factor, measured end to end through the request path.
+MIN_SPEEDUP = 5.0
+
+#: Concurrent clients (each on its own tenant) in the mixed workload.
+TENANTS = 4
+
+#: Mixed-workload iterations per tenant (4 requests per iteration).
+ITERATIONS = 25
+
+#: Timed registrations per side of the cache gate.
+REGISTER_SAMPLES = 8
+
+GOOD_IR = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>):
+  %n = cmath.norm %p : f32
+  "func.return"(%n) : (f32) -> ()
+}) {sym_name = "n", function_type = (!cmath.complex<f32>) -> f32} : () -> ()
+"""
+
+
+class running_server:
+    """A started in-process server plus its accept task."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("port", 0)
+        self.server = DialectServer(**kwargs)
+        self._task = None
+
+    async def __aenter__(self) -> DialectServer:
+        await self.server.start()
+        self._task = asyncio.create_task(self.server.serve_forever())
+        return self.server
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.server.shutdown(drain_timeout=10)
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+
+
+async def _mixed_workload(server: DialectServer, cmath_text: str) -> dict:
+    """Four tenants hammer the full request mix; client-side latency."""
+    generator = LoadGenerator(server.host, server.port, tenants=TENANTS)
+
+    async def worker(client, index):
+        await client.register_dialect(cmath_text, name="cmath.irdl")
+        for _ in range(ITERATIONS):
+            await client.parse(GOOD_IR)
+            await client.verify(GOOD_IR)
+            await client.rewrite(GOOD_IR, pipeline=["canonicalize", "dce"])
+            await client.roundtrip(GOOD_IR)
+
+    report = await generator.run(worker)
+    assert report.errors == 0, f"{report.errors} request(s) failed"
+    expected = TENANTS * (1 + 4 * ITERATIONS)
+    assert report.requests == expected
+    return report.summary()
+
+
+async def _register_cache_gate(server: DialectServer,
+                               cmath_text: str) -> dict:
+    """Cold-vs-cached ``register_dialect``, measured client side.
+
+    Every payload is the same cmath source; cold samples get a unique
+    trailing-newline pad so each hashes fresh and must compile, cached
+    samples repeat one hot payload.  ``replace=true`` keeps re-planting
+    the dialect into the same tenant legal.
+    """
+    async with await ServerClient.connect(
+        server.host, server.port, tenant="bench-cache"
+    ) as client:
+        cold_ms = []
+        for index in range(REGISTER_SAMPLES):
+            payload = cmath_text + "\n" * (index + 1)
+            start = time.perf_counter()
+            result = await client.register_dialect(payload, replace=True)
+            cold_ms.append((time.perf_counter() - start) * 1e3)
+            assert result["cache_hit"] is False
+
+        hot = cmath_text + "\n"  # already compiled by cold sample 0
+        cached_ms = []
+        for _ in range(REGISTER_SAMPLES):
+            start = time.perf_counter()
+            result = await client.register_dialect(hot, replace=True)
+            cached_ms.append((time.perf_counter() - start) * 1e3)
+            assert result["cache_hit"] is True
+
+    cold = min(cold_ms)
+    cached = min(cached_ms)
+    return {
+        "samples": REGISTER_SAMPLES,
+        "cold_ms": round(cold, 3),
+        "cached_ms": round(cached, 3),
+        "speedup": round(cold / cached, 2),
+        "min_speedup": MIN_SPEEDUP,
+    }
+
+
+def test_server_throughput():
+    cmath_text = cmath_source()
+
+    async def scenario():
+        async with running_server(cache_size=64) as server:
+            throughput = await _mixed_workload(server, cmath_text)
+            register_cache = await _register_cache_gate(server, cmath_text)
+            stats = server.stats()
+        return throughput, register_cache, stats
+
+    throughput, register_cache, stats = asyncio.run(scenario())
+
+    payload = {
+        "benchmark": "server_throughput",
+        "tenants": TENANTS,
+        "throughput": throughput,
+        "register_cache": register_cache,
+        "dialect_cache": stats["dialect_cache"],
+        "server_latency": stats["latency"],
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert throughput["req_per_s"] > 0
+    assert throughput["p99_ms"] >= throughput["p50_ms"]
+    # Misses: the workload's cmath (once, across all tenants) plus one
+    # per cold pad; every other registration hit the shared cache.
+    assert stats["dialect_cache"]["hits"] >= TENANTS - 1 + REGISTER_SAMPLES
+    assert register_cache["speedup"] >= MIN_SPEEDUP, (
+        f"dialect-cache hit path only {register_cache['speedup']:.2f}x "
+        f"faster than cold registration (gate: {MIN_SPEEDUP}x); "
+        f"see {RESULTS_PATH}"
+    )

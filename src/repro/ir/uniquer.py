@@ -26,6 +26,7 @@ enabled.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Any, Hashable, TypeVar
 
@@ -71,14 +72,21 @@ class AttributeUniquer:
     Entries disappear automatically once the canonical attribute has no
     remaining strong references, so a long-lived uniquer does not pin
     every attribute ever created.
+
+    The cache is thread-safe: the process-wide default uniquer is
+    shared by every context, and the dialect server's worker threads
+    intern concurrently.  A single lock brackets each lookup-or-publish
+    so two threads racing on one key always agree on the canonical
+    instance (hammered by ``tests/obs/test_thread_safety.py``).
     """
 
-    __slots__ = ("_cache", "hits", "misses")
+    __slots__ = ("_cache", "_lock", "hits", "misses")
 
     def __init__(self) -> None:
         self._cache: "weakref.WeakValueDictionary[Hashable, Attribute]" = (
             weakref.WeakValueDictionary()
         )
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -95,33 +103,36 @@ class AttributeUniquer:
         key = structural_key(attr)
         if key is None:
             return attr
-        try:
-            canonical = self._cache.get(key)
-        except TypeError:  # an unhashable parameter deep in the tree
+        with self._lock:
+            try:
+                canonical = self._cache.get(key)
+            except TypeError:  # an unhashable parameter deep in the tree
+                return attr
+            if canonical is not None:
+                self.hits += 1
+                self._record("hits")
+                return canonical  # type: ignore[return-value]
+            self.misses += 1
+            self._record("misses")
+            self._cache[key] = attr
             return attr
-        if canonical is not None:
-            self.hits += 1
-            self._record("hits")
-            return canonical  # type: ignore[return-value]
-        self.misses += 1
-        self._record("misses")
-        self._cache[key] = attr
-        return attr
 
     def lookup(self, attr: Attribute) -> Attribute | None:
         """The cached canonical instance for ``attr``'s key, if any."""
         key = structural_key(attr)
         if key is None:
             return None
-        try:
-            return self._cache.get(key)
-        except TypeError:
-            return None
+        with self._lock:
+            try:
+                return self._cache.get(key)
+            except TypeError:
+                return None
 
     def clear(self) -> None:
-        self._cache.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0
 
     @staticmethod
     def _record(which: str) -> None:

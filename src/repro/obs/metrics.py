@@ -16,13 +16,21 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+#: One process-wide lock serializing instrument mutation.  Increments
+#: and observations are multi-step Python statements, so concurrent
+#: worker threads (the dialect server's pool) would otherwise lose
+#: updates; a single shared lock keeps the hot path branch-free and the
+#: disabled path (null instruments) entirely lock-free.
+_STATE_LOCK = threading.Lock()
+
 
 class Counter:
-    """A monotonically increasing integer metric."""
+    """A monotonically increasing integer metric (thread-safe)."""
 
     __slots__ = ("name", "value")
 
@@ -31,14 +39,15 @@ class Counter:
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with _STATE_LOCK:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, {self.value})"
 
 
 class Timer:
-    """Accumulated wall time over any number of recorded intervals."""
+    """Accumulated wall time over recorded intervals (thread-safe)."""
 
     __slots__ = ("name", "total", "count", "min", "max")
 
@@ -50,12 +59,13 @@ class Timer:
         self.max = 0.0
 
     def record(self, seconds: float) -> None:
-        self.total += seconds
-        self.count += 1
-        if seconds < self.min:
-            self.min = seconds
-        if seconds > self.max:
-            self.max = seconds
+        with _STATE_LOCK:
+            self.total += seconds
+            self.count += 1
+            if seconds < self.min:
+                self.min = seconds
+            if seconds > self.max:
+                self.max = seconds
 
     @contextmanager
     def time(self) -> Iterator["Timer"]:
@@ -93,14 +103,15 @@ class Histogram:
         self.buckets: dict[float, int] = {}
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        bound = 0.0 if value <= 0 else 2.0 ** math.ceil(math.log2(value))
-        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+        with _STATE_LOCK:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            bound = 0.0 if value <= 0 else 2.0 ** math.ceil(math.log2(value))
+            self.buckets[bound] = self.buckets.get(bound, 0) + 1
 
     @property
     def mean(self) -> float:
@@ -203,6 +214,11 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._timers: dict[str, Timer] = {}
         self._histograms: dict[str, Histogram] = {}
+        #: Serializes instrument creation and snapshot iteration, so
+        #: concurrent first-use from worker threads yields one shared
+        #: instrument per name and snapshots never observe a dict
+        #: mid-mutation.
+        self._lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -216,9 +232,10 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every recorded instrument (the enabled flag is kept)."""
-        self._counters.clear()
-        self._timers.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+            self._histograms.clear()
 
     # -- instrument lookup ---------------------------------------------
 
@@ -227,7 +244,10 @@ class MetricsRegistry:
             return NULL_COUNTER  # type: ignore[return-value]
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name)
+            with self._lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = self._counters[name] = Counter(name)
         return instrument
 
     def timer(self, name: str) -> Timer:
@@ -235,7 +255,10 @@ class MetricsRegistry:
             return NULL_TIMER  # type: ignore[return-value]
         instrument = self._timers.get(name)
         if instrument is None:
-            instrument = self._timers[name] = Timer(name)
+            with self._lock:
+                instrument = self._timers.get(name)
+                if instrument is None:
+                    instrument = self._timers[name] = Timer(name)
         return instrument
 
     def histogram(self, name: str) -> Histogram:
@@ -243,7 +266,10 @@ class MetricsRegistry:
             return NULL_HISTOGRAM  # type: ignore[return-value]
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name)
+            with self._lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = self._histograms[name] = Histogram(name)
         return instrument
 
     def scope(self, prefix: str) -> "MetricsScope":
@@ -275,6 +301,10 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, Any]:
         """A machine-readable dump of every instrument."""
+        with self._lock, _STATE_LOCK:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict[str, Any]:
         return {
             "counters": {
                 name: c.value for name, c in sorted(self._counters.items())

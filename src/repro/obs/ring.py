@@ -13,6 +13,7 @@ beyond its capacity and costs nothing when no one pushes to it.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Any
 
@@ -21,29 +22,38 @@ DEFAULT_CAPACITY = 256
 
 
 class EventRing:
-    """A fixed-capacity ring of structured events."""
+    """A fixed-capacity ring of structured events.
 
-    __slots__ = ("capacity", "_events", "_seq")
+    Thread-safe: the dialect server's worker threads push concurrently
+    while the event loop snapshots; a lock keeps the sequence numbers
+    gap-free and snapshots consistent.
+    """
+
+    __slots__ = ("capacity", "_events", "_seq", "_lock")
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         self.capacity = capacity
         self._events: deque[dict[str, Any]] = deque(maxlen=capacity)
         self._seq = 0
+        self._lock = threading.Lock()
 
     def push(self, kind: str, **fields: Any) -> None:
         """Append one event, evicting the oldest when full."""
-        self._seq += 1
-        event: dict[str, Any] = {"seq": self._seq, "kind": kind}
-        event.update(fields)
-        self._events.append(event)
+        with self._lock:
+            self._seq += 1
+            event: dict[str, Any] = {"seq": self._seq, "kind": kind}
+            event.update(fields)
+            self._events.append(event)
 
     def snapshot(self) -> list[dict[str, Any]]:
         """The retained events, oldest first (copies of the ring slots)."""
-        return [dict(event) for event in self._events]
+        with self._lock:
+            return [dict(event) for event in self._events]
 
     def clear(self) -> None:
-        self._events.clear()
-        self._seq = 0
+        with self._lock:
+            self._events.clear()
+            self._seq = 0
 
     @property
     def total_pushed(self) -> int:

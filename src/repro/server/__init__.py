@@ -1,0 +1,59 @@
+"""``repro.server``: a long-running multi-tenant IRDL dialect service.
+
+Everything the one-shot ``irdl-opt`` CLI can do — register IRDL
+dialects, parse/verify/rewrite/lint/round-trip IR — becomes a request
+against a persistent daemon, so a fleet of clients shares one warm
+process instead of each invocation re-paying startup and dialect
+compilation.  Four cooperating pieces:
+
+* :mod:`repro.server.session` — the :class:`Session` pipeline object
+  (context + registered dialects + pipeline runner) shared by the CLI
+  and the server, so both run the same code path;
+* :mod:`repro.server.cache` — a :class:`DialectCache` LRU of hot
+  compiled dialects keyed by payload hash: re-registering an
+  already-seen dialect is a cache hit that skips resolve/codegen;
+* :mod:`repro.server.protocol` — the length-prefixed JSON frame codec
+  with bounded frame sizes and the structured error contract;
+* :mod:`repro.server.daemon` — the asyncio :class:`DialectServer` with
+  per-tenant :class:`~repro.ir.context.Context` isolation, per-request
+  timeouts, graceful shutdown draining, ``server.*`` observability
+  instruments, and the ``repro-serve`` console entry point;
+* :mod:`repro.server.client` — the async :class:`ServerClient` and the
+  :class:`LoadGenerator` that backs ``BENCH_server.json``.
+
+See ``docs/server.md`` for the protocol specification.
+"""
+
+from repro.server.cache import CompiledDialects, DialectCache
+from repro.server.client import LoadGenerator, LoadReport, ServerClient, ServerError
+from repro.server.daemon import DialectServer, Tenant, main
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME,
+    ErrorCode,
+    FrameError,
+    error_response,
+    ok_response,
+    read_frame,
+    write_frame,
+)
+from repro.server.session import Session
+
+__all__ = [
+    "CompiledDialects",
+    "DialectCache",
+    "DialectServer",
+    "Tenant",
+    "main",
+    "DEFAULT_MAX_FRAME",
+    "ErrorCode",
+    "FrameError",
+    "error_response",
+    "ok_response",
+    "read_frame",
+    "write_frame",
+    "ServerClient",
+    "ServerError",
+    "LoadGenerator",
+    "LoadReport",
+    "Session",
+]

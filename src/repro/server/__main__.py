@@ -1,0 +1,8 @@
+"""``python -m repro.server`` — the daemon's module entry point."""
+
+import sys
+
+from repro.server.daemon import main
+
+if __name__ == "__main__":
+    sys.exit(main())

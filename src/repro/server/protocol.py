@@ -1,0 +1,172 @@
+"""The wire protocol: length-prefixed JSON frames over a byte stream.
+
+Every message — request or response — is one *frame*::
+
+    +----------------+----------------------------+
+    | length (u32 BE)| UTF-8 JSON object (length) |
+    +----------------+----------------------------+
+
+Frames are bounded (:data:`DEFAULT_MAX_FRAME`, overridable per server);
+an oversized or malformed frame raises :class:`FrameError`, which the
+server answers with a structured error reply before dropping the
+connection — a misbehaving client can never make the daemon allocate
+unbounded memory or desynchronize the stream for other connections.
+
+Requests are JSON objects ``{"id": ..., "type": ..., "tenant": ...,
+**params}``; binary payloads (IRBC bytecode) travel base64-encoded
+under ``*_b64`` keys.  Responses are ``{"id": ..., "ok": true,
+"result": {...}}`` or ``{"id": ..., "ok": false, "error": {"code":
+..., "message": ..., "detail": ...}}`` — the full schema catalog lives
+in ``docs/server.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import struct
+from typing import Any
+
+#: Default upper bound on one frame's JSON payload, in bytes (8 MiB).
+DEFAULT_MAX_FRAME = 8 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ErrorCode:
+    """The structured error vocabulary of the service."""
+
+    BAD_REQUEST = "bad-request"
+    FRAME_TOO_LARGE = "frame-too-large"
+    UNKNOWN_TYPE = "unknown-type"
+    DIALECT_ERROR = "dialect-error"
+    PARSE_ERROR = "parse-error"
+    VERIFY_ERROR = "verify-error"
+    LINT_ERROR = "lint-error"
+    PIPELINE_ERROR = "pipeline-error"
+    TIMEOUT = "timeout"
+    SHUTTING_DOWN = "shutting-down"
+    INTERNAL = "internal"
+
+
+class FrameError(Exception):
+    """A frame violated the protocol (size bound, length header, JSON)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+def encode_frame(obj: Any, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Serialize one message to its wire form."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > max_frame:
+        raise FrameError(
+            ErrorCode.FRAME_TOO_LARGE,
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{max_frame}-byte bound",
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Any:
+    """Parse a frame payload, normalizing failures to FrameError."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise FrameError(
+            ErrorCode.BAD_REQUEST, f"frame is not valid JSON: {err}"
+        ) from err
+    if not isinstance(message, dict):
+        raise FrameError(
+            ErrorCode.BAD_REQUEST,
+            f"frame must be a JSON object, got {type(message).__name__}",
+        )
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     max_frame: int = DEFAULT_MAX_FRAME) -> Any | None:
+    """Read one message; ``None`` on clean EOF before a length header."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > max_frame:
+        raise FrameError(
+            ErrorCode.FRAME_TOO_LARGE,
+            f"frame of {length} bytes exceeds the {max_frame}-byte bound",
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as err:
+        raise FrameError(
+            ErrorCode.BAD_REQUEST,
+            f"stream ended {length - len(err.partial)} bytes short of "
+            "the declared frame length",
+        ) from err
+    return decode_payload(payload)
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj: Any,
+                      max_frame: int = DEFAULT_MAX_FRAME) -> None:
+    """Write one message and drain the transport."""
+    writer.write(encode_frame(obj, max_frame))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Message constructors
+# ----------------------------------------------------------------------
+
+
+def ok_response(request_id: Any, result: dict) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Any, code: str, message: str,
+                   detail: Any = None) -> dict:
+    error: dict[str, Any] = {"code": code, "message": message}
+    if detail is not None:
+        error["detail"] = detail
+    return {"id": request_id, "ok": False, "error": error}
+
+
+def to_b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def from_b64(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as err:
+        raise FrameError(
+            ErrorCode.BAD_REQUEST, f"invalid base64 payload: {err}"
+        ) from err
+
+
+def extract_payload(request: dict, text_key: str,
+                    b64_key: str) -> bytes | None:
+    """A request's payload as bytes: text or base64 bytecode, not both."""
+    text = request.get(text_key)
+    blob = request.get(b64_key)
+    if text is not None and blob is not None:
+        raise FrameError(
+            ErrorCode.BAD_REQUEST,
+            f"request carries both {text_key!r} and {b64_key!r}",
+        )
+    if text is not None:
+        if not isinstance(text, str):
+            raise FrameError(
+                ErrorCode.BAD_REQUEST, f"{text_key!r} must be a string"
+            )
+        return text.encode("utf-8")
+    if blob is not None:
+        if not isinstance(blob, str):
+            raise FrameError(
+                ErrorCode.BAD_REQUEST, f"{b64_key!r} must be a string"
+            )
+        return from_b64(blob)
+    return None

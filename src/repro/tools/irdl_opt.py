@@ -29,7 +29,6 @@ from typing import Iterator
 from repro.builtin import default_context
 from repro.ir.exceptions import VerifyError
 from repro.irdl.instantiate import load_irdl_file
-from repro.textir.parser import parse_module
 from repro.textir.printer import print_op
 from repro.utils.diagnostics import DiagnosticError
 
@@ -44,7 +43,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "input",
         nargs="?",
         help="IR input file — textual or bytecode, autodetected by "
-        "the magic number",
+        "the magic number; '-' reads stdin",
     )
     parser.add_argument(
         "--irdl",
@@ -52,7 +51,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="FILE",
         help="register the dialects of an IRDL file — source text or a "
-        "compiled --compile-irdl artifact, autodetected (repeatable)",
+        "compiled --compile-irdl artifact, autodetected (repeatable); "
+        "'-' reads stdin",
     )
     parser.add_argument(
         "-o",
@@ -326,6 +326,27 @@ class _Observation:
         finally:
             reset()
         return ok
+
+
+class _StdinOnce:
+    """Reads stdin at most once per invocation.
+
+    Both the IR input and ``--irdl`` accept ``-``; the bytes can only
+    serve one of them, so a second read is a usage error rather than a
+    silent empty payload.
+    """
+
+    def __init__(self) -> None:
+        self._used_by: str | None = None
+
+    def read(self, purpose: str) -> bytes:
+        if self._used_by is not None:
+            raise ValueError(
+                f"'-' (stdin) already consumed by {self._used_by}; "
+                f"it cannot also supply {purpose}"
+            )
+        self._used_by = purpose
+        return sys.stdin.buffer.read()
 
 
 def _write_output(data: str | bytes, output: str | None) -> None:
@@ -657,15 +678,30 @@ def _dump_flight_recorder() -> None:
 
 
 def _run_pipeline(args: argparse.Namespace, observation: _Observation) -> int:
-    ctx = default_context()
-    registered = []
+    # The CLI and the dialect server share the Session pipeline object,
+    # so an invocation here exercises exactly the code path a server
+    # request does (see repro.server.session).
+    from repro.server.session import Session
+
+    session = Session()
+    ctx = session.ctx
+    stdin = _StdinOnce()
     with observation.phase("register-dialects"):
         for irdl_path in args.irdl:
             try:
-                registered.extend(load_irdl_file(ctx, irdl_path))
+                if irdl_path == "-":
+                    session.register_dialect_data(
+                        stdin.read("--irdl"), "<stdin>"
+                    )
+                else:
+                    session.register_dialect_path(irdl_path)
             except DiagnosticError as err:
                 print(err, file=sys.stderr)
                 return 1
+            except ValueError as err:
+                print(f"error: {err}", file=sys.stderr)
+                return 1
+    registered = session.dialects
 
     if args.dump_generated is not None:
         return dump_generated(ctx, args.dump_generated)
@@ -692,23 +728,24 @@ def _run_pipeline(args: argparse.Namespace, observation: _Observation) -> int:
         print("error: no input file", file=sys.stderr)
         return 1
 
-    from repro.bytecode import decode_module, is_bytecode
+    from repro.bytecode import is_bytecode
 
+    input_name = "<stdin>" if args.input == "-" else args.input
     try:
-        with open(args.input, "rb") as handle:
-            raw = handle.read()
+        if args.input == "-":
+            raw = stdin.read("the IR input")
+        else:
+            with open(args.input, "rb") as handle:
+                raw = handle.read()
     except OSError as err:
         print(f"error: cannot read {args.input}: {err}", file=sys.stderr)
         return 1
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
     try:
-        if is_bytecode(raw):
-            with observation.phase("decode"):
-                module = decode_module(ctx, raw, name=args.input)
-        else:
-            with observation.phase("parse"):
-                module = parse_module(
-                    ctx, raw.decode("utf-8"), args.input
-                )
+        with observation.phase("decode" if is_bytecode(raw) else "parse"):
+            module = session.load_module(raw, input_name)
     except DiagnosticError as err:
         print(err, file=sys.stderr)
         return 1
@@ -718,14 +755,14 @@ def _run_pipeline(args: argparse.Namespace, observation: _Observation) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 1
     except UnicodeDecodeError as err:
-        print(f"error: {args.input} is neither bytecode nor UTF-8 text: "
+        print(f"error: {input_name} is neither bytecode nor UTF-8 text: "
               f"{err}", file=sys.stderr)
         return 1
 
     if not args.no_verify:
         try:
             with observation.phase("verify"):
-                module.verify()
+                session.verify(module)
         except VerifyError as err:
             if args.verify_diagnostics:
                 print(f"verification failed as expected: {err}")
@@ -737,31 +774,25 @@ def _run_pipeline(args: argparse.Namespace, observation: _Observation) -> int:
             return 1
 
     if args.patterns:
-        from repro.rewriting import (
-            Canonicalizer,
-            DeadCodeElimination,
-            PassManager,
-            parse_patterns,
-        )
-
         all_patterns = []
         for patterns_path in args.patterns:
             with open(patterns_path, encoding="utf-8") as handle:
                 try:
                     all_patterns.extend(
-                        parse_patterns(ctx, handle.read(), patterns_path)
+                        session.parse_pattern_text(
+                            handle.read(), patterns_path
+                        )
                     )
                 except DiagnosticError as err:
                     print(err, file=sys.stderr)
                     return 1
-        manager = PassManager(verify_each=args.verify_each)
-        manager.add(Canonicalizer(ctx, all_patterns))
-        manager.add(DeadCodeElimination())
-        manager.run(module)
+        manager = session.run_patterns(
+            module, all_patterns, verify_each=args.verify_each
+        )
         observation.adopt_pass_records(manager)
         if not args.no_verify:
             with observation.phase("verify-output"):
-                module.verify()
+                session.verify(module)
 
     if args.emit_cfg:
         from repro.analysis.dot import cfg_to_dot

@@ -1,0 +1,61 @@
+"""Shared fixtures for the dialect-service suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import cmath_source
+
+GOOD_IR = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>):
+  %n = cmath.norm %p : f32
+  "func.return"(%n) : (f32) -> ()
+}) {sym_name = "n", function_type = (!cmath.complex<f32>) -> f32} : () -> ()
+"""
+
+BAD_IR = """
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f64>):
+  %m = "cmath.mul"(%p, %q) : (!cmath.complex<f32>, !cmath.complex<f64>)
+       -> (!cmath.complex<f32>)
+  "func.return"() : () -> ()
+}) {sym_name = "bad",
+    function_type = (!cmath.complex<f32>, !cmath.complex<f64>) -> ()}
+   : () -> ()
+"""
+
+#: A second tiny dialect, distinct from cmath, for multi-payload tests.
+TOY_DIALECT = """
+Dialect toy {
+  Type thing {}
+  Operation make {
+    Results(out: !toy.thing)
+  }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def cmath_text() -> str:
+    return cmath_source()
+
+
+@pytest.fixture(scope="session")
+def cmath_bytecode(cmath_text) -> bytes:
+    from repro.bytecode import encode_dialects
+    from repro.irdl.parser import parse_irdl
+
+    return encode_dialects(parse_irdl(cmath_text, "cmath.irdl"))
+
+
+def make_variant(index: int) -> str:
+    """A structurally distinct dialect per index (defeats the cache)."""
+    return (
+        f"Dialect variant{index} {{\n"
+        f"  Type t{index} {{}}\n"
+        f"  Operation op{index} {{\n"
+        f"    Results(out: !variant{index}.t{index})\n"
+        f"  }}\n"
+        f"}}\n"
+    )

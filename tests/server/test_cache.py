@@ -1,0 +1,164 @@
+"""Dialect-cache semantics: hit identity, LRU order, hot reload.
+
+The satellite contract from the service design: the same payload hash
+must yield the *identical* compiled dialect objects for every tenant, a
+differing hash must recompile, eviction follows least-recently-used
+order, and a hot reload replaces a dialect in one session without
+disturbing the others.
+"""
+
+import threading
+
+import pytest
+
+from repro.server.cache import DialectCache, payload_key
+from repro.server.session import Session
+from tests.server.conftest import GOOD_IR, make_variant
+
+
+class TestKeying:
+    def test_same_bytes_same_key(self, cmath_text):
+        assert payload_key(cmath_text.encode()) == payload_key(
+            cmath_text.encode()
+        )
+
+    def test_text_and_bytecode_hash_differently(self, cmath_text,
+                                                cmath_bytecode):
+        assert payload_key(cmath_text.encode()) != payload_key(
+            cmath_bytecode
+        )
+
+
+class TestHitSemantics:
+    def test_same_hash_identical_compiled_objects(self, cmath_text):
+        cache = DialectCache()
+        first, hit_first = cache.get_or_compile(cmath_text.encode())
+        second, hit_second = cache.get_or_compile(cmath_text.encode())
+        assert not hit_first and hit_second
+        assert second is first
+        assert second.bindings[0] is first.bindings[0]
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_shared_binding_across_tenants(self, cmath_text):
+        cache = DialectCache()
+        compiled, _ = cache.get_or_compile(cmath_text.encode())
+        tenants = [Session() for _ in range(4)]
+        for session in tenants:
+            for binding, dialect_def in zip(compiled.bindings,
+                                            compiled.defs):
+                session.install_binding(binding, dialect_def)
+        bindings = {id(s.ctx.dialects["cmath"]) for s in tenants}
+        assert len(bindings) == 1, "tenants must share one compiled object"
+        contexts = {id(s.ctx) for s in tenants}
+        assert len(contexts) == len(tenants), "contexts stay private"
+        # The shared binding actually parses and verifies IR everywhere.
+        for session in tenants:
+            module = session.load_module(GOOD_IR)
+            session.verify(module)
+
+    def test_differing_hash_recompiles(self, cmath_text):
+        cache = DialectCache()
+        first, _ = cache.get_or_compile(cmath_text.encode())
+        changed = cmath_text + "// trailing comment\n"
+        second, hit = cache.get_or_compile(changed.encode())
+        assert not hit
+        assert second.key != first.key
+        assert second.bindings[0] is not first.bindings[0]
+
+    def test_bytecode_payload_compiles(self, cmath_bytecode):
+        cache = DialectCache()
+        compiled, hit = cache.get_or_compile(cmath_bytecode)
+        assert not hit
+        assert compiled.source_kind == "bytecode"
+        assert compiled.names == ("cmath",)
+
+    def test_concurrent_same_payload_single_canonical_entry(self,
+                                                            cmath_text):
+        cache = DialectCache()
+        results = []
+        barrier = threading.Barrier(4)
+
+        def work():
+            barrier.wait()
+            compiled, _ = cache.get_or_compile(cmath_text.encode())
+            results.append(compiled)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(c) for c in results}) == 1
+        assert len(cache) == 1
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = DialectCache(capacity=2)
+        a, b, c = (make_variant(i).encode() for i in range(3))
+        cache.get_or_compile(a)
+        cache.get_or_compile(b)
+        # Touch `a` so `b` becomes the eviction candidate.
+        _, hit = cache.get_or_compile(a)
+        assert hit
+        cache.get_or_compile(c)
+        assert cache.evictions == 1
+        assert cache.keys() == [payload_key(a), payload_key(c)]
+        # `b` was evicted: asking again recompiles.
+        _, hit = cache.get_or_compile(b)
+        assert not hit
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DialectCache(capacity=0)
+
+    def test_invalidate(self, cmath_text):
+        cache = DialectCache()
+        cache.get_or_compile(cmath_text.encode())
+        assert cache.invalidate(cmath_text.encode())
+        assert not cache.invalidate(cmath_text.encode())
+        _, hit = cache.get_or_compile(cmath_text.encode())
+        assert not hit
+
+
+class TestHotReload:
+    def test_reload_replaces_without_disturbing_other_sessions(self,
+                                                               cmath_text):
+        cache = DialectCache()
+        v1, _ = cache.get_or_compile(cmath_text.encode())
+        v2_text = cmath_text.replace(
+            "Summary \"Multiply two complex numbers\"",
+            "Summary \"Multiply two complex numbers (v2)\"",
+        )
+        assert v2_text != cmath_text
+        v2, _ = cache.get_or_compile(v2_text.encode())
+
+        tenant_a, tenant_b = Session(), Session()
+        for session in (tenant_a, tenant_b):
+            session.install_binding(v1.bindings[0], v1.defs[0])
+        tenant_a.install_binding(v2.bindings[0], v2.defs[0], replace=True)
+
+        assert tenant_a.ctx.dialects["cmath"] is v2.bindings[0]
+        assert tenant_b.ctx.dialects["cmath"] is v1.bindings[0]
+        assert v1.defs[0] not in tenant_a.dialects
+        assert tenant_a.dialects[-1] is v2.defs[0]
+        # Both generations still serve IR.
+        for session in (tenant_a, tenant_b):
+            session.verify(session.load_module(GOOD_IR))
+
+    def test_double_register_without_replace_raises(self, cmath_text):
+        from repro.ir.exceptions import UnregisteredConstructError
+
+        cache = DialectCache()
+        compiled, _ = cache.get_or_compile(cmath_text.encode())
+        session = Session()
+        session.install_binding(compiled.bindings[0], compiled.defs[0])
+        with pytest.raises(UnregisteredConstructError):
+            session.install_binding(compiled.bindings[0], compiled.defs[0])
+
+    def test_generation_stamps_increase(self, cmath_text):
+        cache = DialectCache()
+        v1, _ = cache.get_or_compile(make_variant(100).encode())
+        v2, _ = cache.get_or_compile(make_variant(101).encode())
+        assert v2.generation > v1.generation

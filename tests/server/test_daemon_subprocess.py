@@ -1,0 +1,74 @@
+"""End-to-end: the real daemon process, driven over TCP.
+
+Boots ``python -m repro.server --port 0`` as a subprocess, parses the
+advertised port from its startup line, drives one request of every
+type through :class:`ServerClient`, then requests shutdown and asserts
+a clean exit — the same flow the CI ``server-smoke`` job runs.
+"""
+
+import asyncio
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.server.client import ServerClient
+
+from tests.server.conftest import GOOD_IR
+
+LISTENING = re.compile(r"repro-serve: listening on ([\d.]+):(\d+)")
+
+
+@pytest.fixture
+def daemon():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--port", "0",
+         "--allow-sleep"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        line = process.stdout.readline()
+        match = LISTENING.match(line)
+        assert match, f"unexpected startup line: {line!r}"
+        yield process, match.group(1), int(match.group(2))
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.wait(timeout=10)
+        process.stdout.close()
+        process.stderr.close()
+
+
+def test_daemon_serves_every_request_type_then_exits_cleanly(
+    daemon, cmath_text
+):
+    process, host, port = daemon
+
+    async def drive():
+        async with await ServerClient.connect(host, port) as client:
+            assert (await client.ping())["pong"] is True
+            registered = await client.register_dialect(cmath_text,
+                                                       name="cmath.irdl")
+            assert registered["dialects"] == ["cmath"]
+            assert "cmath.norm" in (await client.parse(GOOD_IR))["ir"]
+            assert (await client.verify(GOOD_IR))["verified"] is True
+            rewritten = await client.rewrite(GOOD_IR, pipeline=["dce"])
+            assert rewritten["history"] == [["dce", False]]
+            assert (await client.lint(cmath_text))["exit_code"] == 0
+            assert (await client.roundtrip(GOOD_IR))["stable"] is True
+            stats = await client.stats()
+            assert stats["requests_total"] >= 7
+            assert (await client.shutdown())["draining"] is True
+
+    asyncio.run(drive())
+    assert process.wait(timeout=10) == 0
+    stderr = process.stderr.read()
+    assert "drained and shut down" in stderr

@@ -1,0 +1,130 @@
+"""The length-prefixed JSON frame codec and its bounds."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.server import protocol
+from repro.server.protocol import (
+    ErrorCode,
+    FrameError,
+    decode_payload,
+    encode_frame,
+    error_response,
+    extract_payload,
+    from_b64,
+    ok_response,
+    read_frame,
+    to_b64,
+)
+
+
+def roundtrip_frame(obj, max_frame=protocol.DEFAULT_MAX_FRAME):
+    """Encode then re-read one frame through an in-memory stream."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(encode_frame(obj, max_frame))
+        reader.feed_eof()
+        return await read_frame(reader, max_frame)
+
+    return asyncio.run(run())
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"id": 7, "type": "ping", "tenant": "t", "nested": [1, 2]}
+        assert roundtrip_frame(message) == message
+
+    def test_length_prefix_is_big_endian_u32(self):
+        frame = encode_frame({"a": 1})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_eof_before_header_is_none(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        assert asyncio.run(run()) is None
+
+    def test_truncated_payload_is_frame_error(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"a": 1})[:-2])
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        with pytest.raises(FrameError, match="short"):
+            asyncio.run(run())
+
+    def test_oversized_inbound_frame_rejected_without_reading(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", 100) + b"x" * 100)
+            reader.feed_eof()
+            return await read_frame(reader, max_frame=10)
+
+        with pytest.raises(FrameError) as excinfo:
+            asyncio.run(run())
+        assert excinfo.value.code == ErrorCode.FRAME_TOO_LARGE
+
+    def test_oversized_outbound_frame_rejected(self):
+        with pytest.raises(FrameError) as excinfo:
+            encode_frame({"blob": "x" * 100}, max_frame=10)
+        assert excinfo.value.code == ErrorCode.FRAME_TOO_LARGE
+
+    def test_non_json_payload(self):
+        with pytest.raises(FrameError, match="not valid JSON"):
+            decode_payload(b"\xff\xfe not json")
+
+    def test_non_object_payload(self):
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_payload(b"[1, 2, 3]")
+
+
+class TestEnvelopes:
+    def test_ok_response(self):
+        assert ok_response(3, {"x": 1}) == {
+            "id": 3, "ok": True, "result": {"x": 1},
+        }
+
+    def test_error_response(self):
+        response = error_response(9, ErrorCode.TIMEOUT, "too slow",
+                                  detail="VerifyError")
+        assert response["ok"] is False
+        assert response["error"]["code"] == "timeout"
+        assert response["error"]["detail"] == "VerifyError"
+
+    def test_error_response_omits_null_detail(self):
+        assert "detail" not in error_response(1, "x", "m")["error"]
+
+
+class TestPayloads:
+    def test_b64_roundtrip(self):
+        data = bytes(range(256))
+        assert from_b64(to_b64(data)) == data
+
+    def test_invalid_b64(self):
+        with pytest.raises(FrameError, match="base64"):
+            from_b64("!!! not base64 !!!")
+
+    def test_extract_text(self):
+        assert extract_payload({"ir": "abc"}, "ir", "ir_b64") == b"abc"
+
+    def test_extract_binary(self):
+        request = {"ir_b64": to_b64(b"\x00\x01")}
+        assert extract_payload(request, "ir", "ir_b64") == b"\x00\x01"
+
+    def test_extract_missing_is_none(self):
+        assert extract_payload({}, "ir", "ir_b64") is None
+
+    def test_extract_both_is_error(self):
+        with pytest.raises(FrameError, match="both"):
+            extract_payload({"ir": "a", "ir_b64": "YQ=="}, "ir", "ir_b64")
+
+    def test_extract_wrong_type_is_error(self):
+        with pytest.raises(FrameError, match="must be a string"):
+            extract_payload({"ir": 42}, "ir", "ir_b64")

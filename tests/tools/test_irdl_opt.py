@@ -675,3 +675,64 @@ class TestCompiledMatchFlags:
             "--no-compiled-match", write_ir(tmp_path, CONORM),
         ])
         assert not matcher._disabled_by_flag
+
+
+class FakeStdin:
+    """A ``sys.stdin`` stand-in exposing a binary ``buffer``."""
+
+    def __init__(self, data: bytes):
+        import io
+
+        self.buffer = io.BytesIO(data)
+
+
+class TestStdin:
+    """``-`` reads stdin, for the IR input and for ``--irdl``."""
+
+    def test_ir_from_stdin(self, cmath_irdl, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", FakeStdin(GOOD_IR.encode()))
+        exit_code = main(["--irdl", cmath_irdl, "-"])
+        assert exit_code == 0
+        assert "cmath.norm %p : f32" in capsys.readouterr().out
+
+    def test_irdl_from_stdin(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin",
+                            FakeStdin(cmath_source().encode()))
+        exit_code = main(["--irdl", "-", write_ir(tmp_path, GOOD_IR)])
+        assert exit_code == 0
+        assert "cmath.norm %p : f32" in capsys.readouterr().out
+
+    def test_bytecode_ir_on_stdin_autodetects(self, tmp_path, cmath_irdl,
+                                              capsys, monkeypatch):
+        # Render the module to IRBC first, then feed the blob to stdin.
+        out_path = tmp_path / "module.irbc"
+        exit_code = main([
+            "--irdl", cmath_irdl, "--emit", "bytecode",
+            "-o", str(out_path), write_ir(tmp_path, GOOD_IR),
+        ])
+        assert exit_code == 0
+        monkeypatch.setattr("sys.stdin", FakeStdin(out_path.read_bytes()))
+        exit_code = main(["--irdl", cmath_irdl, "-"])
+        assert exit_code == 0
+        assert "cmath.norm %p : f32" in capsys.readouterr().out
+
+    def test_bytecode_irdl_on_stdin_autodetects(self, tmp_path, cmath_irdl,
+                                                capsys, monkeypatch):
+        artifact = tmp_path / "cmath.irbc"
+        exit_code = main([
+            "--compile-irdl", cmath_irdl, "-o", str(artifact),
+        ])
+        assert exit_code == 0
+        monkeypatch.setattr("sys.stdin", FakeStdin(artifact.read_bytes()))
+        exit_code = main(["--irdl", "-", write_ir(tmp_path, GOOD_IR)])
+        assert exit_code == 0
+        assert "cmath.norm %p : f32" in capsys.readouterr().out
+
+    def test_stdin_cannot_serve_both_inputs(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin",
+                            FakeStdin(cmath_source().encode()))
+        exit_code = main(["--irdl", "-", "-"])
+        assert exit_code == 1
+        err = capsys.readouterr().err
+        assert "already consumed by --irdl" in err
+        assert "the IR input" in err
