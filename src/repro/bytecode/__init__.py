@@ -18,7 +18,12 @@ raises :class:`BytecodeError` (a ``DiagnosticError``), never a raw
 """
 
 from repro.bytecode.decoder import decode_dialects, decode_module
-from repro.bytecode.encoder import encode_dialects, encode_module
+from repro.bytecode.encoder import (
+    encode_dialects,
+    encode_module,
+    encode_module_stream,
+)
+from repro.bytecode.lazy import LazyModuleReader, LazyOpHandle
 from repro.bytecode.wire import (
     FORMAT_VERSION,
     MAGIC,
@@ -32,7 +37,10 @@ __all__ = [
     "BytecodeError",
     "is_bytecode",
     "encode_module",
+    "encode_module_stream",
     "decode_module",
     "encode_dialects",
     "decode_dialects",
+    "LazyModuleReader",
+    "LazyOpHandle",
 ]

@@ -140,6 +140,7 @@ def _read_sections(reader: Reader) -> dict[int, Reader]:
         enc.SECTION_DIALECTS,
         enc.SECTION_SUPPRESSIONS,
         enc.SECTION_LOCATIONS,
+        enc.SECTION_OP_INDEX,
     )
     skipped = 0
     while not reader.at_end():

@@ -52,7 +52,11 @@ from repro.bytecode.wire import (
     KIND_MODULE,
     MAGIC,
     BytecodeError,
+    FileWriter,
     Writer,
+    padded_varint_bytes,
+    varint_bytes,
+    varint_len,
 )
 from repro.ir.attributes import Attribute, DynamicParametrizedAttribute
 from repro.ir.location import FileLineColLoc, FusedLoc, Location
@@ -90,6 +94,13 @@ SECTION_SUPPRESSIONS = 5
 #: Emitted only when some op carries a known location, so location-free
 #: modules stay byte-identical to artifacts from older encoders.
 SECTION_LOCATIONS = 6
+#: Optional index over the top-level ops of a module artifact: one entry
+#: per direct child of the root op, carrying its byte length inside the
+#: OPS payload, its SSA-value count, and its subtree op count (offsets
+#: are prefix sums; see :func:`_index_payload`).  Lazy readers use it to
+#: materialize top-level ops on demand (:mod:`repro.bytecode.lazy`); old
+#: readers skip the unknown id.
+SECTION_OP_INDEX = 7
 
 # Location pool entry tags (SECTION_LOCATIONS).
 LOC_FILE = 1
@@ -412,12 +423,21 @@ def _write_name_hint(w: Writer, pools: Pools, value: SSAValue) -> None:
 
 
 def _write_op(
-    w: Writer,
+    w,
     op: Operation,
     pools: Pools,
     values: dict[SSAValue, int],
     block_ids: dict[int, int],
+    record: list[tuple[int, int]] | None = None,
 ) -> None:
+    """Emit one op (and its regions) onto ``w``.
+
+    ``w`` is a :class:`Writer` or :class:`~repro.bytecode.wire.FileWriter`
+    positioned at the start of the OPS payload.  With ``record`` set —
+    only ever for the root op — each directly nested op's
+    ``(byte_offset, byte_length)`` span within the payload is appended
+    to it, in emission order, for the op-index section.
+    """
     w.varint(pools.string(op.name))
     w.varint(len(op.operands))
     for operand in op.operands:
@@ -458,7 +478,12 @@ def _write_op(
         for block in region.blocks:
             w.varint(len(block.ops))
             for inner in block.ops:
-                _write_op(w, inner, pools, values, inner_ids)
+                if record is None:
+                    _write_op(w, inner, pools, values, inner_ids)
+                else:
+                    start = len(w)
+                    _write_op(w, inner, pools, values, inner_ids)
+                    record.append((start, len(w) - start))
 
 
 def _locations_payload(root: Operation, pools: Pools) -> bytes | None:
@@ -516,32 +541,94 @@ def _locations_payload(root: Operation, pools: Pools) -> bytes | None:
     return w.getvalue()
 
 
-def _encode_module(root: Operation) -> bytes:
+def _subtree_counts(op: Operation) -> tuple[int, int]:
+    """``(value_count, op_count)`` of one op's subtree.
+
+    The value count follows :func:`_number_values`' pre-order exactly
+    (results, then per region all block args, then op bodies), so each
+    subtree owns one contiguous range of the module's value numbering.
+    """
+    value_count = len(op.results)
+    op_count = 1
+    for region in op.regions:
+        for block in region.blocks:
+            value_count += len(block.args)
+        for block in region.blocks:
+            for inner in block.ops:
+                inner_values, inner_ops = _subtree_counts(inner)
+                value_count += inner_values
+                op_count += inner_ops
+    return value_count, op_count
+
+
+def _index_payload(
+    root: Operation, spans: list[tuple[int, int]]
+) -> bytes:
+    """The op-index section: one 3-varint entry per top-level op.
+
+    Each entry is ``(byte_length, value_count, op_count)``.  Byte
+    offsets and value starts are deliberately *not* stored: both are
+    prefix sums the lazy reader reconstructs while walking the root
+    shell (op spans tile each block's run contiguously, value spans
+    tile the pre-order numbering), and for a million-op module the
+    difference between three mostly-single-byte varints and five is
+    most of the open-time parse cost.  ``spans`` holds the byte spans
+    :func:`_write_op` recorded while emitting the root op's direct
+    children, in the same order the value numbering visits them.
+    """
+    entries: list[tuple[int, int]] = []
+    for region in root.regions:
+        for block in region.blocks:
+            for inner in block.ops:
+                entries.append(_subtree_counts(inner))
+    if len(entries) != len(spans):
+        raise BytecodeError(
+            f"op-index mismatch: {len(spans)} byte spans recorded for "
+            f"{len(entries)} top-level ops"
+        )
+    w = Writer()
+    w.varint(len(entries))
+    for (_offset, length), (value_count, op_count) in zip(spans, entries):
+        w.varint(length)
+        w.varint(value_count)
+        w.varint(op_count)
+    return w.getvalue()
+
+
+def _encode_module(root: Operation, index: bool = True) -> bytes:
     pools = Pools()
     values = _number_values(root)
     ops = Writer()
     ops.varint(len(values))
-    _write_op(ops, root, pools, values, {})
+    spans: list[tuple[int, int]] | None = [] if index else None
+    _write_op(ops, root, pools, values, {}, record=spans)
     locations = _locations_payload(root, pools)
     sections = [
         (SECTION_STRINGS, _strings_payload(pools)),
         (SECTION_ATTRS, _attrs_payload(pools)),
         (SECTION_OPS, ops.getvalue()),
     ]
+    if spans is not None:
+        sections.append((SECTION_OP_INDEX, _index_payload(root, spans)))
     if locations is not None:
         sections.append((SECTION_LOCATIONS, locations))
     return _assemble(KIND_MODULE, sections)
 
 
-def encode_module(root: Operation) -> bytes:
-    """Serialize an operation (usually a module) to bytecode."""
+def encode_module(root: Operation, *, index: bool = True) -> bytes:
+    """Serialize an operation (usually a module) to bytecode.
+
+    With ``index`` (the default) the artifact carries the op-index
+    section that enables lazy loading; ``index=False`` reproduces the
+    pre-index layout old writers emitted.
+    """
     if not OBS.active:
-        return _encode_module(root)
+        return _encode_module(root, index)
     import time
 
     start = time.perf_counter()
     with OBS.tracer.span("bytecode.encode", category="bytecode"):
-        data = _encode_module(root)
+        data = _encode_module(root, index)
     metrics = OBS.metrics
     if metrics.enabled:
         metrics.counter("bytecode.encode.modules").inc()
@@ -551,6 +638,114 @@ def encode_module(root: Operation) -> bytes:
             time.perf_counter() - start
         )
     return data
+
+
+# ---------------------------------------------------------------------------
+# Streaming module encoding
+# ---------------------------------------------------------------------------
+
+
+def _stream_section(fileobj, section_id: int, payload_len: int) -> None:
+    """Emit one section frame header directly to the file."""
+    fileobj.write(varint_bytes(section_id))
+    fileobj.write(varint_bytes(payload_len))
+
+
+def _encode_module_stream(root: Operation, fileobj, index: bool) -> int:
+    if not fileobj.seekable():
+        raise BytecodeError(
+            "streaming encoding needs a seekable file (the OPS section "
+            "length is patched in after the payload); use encode_module "
+            "for pipes"
+        )
+    base = fileobj.tell()
+    header = Writer()
+    header.raw(MAGIC)
+    header.varint(FORMAT_VERSION)
+    header.varint(KIND_MODULE)
+    fileobj.write(header.getvalue())
+
+    # The OPS section is streamed op by op behind a reserved fixed-width
+    # length slot: the attribute pool and string table fill up as ops are
+    # written, and the payload never exists as one in-memory blob.
+    pools = Pools()
+    values = _number_values(root)
+    fileobj.write(varint_bytes(SECTION_OPS))
+    length_pos = fileobj.tell()
+    fileobj.write(padded_varint_bytes(0))
+    ops = FileWriter(fileobj)
+    ops.varint(len(values))
+    spans: list[tuple[int, int]] | None = [] if index else None
+    _write_op(ops, root, pools, values, {}, record=spans)
+    end = fileobj.tell()
+    fileobj.seek(length_pos)
+    fileobj.write(padded_varint_bytes(len(ops)))
+    fileobj.seek(end)
+
+    # Locations may intern new strings, so build that payload before the
+    # string table is frozen.
+    locations = _locations_payload(root, pools)
+
+    if spans is not None:
+        payload = _index_payload(root, spans)
+        _stream_section(fileobj, SECTION_OP_INDEX, len(payload))
+        fileobj.write(payload)
+
+    # Strings and attributes stream entry by entry behind exact lengths,
+    # so neither section payload is ever concatenated in memory.
+    strings_len = varint_len(len(pools.strings))
+    encoded_lengths = [len(text.encode("utf-8")) for text in pools.strings]
+    for length in encoded_lengths:
+        strings_len += varint_len(length) + length
+    _stream_section(fileobj, SECTION_STRINGS, strings_len)
+    strings_writer = FileWriter(fileobj)
+    strings_writer.varint(len(pools.strings))
+    for text in pools.strings:
+        strings_writer.string_bytes(text)
+    if len(strings_writer) != strings_len:
+        raise BytecodeError("string section length accounting is broken")
+
+    attrs_len = varint_len(len(pools.attr_entries))
+    attrs_len += sum(len(entry) for entry in pools.attr_entries)
+    _stream_section(fileobj, SECTION_ATTRS, attrs_len)
+    fileobj.write(varint_bytes(len(pools.attr_entries)))
+    for entry in pools.attr_entries:
+        fileobj.write(entry)
+
+    if locations is not None:
+        _stream_section(fileobj, SECTION_LOCATIONS, len(locations))
+        fileobj.write(locations)
+    return fileobj.tell() - base
+
+
+def encode_module_stream(root: Operation, fileobj, *, index: bool = True) -> int:
+    """Serialize a module to a seekable binary file, section by section.
+
+    Functionally equivalent to ``fileobj.write(encode_module(root))``
+    but the op stream goes straight to the file — the encoder never
+    holds the OPS payload, the string table blob, or a second copy of
+    the attribute pool in memory, so modules larger than memory encode
+    in bounded space.  Returns the number of bytes written.  The OPS
+    section length travels as a padded (non-canonical) varint that is
+    patched after the payload, which is why the file must be seekable.
+    """
+    if not OBS.active:
+        return _encode_module_stream(root, fileobj, index)
+    import time
+
+    start = time.perf_counter()
+    with OBS.tracer.span("bytecode.encode_stream", category="bytecode"):
+        written = _encode_module_stream(root, fileobj, index)
+    metrics = OBS.metrics
+    if metrics.enabled:
+        metrics.counter("bytecode.encode.modules").inc()
+        metrics.counter("bytecode.encode.streamed").inc()
+        metrics.counter("bytecode.encode.ops").inc(count_ops(root))
+        metrics.histogram("bytecode.encode.module_bytes").observe(written)
+        metrics.timer("bytecode.encode.time").record(
+            time.perf_counter() - start
+        )
+    return written
 
 
 # ---------------------------------------------------------------------------

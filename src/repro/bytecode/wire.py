@@ -106,6 +106,96 @@ class Writer:
         self.raw(struct.pack("<d", value))
 
 
+def varint_bytes(value: int) -> bytes:
+    """The canonical LEB128 encoding of one unsigned integer."""
+    w = Writer()
+    w.varint(value)
+    return w.getvalue()
+
+
+def varint_len(value: int) -> int:
+    """The canonical LEB128 length of one unsigned integer."""
+    length = 1
+    while value >= 0x80:
+        value >>= 7
+        length += 1
+    return length
+
+
+#: Width of the reserve-then-patch section lengths the streaming writer
+#: emits.  5 bytes of forced-continuation LEB128 cover 35 bits, far more
+#: than any section we can address.
+PADDED_VARINT_WIDTH = 5
+
+
+def padded_varint_bytes(value: int, width: int = PADDED_VARINT_WIDTH) -> bytes:
+    """A fixed-width (non-canonical) LEB128 encoding of ``value``.
+
+    Readers accept padded varints because the decode loop only stops at
+    a byte without the continuation bit; forcing continuation bits on
+    the leading bytes lets a streaming writer reserve the slot first and
+    patch the real value in after the payload is known.
+    """
+    if value < 0 or value >= 1 << (7 * width):
+        raise ValueError(
+            f"padded varint of width {width} cannot encode {value}"
+        )
+    out = bytearray()
+    for index in range(width):
+        byte = (value >> (7 * index)) & 0x7F
+        if index + 1 < width:
+            byte |= 0x80
+        out.append(byte)
+    return bytes(out)
+
+
+class FileWriter:
+    """A :class:`Writer` twin that appends to a binary file object.
+
+    ``len()`` counts the bytes written through it, so offsets recorded
+    while streaming one section payload match offsets recorded against
+    an in-memory :class:`Writer` holding the same payload.
+    """
+
+    __slots__ = ("_file", "_count")
+
+    def __init__(self, fileobj) -> None:
+        self._file = fileobj
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def raw(self, data: bytes) -> None:
+        self._file.write(data)
+        self._count += len(data)
+
+    def varint(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"varint cannot encode negative value {value}")
+        out = bytearray()
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+        self.raw(bytes(out))
+
+    def signed(self, value: int) -> None:
+        self.varint(zigzag(value))
+
+    def string_bytes(self, text: str) -> None:
+        data = text.encode("utf-8")
+        self.varint(len(data))
+        self.raw(data)
+
+    def f64_bits(self, value: float) -> None:
+        self.raw(struct.pack("<d", value))
+
+
 class Reader:
     """A bounds-checked cursor over a bytecode buffer.
 

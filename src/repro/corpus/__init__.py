@@ -20,6 +20,12 @@ import os
 
 from repro.corpus import paper_data
 from repro.corpus.generator import extend_dialect
+from repro.corpus.synth import (
+    BENCH_DIALECT_SOURCE,
+    bench_dialect_source,
+    register_bench_dialect,
+    synthesize_module,
+)
 from repro.ir.context import Context
 from repro.irdl.ast import DialectDecl
 from repro.irdl.defs import DialectDef
@@ -98,4 +104,8 @@ __all__ = [
     "load_corpus",
     "load_hand_corpus",
     "cmath_source",
+    "BENCH_DIALECT_SOURCE",
+    "bench_dialect_source",
+    "register_bench_dialect",
+    "synthesize_module",
 ]

@@ -61,6 +61,24 @@ INSTRUMENT_CATALOG: dict[str, str] = {
     "bytecode.decode.sections_skipped": "unknown sections skipped "
     "(forward compatibility)",
     "bytecode.decode.time": "wall time decoding bytecode",
+    "bytecode.encode.streamed": "modules serialized through the "
+    "streaming writer",
+    "bytecode.lazy.opens": "lazy module readers opened",
+    "bytecode.lazy.fallbacks": "lazy opens that fell back to eager "
+    "decoding (no op-index section)",
+    "bytecode.lazy.ops_indexed": "top-level ops indexed at lazy open",
+    "bytecode.lazy.ops_forced": "lazily indexed top-level ops "
+    "materialized on demand",
+    "bytecode.lazy.open_time": "wall time opening lazy module readers "
+    "(tables + shell, no op bodies)",
+    "parallel.verify.runs": "sharded verification runs",
+    "parallel.verify.ops": "top-level ops verified by sharded runs",
+    "parallel.verify.diagnostics": "verification failures collected by "
+    "sharded runs",
+    "parallel.verify.workers": "worker processes per sharded run",
+    "parallel.verify.shards": "contiguous op-index shards per run",
+    "parallel.verify.time": "wall time of sharded verification "
+    "(partition + workers + merge)",
     "analysis.sat.queries": "symbolic engine queries "
     "(satisfiable/subsumes/disjoint)",
     "analysis.sat.sat": "constraints decided satisfiable (witnessed)",

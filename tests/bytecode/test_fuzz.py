@@ -155,6 +155,189 @@ class TestRandomMutations:
             try_decode_dialects(data)
 
 
+def split_sections(data: bytes):
+    """Parse an artifact into its header bytes and section frames."""
+    from repro.bytecode.wire import Reader
+
+    reader = Reader(data)
+    reader.raw(4)  # magic
+    reader.varint()  # version
+    reader.byte()  # kind
+    header = data[: reader.pos]
+    sections = []
+    while not reader.at_end():
+        section_id = reader.varint()
+        length = reader.varint()
+        sections.append((section_id, reader.raw(length)))
+    return header, sections
+
+
+def join_sections(header: bytes, sections) -> bytes:
+    from repro.bytecode.wire import Writer
+
+    writer = Writer()
+    writer.raw(header)
+    for section_id, payload in sections:
+        writer.varint(section_id)
+        writer.varint(len(payload))
+        writer.raw(payload)
+    return writer.getvalue()
+
+
+def mutate_index(data: bytes, edit) -> bytes:
+    """Rebuild ``data`` with its op-index payload passed through ``edit``."""
+    from repro.bytecode.encoder import SECTION_OP_INDEX
+
+    header, sections = split_sections(data)
+    rebuilt = [
+        (sid, edit(payload) if sid == SECTION_OP_INDEX else payload)
+        for sid, payload in sections
+    ]
+    assert any(sid == SECTION_OP_INDEX for sid, _ in sections)
+    return join_sections(header, rebuilt)
+
+
+def try_lazy_open(data: bytes) -> None:
+    """Lazy-open and force; only BytecodeError may escape."""
+    from repro.bytecode import LazyModuleReader
+
+    try:
+        LazyModuleReader(fresh_context(), data).module()
+    except BytecodeError:
+        pass
+
+
+class TestLazyIndexCorruption:
+    """Corrupt op-index payloads must raise BytecodeError, never escape
+    a raw exception — the index is attacker-controlled input like every
+    other section."""
+
+    def test_truncated_index_payloads(self, artifacts):
+        _, module_bytes, _ = artifacts
+        from repro.bytecode import LazyModuleReader
+
+        _, sections = split_sections(module_bytes)
+        from repro.bytecode.encoder import SECTION_OP_INDEX
+
+        index_len = next(
+            len(p) for sid, p in sections if sid == SECTION_OP_INDEX
+        )
+        for cut in range(index_len):
+            mutated = mutate_index(module_bytes, lambda p: p[:cut])
+            with pytest.raises(BytecodeError):
+                LazyModuleReader(fresh_context(), mutated).module()
+
+    @staticmethod
+    def _edit_field(field: int, delta: int):
+        """Return an editor that bumps one field of the first index
+        entry (fields per entry: 0 byte_length, 1 value_count,
+        2 op_count)."""
+        from repro.bytecode.wire import Reader, Writer
+
+        def edit(payload: bytes) -> bytes:
+            reader = Reader(payload)
+            writer = Writer()
+            n = reader.varint()
+            writer.varint(n)
+            for entry in range(n):
+                for pos in range(3):
+                    value = reader.varint()
+                    if entry == 0 and pos == field:
+                        value = max(0, value + delta)
+                    writer.varint(value)
+            return writer.getvalue()
+
+        return edit
+
+    def test_wrong_byte_length(self, artifacts):
+        _, module_bytes, _ = artifacts
+        from repro.bytecode import LazyModuleReader
+
+        # Offsets are prefix sums over the lengths, so a wrong length
+        # shifts every later span: the forced subtrees cannot reconcile.
+        for delta in (1, -1, 1 << 24):
+            mutated = mutate_index(module_bytes, self._edit_field(0, delta))
+            with pytest.raises(BytecodeError):
+                LazyModuleReader(fresh_context(), mutated).module()
+
+    def test_wrong_value_count(self, artifacts):
+        _, module_bytes, _ = artifacts
+        from repro.bytecode import LazyModuleReader
+
+        for delta in (1, -1, 1 << 24):
+            mutated = mutate_index(module_bytes, self._edit_field(1, delta))
+            with pytest.raises(BytecodeError):
+                LazyModuleReader(fresh_context(), mutated).module()
+
+    def test_wrong_op_count(self, artifacts):
+        _, module_bytes, _ = artifacts
+        from repro.bytecode import LazyModuleReader
+
+        for delta in (1, -1):
+            mutated = mutate_index(module_bytes, self._edit_field(2, delta))
+            with pytest.raises(BytecodeError):
+                LazyModuleReader(fresh_context(), mutated).module()
+
+    def test_entry_count_mismatch(self, artifacts):
+        _, module_bytes, _ = artifacts
+        from repro.bytecode import LazyModuleReader
+        from repro.bytecode.wire import Reader, Writer
+
+        def change_count(delta):
+            def edit(payload: bytes) -> bytes:
+                reader = Reader(payload)
+                writer = Writer()
+                writer.varint(max(0, reader.varint() + delta))
+                writer.raw(payload[reader.pos:])
+                return writer.getvalue()
+
+            return edit
+
+        for delta in (-1, 1, 1000):
+            mutated = mutate_index(module_bytes, change_count(delta))
+            with pytest.raises(BytecodeError):
+                LazyModuleReader(fresh_context(), mutated).module()
+
+    def test_index_byte_flips_never_escape_raw(self, artifacts):
+        _, module_bytes, _ = artifacts
+        from repro.bytecode.encoder import SECTION_OP_INDEX
+
+        header, sections = split_sections(module_bytes)
+        for i, (sid, payload) in enumerate(sections):
+            if sid != SECTION_OP_INDEX:
+                continue
+            for pos in range(len(payload)):
+                for flip in (0x01, 0x80, 0xFF):
+                    corrupt = bytearray(payload)
+                    corrupt[pos] ^= flip
+                    rebuilt = list(sections)
+                    rebuilt[i] = (sid, bytes(corrupt))
+                    try_lazy_open(join_sections(header, rebuilt))
+
+    def test_lazy_truncation_of_whole_artifact(self, artifacts):
+        _, module_bytes, _ = artifacts
+        for length in range(len(module_bytes)):
+            try_lazy_open(module_bytes[:length])
+
+    def test_unindexed_payloads_still_load_eagerly(self, artifacts):
+        """Artifacts from writers that predate the index (and lazy
+        readers given them) keep working through the eager path."""
+        context, module_bytes, _ = artifacts
+        from repro.bytecode import LazyModuleReader
+        from repro.bytecode.encoder import SECTION_OP_INDEX
+        from repro.textir.printer import print_op
+
+        header, sections = split_sections(module_bytes)
+        stripped = join_sections(
+            header,
+            [(sid, p) for sid, p in sections if sid != SECTION_OP_INDEX],
+        )
+        eager = decode_module(fresh_context(), stripped)
+        reader = LazyModuleReader(fresh_context(), stripped)
+        assert reader.lazy is False
+        assert print_op(reader.module()) == print_op(eager)
+
+
 class TestDiagnosticQuality:
     def test_errors_carry_source_name(self, artifacts):
         _, module_bytes, _ = artifacts

@@ -1,0 +1,164 @@
+"""Sharded verification must be indistinguishable from the serial path.
+
+The pinning property: for any module, :func:`shard_verify_file` at any
+worker count produces the *same diagnostics in the same order with the
+same messages* as :func:`verify_module_serial` over the eagerly-decoded
+module.  Plus unit coverage of the balanced partitioner and the
+driver's failure modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.builtin import default_context
+from repro.builtin.types import FloatType
+from repro.bytecode import encode_module, encode_module_stream
+from repro.bytecode.wire import BytecodeError
+from repro.corpus.synth import (
+    BENCH_DIALECT_SOURCE,
+    register_bench_dialect,
+    synthesize_module,
+)
+from repro.parallel import (
+    partition_entries,
+    shard_verify_file,
+    verify_module_serial,
+)
+
+PAYLOADS = [BENCH_DIALECT_SOURCE.encode("utf-8")]
+
+
+def build_module(n_ops: int, *, bad_at: tuple[int, ...] = ()):
+    """A synthetic module, optionally with invalid ops spliced in at the
+    given top-level positions (an i32 op built over f32 values)."""
+    context = default_context()
+    module = synthesize_module(n_ops, seed=17, context=context)
+    block = module.regions[0].blocks[0]
+    f32 = context.intern(FloatType(32))
+    for position in sorted(bad_at, reverse=True):
+        bad_src = context.create_operation(
+            "bench.source", result_types=[f32]
+        )
+        bad = context.create_operation(
+            "bench.add",
+            operands=[bad_src.results[0], bad_src.results[0]],
+            result_types=[f32],
+        )
+        block.insert_op(bad, position)
+        block.insert_op(bad_src, position)
+    return context, module
+
+
+def write_artifact(module, tmp_path, name="mod.irbc"):
+    path = tmp_path / name
+    with open(path, "wb") as handle:
+        encode_module_stream(module, handle)
+    return str(path)
+
+
+def as_tuples(report):
+    return [
+        (d.entry_index, d.op_name, d.message) for d in report.diagnostics
+    ]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4])
+    def test_invalid_ops_match_serial(self, tmp_path, workers):
+        _, module = build_module(120, bad_at=(0, 40, 119))
+        path = write_artifact(module, tmp_path)
+        serial = verify_module_serial(module)
+        assert serial.diagnostics  # the splice really is invalid
+        report = shard_verify_file(
+            path, workers=workers, dialect_payloads=PAYLOADS
+        )
+        assert as_tuples(report) == as_tuples(serial)
+        assert report.ops == serial.ops
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_all_valid_module_is_clean(self, tmp_path, workers):
+        _, module = build_module(90)
+        path = write_artifact(module, tmp_path)
+        report = shard_verify_file(
+            path, workers=workers, dialect_payloads=PAYLOADS
+        )
+        assert report.ok
+        assert report.diagnostics == []
+        assert report.ops == 90
+        assert verify_module_serial(module).diagnostics == []
+
+    def test_more_workers_than_ops(self, tmp_path):
+        _, module = build_module(3, bad_at=(1,))
+        path = write_artifact(module, tmp_path)
+        report = shard_verify_file(
+            path, workers=16, dialect_payloads=PAYLOADS
+        )
+        # 3 synthesized + 2 spliced ops: shards never outnumber entries.
+        assert report.shards <= 5
+        assert as_tuples(report) == as_tuples(verify_module_serial(module))
+
+
+class TestDriver:
+    def test_unindexed_artifact_is_rejected(self, tmp_path):
+        _, module = build_module(10)
+        path = tmp_path / "noidx.irbc"
+        path.write_bytes(encode_module(module, index=False))
+        with pytest.raises(BytecodeError, match="op-index"):
+            shard_verify_file(
+                str(path), workers=2, dialect_payloads=PAYLOADS
+            )
+
+    def test_missing_dialect_payload_fails_loudly(self, tmp_path):
+        from repro.ir.exceptions import VerifyError
+
+        _, module = build_module(10)
+        path = write_artifact(module, tmp_path)
+        # Without the bench payload the parent's own open fails (the
+        # context cannot construct bench ops), surfacing as a
+        # BytecodeError — never a silent empty report.  With workers
+        # involved the same failure is wrapped as a VerifyError.
+        with pytest.raises((BytecodeError, VerifyError)):
+            shard_verify_file(path, workers=2, dialect_payloads=[])
+
+    def test_empty_module(self, tmp_path):
+        context = default_context()
+        register_bench_dialect(context)
+        module = synthesize_module(0, context=context)
+        path = write_artifact(module, tmp_path)
+        report = shard_verify_file(
+            path, workers=4, dialect_payloads=PAYLOADS
+        )
+        assert report.ok
+        assert report.ops == 0
+        assert report.shards == 0
+
+
+class TestPartition:
+    def test_empty(self):
+        assert partition_entries([], 4) == []
+
+    def test_single_shard_covers_everything(self):
+        assert partition_entries([1, 2, 3], 1) == [(0, 3)]
+
+    def test_ranges_are_contiguous_and_exhaustive(self):
+        weights = [5, 1, 1, 1, 8, 1, 1, 1, 1, 1]
+        for shards in range(1, 12):
+            ranges = partition_entries(weights, shards)
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == len(weights)
+            for (_, prev_end), (start, end) in zip(ranges, ranges[1:]):
+                assert start == prev_end
+                assert end > start
+            assert len(ranges) <= min(shards, len(weights))
+
+    def test_balances_by_weight(self):
+        # One heavy entry up front: the partitioner must not give the
+        # first shard everything.
+        weights = [100] + [1] * 99
+        ranges = partition_entries(weights, 4)
+        assert ranges[0] == (0, 1)
+
+    def test_never_emits_empty_ranges(self):
+        ranges = partition_entries([1] * 3, 8)
+        assert ranges == [(0, 1), (1, 2), (2, 3)]

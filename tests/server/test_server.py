@@ -421,3 +421,100 @@ class TestStats:
                     assert cache["live"] == 2
 
         run(scenario())
+
+
+class TestShardedVerify:
+    """The ``verify`` request's ``workers`` field: multiprocessing-
+    sharded verification over the bytecode op-index, with structured
+    diagnostics instead of first-failure errors."""
+
+    @staticmethod
+    def make_artifact(n_ops=80, bad=False):
+        from repro.builtin import default_context
+        from repro.builtin.types import FloatType
+        from repro.bytecode import encode_module
+        from repro.corpus.synth import synthesize_module
+
+        context = default_context()
+        module = synthesize_module(n_ops, seed=5, context=context)
+        if bad:
+            f32 = context.intern(FloatType(32))
+            src = context.create_operation(
+                "bench.source", result_types=[f32]
+            )
+            module.regions[0].blocks[0].insert_op(src, 7)
+        return encode_module(module)
+
+    def test_sharded_verify_clean_module(self):
+        from repro.corpus.synth import BENCH_DIALECT_SOURCE
+
+        async def scenario():
+            async with running_server() as server:
+                async with await ServerClient.connect(
+                    server.host, server.port
+                ) as client:
+                    await client.register_dialect(
+                        BENCH_DIALECT_SOURCE, name="bench.irdl"
+                    )
+                    data = self.make_artifact()
+                    response = await client.verify(data, workers=3)
+                    assert response["verified"] is True
+                    assert response["ops"] == 80
+                    assert response["workers"] == 3
+                    assert response["diagnostics"] == []
+
+        run(scenario())
+
+    def test_sharded_verify_reports_diagnostics(self):
+        from repro.corpus.synth import BENCH_DIALECT_SOURCE
+
+        async def scenario():
+            async with running_server() as server:
+                async with await ServerClient.connect(
+                    server.host, server.port
+                ) as client:
+                    await client.register_dialect(
+                        BENCH_DIALECT_SOURCE, name="bench.irdl"
+                    )
+                    data = self.make_artifact(bad=True)
+                    response = await client.verify(data, workers=2)
+                    assert response["verified"] is False
+                    diags = response["diagnostics"]
+                    assert len(diags) == 1
+                    assert diags[0]["index"] == 7
+                    assert diags[0]["op"] == "bench.source"
+                    assert diags[0]["message"]
+
+        run(scenario())
+
+    def test_textual_payload_falls_back_to_serial(self):
+        from repro.corpus.synth import BENCH_DIALECT_SOURCE
+
+        async def scenario():
+            async with running_server() as server:
+                async with await ServerClient.connect(
+                    server.host, server.port
+                ) as client:
+                    await client.register_dialect(
+                        BENCH_DIALECT_SOURCE, name="bench.irdl"
+                    )
+                    response = await client.verify(
+                        '%x = "bench.source"() : () -> (i32)\n', workers=2
+                    )
+                    assert response["verified"] is True
+                    assert response["workers"] == 1
+                    assert "textual" in response["fallback"]
+
+        run(scenario())
+
+    def test_bad_workers_value_is_structured_error(self):
+        async def scenario():
+            async with running_server() as server:
+                async with await ServerClient.connect(
+                    server.host, server.port
+                ) as client:
+                    with pytest.raises(ServerError) as excinfo:
+                        await client.verify("x", workers="many")
+                    assert excinfo.value.code == ErrorCode.BAD_REQUEST
+
+        run(scenario())
