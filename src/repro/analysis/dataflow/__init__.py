@@ -1,0 +1,63 @@
+"""Cached dataflow analyses over SSA IR.
+
+The rewrite driver, the pass manager, and ad-hoc queries all need the
+same handful of facts about a module — dominance, liveness, constant
+values — and before this package each consumer recomputed them from
+scratch per query.  The pieces here compose them into one reusable
+layer:
+
+* :class:`~repro.analysis.dataflow.manager.AnalysisManager` — a cache
+  keyed by ``(analysis, IR object)`` with explicit invalidation hooks;
+  the worklist rewrite driver and the :class:`~repro.rewriting.passes.
+  PassManager` invalidate exactly the scopes a mutation touched, so
+  unchanged regions keep their computed analyses;
+* :mod:`~repro.analysis.dataflow.lattice` — a generic sparse forward
+  lattice engine over SSA values (a worklist over use-def edges, in the
+  style of MLIR's sparse dataflow framework);
+* two production instances: :class:`~repro.analysis.dataflow.constant.
+  ConstantPropagation` (agrees with the fold-pattern fixpoint — pinned
+  by a differential test) and :class:`~repro.analysis.dataflow.intrange.
+  IntegerRangeAnalysis`, both runnable as ``irdl-opt --analyze=<name>``;
+* :class:`~repro.analysis.dataflow.liveness.Liveness` — per-region
+  block live-in/live-out sets over the same manager.
+
+``docs/analysis.md`` documents the lattices and the invalidation
+contract.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow.constant import Const, ConstantPropagation
+from repro.analysis.dataflow.intrange import IntegerRangeAnalysis, Range
+from repro.analysis.dataflow.lattice import (
+    BOTTOM,
+    TOP,
+    DataflowResult,
+    SparseForwardAnalysis,
+    render_dataflow_report,
+    run_sparse_forward,
+)
+from repro.analysis.dataflow.liveness import Liveness
+from repro.analysis.dataflow.manager import AnalysisManager
+
+#: The ``irdl-opt --analyze=<name>`` registry: name -> analysis factory.
+ANALYSES: dict[str, type[SparseForwardAnalysis]] = {
+    "constant-prop": ConstantPropagation,
+    "int-range": IntegerRangeAnalysis,
+}
+
+__all__ = [
+    "ANALYSES",
+    "AnalysisManager",
+    "BOTTOM",
+    "Const",
+    "ConstantPropagation",
+    "DataflowResult",
+    "IntegerRangeAnalysis",
+    "Liveness",
+    "Range",
+    "SparseForwardAnalysis",
+    "TOP",
+    "render_dataflow_report",
+    "run_sparse_forward",
+]

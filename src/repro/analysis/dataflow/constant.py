@@ -1,0 +1,158 @@
+"""Sparse constant propagation over the native arith dialect.
+
+The lattice per value is ``BOTTOM < Const(attr) < TOP`` where the
+attribute is the :class:`~repro.builtin.attributes.IntegerAttr` or
+:class:`~repro.builtin.attributes.FloatAttr` the value is known to
+equal.  The transfer function folds exactly the operations the
+declarative fold patterns fold — same plain-Python arithmetic — so the
+analysis and the rewrite fixpoint agree (pinned by the differential
+test in ``tests/analysis/test_dataflow.py``).  Anything the folder
+would refuse (division by zero, a result that does not fit the result
+type, a non-arith producer) goes conservatively to :data:`~repro.
+analysis.dataflow.lattice.TOP`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.builtin.attributes import FloatAttr, IntegerAttr, StringAttr
+from repro.builtin.types import IntegerType
+from repro.ir.attributes import Attribute
+from repro.ir.exceptions import VerifyError
+from repro.ir.operation import Operation
+from repro.analysis.dataflow.lattice import BOTTOM, TOP, SparseForwardAnalysis
+
+
+class Const:
+    """A value proven equal to one attribute constant."""
+
+    __slots__ = ("attr",)
+
+    def __init__(self, attr: Attribute):
+        self.attr = attr
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and self.attr == other.attr
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.attr))
+
+    def __repr__(self) -> str:
+        return f"Const({self.attr})"
+
+
+_INT_BINOPS: dict[str, Callable[[int, int], int]] = {
+    "arith.addi": lambda a, b: a + b,
+    "arith.subi": lambda a, b: a - b,
+    "arith.muli": lambda a, b: a * b,
+    # C-style signed division truncates toward zero; Python's floors.
+    "arith.divsi": lambda a, b: abs(a) // abs(b) * (1 if (a < 0) == (b < 0) else -1),
+    "arith.andi": lambda a, b: a & b,
+    "arith.ori": lambda a, b: a | b,
+    "arith.xori": lambda a, b: a ^ b,
+}
+
+_FLOAT_BINOPS: dict[str, Callable[[float, float], float]] = {
+    "arith.addf": lambda a, b: a + b,
+    "arith.subf": lambda a, b: a - b,
+    "arith.mulf": lambda a, b: a * b,
+    "arith.divf": lambda a, b: a / b,
+}
+
+_CMPI: dict[str, Callable[[int, int], bool]] = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+    "ult": lambda a, b: a < b,
+    "ule": lambda a, b: a <= b,
+    "ugt": lambda a, b: a > b,
+    "uge": lambda a, b: a >= b,
+}
+
+_UNSIGNED = frozenset({"ult", "ule", "ugt", "uge"})
+
+
+def _as_int(state: Any) -> int | None:
+    if isinstance(state, Const) and isinstance(state.attr, IntegerAttr):
+        return state.attr.value
+    return None
+
+
+def _as_float(state: Any) -> float | None:
+    if isinstance(state, Const) and isinstance(state.attr, FloatAttr):
+        return state.attr.value
+    return None
+
+
+class ConstantPropagation(SparseForwardAnalysis):
+    """Which SSA values are compile-time constants, and what they are."""
+
+    name = "constant-prop"
+
+    def transfer(self, op: Operation, operands: Sequence[Any]) -> Sequence[Any]:
+        if op.name == "arith.constant" and len(op.results) == 1:
+            value = op.attributes.get("value")
+            if isinstance(value, (IntegerAttr, FloatAttr)):
+                return [Const(value)]
+            return [TOP]
+        if (op.name in _INT_BINOPS or op.name in _FLOAT_BINOPS
+                or op.name == "arith.cmpi") \
+                and any(state is BOTTOM for state in operands):
+            # An operand's producer has not been evaluated yet: stay
+            # optimistic; the worklist revisits once it publishes.
+            return [BOTTOM] * len(op.results)
+        if op.name in _INT_BINOPS and len(operands) == 2 and len(op.results) == 1:
+            lhs, rhs = _as_int(operands[0]), _as_int(operands[1])
+            if lhs is None or rhs is None:
+                return [TOP]
+            if op.name == "arith.divsi" and rhs == 0:
+                return [TOP]
+            return [self._make_int(_INT_BINOPS[op.name](lhs, rhs),
+                                   op.results[0].type)]
+        if op.name in _FLOAT_BINOPS and len(operands) == 2 and len(op.results) == 1:
+            lhs, rhs = _as_float(operands[0]), _as_float(operands[1])
+            if lhs is None or rhs is None:
+                return [TOP]
+            if op.name == "arith.divf" and rhs == 0.0:
+                return [TOP]
+            try:
+                folded = _FLOAT_BINOPS[op.name](lhs, rhs)
+            except (OverflowError, ZeroDivisionError):
+                return [TOP]
+            return [Const(FloatAttr(folded, op.results[0].type))]
+        if op.name == "arith.cmpi" and len(operands) == 2 and len(op.results) == 1:
+            return [self._fold_cmpi(op, operands)]
+        return [TOP] * len(op.results)
+
+    def _make_int(self, value: int, result_type: Attribute) -> Any:
+        attr = IntegerAttr(value, result_type)
+        try:
+            attr.verify()
+        except VerifyError:
+            # The fold overflowed the result type: not a representable
+            # constant, so claim nothing.
+            return TOP
+        return Const(attr)
+
+    def _fold_cmpi(self, op: Operation, operands: Sequence[Any]) -> Any:
+        predicate = op.attributes.get("predicate")
+        if not isinstance(predicate, StringAttr) or predicate.data not in _CMPI:
+            return TOP
+        lhs, rhs = _as_int(operands[0]), _as_int(operands[1])
+        if lhs is None or rhs is None:
+            return TOP
+        if predicate.data in _UNSIGNED:
+            operand_type = op.operands[0].type
+            if not isinstance(operand_type, IntegerType):
+                return TOP
+            lhs %= 1 << operand_type.bitwidth
+            rhs %= 1 << operand_type.bitwidth
+        truth = _CMPI[predicate.data](lhs, rhs)
+        return self._make_int(int(truth), op.results[0].type)
+
+    def format(self, state: Any) -> str:
+        return str(state.attr) if isinstance(state, Const) else repr(state)

@@ -1,0 +1,138 @@
+"""Sparse integer-range analysis over the native arith dialect.
+
+Each integer SSA value is bounded by an inclusive interval
+``Range(lo, hi)``; constants become point intervals and ``addi`` /
+``subi`` / ``muli`` combine them with interval arithmetic.  An interval
+that escapes the representable range of the result's integer type
+means the operation may overflow, and since the IR's arithmetic has no
+defined wrap-around semantics the analysis goes to :data:`~repro.
+analysis.dataflow.lattice.TOP` rather than guess.  ``cmpi`` results
+always land in ``[0, 1]``, tightened to a point when the operand
+intervals decide the predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.builtin.attributes import IntegerAttr, StringAttr
+from repro.builtin.types import IntegerType
+from repro.ir.operation import Operation
+from repro.analysis.dataflow.lattice import BOTTOM, TOP, SparseForwardAnalysis
+
+
+class Range:
+    """An inclusive integer interval ``[lo, hi]``."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int):
+        if lo > hi:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def hull(self, other: "Range") -> "Range":
+        return Range(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Range) and (self.lo, self.hi) == (other.lo, other.hi)
+
+    def __hash__(self) -> int:
+        return hash(("Range", self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"Range({self.lo}, {self.hi})"
+
+
+def _fits(r: Range, result_type: Any) -> Any:
+    """Clamp an interval to the result type: TOP when it may overflow."""
+    if isinstance(result_type, IntegerType) and result_type.bitwidth < 64:
+        bound = 1 << result_type.bitwidth
+        if r.lo <= -bound or r.hi >= bound:
+            return TOP
+    return r
+
+
+class IntegerRangeAnalysis(SparseForwardAnalysis):
+    """Inclusive bounds of integer SSA values."""
+
+    name = "int-range"
+
+    def transfer(self, op: Operation, operands: Sequence[Any]) -> Sequence[Any]:
+        if op.name == "arith.constant" and len(op.results) == 1:
+            value = op.attributes.get("value")
+            if isinstance(value, IntegerAttr):
+                return [Range(value.value, value.value)]
+            return [TOP]
+        if (op.name in ("arith.addi", "arith.subi", "arith.muli",
+                        "arith.cmpi")
+                and any(state is BOTTOM for state in operands)):
+            # Not all producers have been evaluated yet; stay optimistic.
+            return [BOTTOM] * len(op.results)
+        if op.name in ("arith.addi", "arith.subi", "arith.muli") \
+                and len(operands) == 2 and len(op.results) == 1:
+            lhs, rhs = operands[0], operands[1]
+            if not (isinstance(lhs, Range) and isinstance(rhs, Range)):
+                return [TOP]
+            if op.name == "arith.addi":
+                out = Range(lhs.lo + rhs.lo, lhs.hi + rhs.hi)
+            elif op.name == "arith.subi":
+                out = Range(lhs.lo - rhs.hi, lhs.hi - rhs.lo)
+            else:
+                corners = [lhs.lo * rhs.lo, lhs.lo * rhs.hi,
+                           lhs.hi * rhs.lo, lhs.hi * rhs.hi]
+                out = Range(min(corners), max(corners))
+            return [_fits(out, op.results[0].type)]
+        if op.name == "arith.cmpi" and len(operands) == 2 and len(op.results) == 1:
+            return [self._cmpi_range(op, operands)]
+        return [TOP] * len(op.results)
+
+    def _cmpi_range(self, op: Operation, operands: Sequence[Any]) -> Range:
+        """``[0, 1]``, or a point when the intervals decide the predicate."""
+        default = Range(0, 1)
+        predicate = op.attributes.get("predicate")
+        lhs, rhs = operands[0], operands[1]
+        if not (isinstance(predicate, StringAttr)
+                and isinstance(lhs, Range) and isinstance(rhs, Range)):
+            return default
+        decided: bool | None = None
+        if predicate.data == "eq":
+            if lhs.is_point() and rhs.is_point() and lhs == rhs:
+                decided = True
+            elif lhs.hi < rhs.lo or rhs.hi < lhs.lo:
+                decided = False
+        elif predicate.data == "ne":
+            if lhs.hi < rhs.lo or rhs.hi < lhs.lo:
+                decided = True
+            elif lhs.is_point() and rhs.is_point() and lhs == rhs:
+                decided = False
+        elif predicate.data == "slt":
+            decided = True if lhs.hi < rhs.lo else (False if lhs.lo >= rhs.hi else None)
+        elif predicate.data == "sle":
+            decided = True if lhs.hi <= rhs.lo else (False if lhs.lo > rhs.hi else None)
+        elif predicate.data == "sgt":
+            decided = True if lhs.lo > rhs.hi else (False if lhs.hi <= rhs.lo else None)
+        elif predicate.data == "sge":
+            decided = True if lhs.lo >= rhs.hi else (False if lhs.hi < rhs.lo else None)
+        if decided is None:
+            return default
+        return Range(int(decided), int(decided))
+
+    def join(self, a: Any, b: Any) -> Any:
+        if a is BOTTOM:
+            return b
+        if b is BOTTOM:
+            return a
+        if a is TOP or b is TOP:
+            return TOP
+        return a.hull(b)
+
+    def format(self, state: Any) -> str:
+        if isinstance(state, Range):
+            return f"[{state.lo}, {state.hi}]" if not state.is_point() \
+                else str(state.lo)
+        return repr(state)

@@ -1,0 +1,175 @@
+"""A generic sparse forward lattice engine over SSA values.
+
+*Sparse* as in MLIR's sparse dataflow framework: states attach to SSA
+values, not program points, and information flows along use-def edges
+only.  An analysis supplies three ingredients:
+
+* :meth:`SparseForwardAnalysis.boundary` — the state of values the
+  engine cannot see being produced (block arguments, and results of
+  operations the transfer function does not model);
+* :meth:`SparseForwardAnalysis.transfer` — result states of one
+  operation from its operand states;
+* :meth:`SparseForwardAnalysis.join` — the least upper bound, used
+  when several states meet (kept on the analysis so richer engines —
+  e.g. one propagating branch arguments — can reuse the instances).
+
+The engine seeds every result-producing op under the root, then runs a
+worklist: when a value's state changes, the users of that value are
+revisited.  Blocks may appear in any order (SSA only guarantees defs
+*dominate* uses, not that they precede them in block-list order), so
+the worklist — not a single pass — is what guarantees a fixpoint.
+
+Two distinguished states frame every lattice:
+
+* :data:`BOTTOM` — not computed yet (the optimistic initial state);
+* :data:`TOP` — no information (the conservative final state).
+
+Transfer functions must be monotone (never move a state back toward
+:data:`BOTTOM`); with the finite lattices used here, that bounds the
+number of revisits and the engine terminates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Sequence
+
+from repro.ir.operation import Operation
+from repro.ir.value import SSAValue
+from repro.obs.instrument import OBS
+
+
+class _Extreme:
+    """A named lattice extreme (singleton, identity-compared)."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+#: Not computed yet: below every other state.
+BOTTOM = _Extreme("BOTTOM")
+#: No information: above every other state.
+TOP = _Extreme("TOP")
+
+
+class SparseForwardAnalysis:
+    """Base class of sparse forward analyses; subclasses are stateless."""
+
+    #: The ``--analyze=<name>`` registry key and report heading.
+    name = "sparse-forward"
+
+    def boundary(self, value: SSAValue) -> Any:
+        """State of a value with no visible producer (block args, …)."""
+        return TOP
+
+    def transfer(self, op: Operation, operands: Sequence[Any]) -> Sequence[Any]:
+        """States of ``op``'s results given its operand states."""
+        return [TOP] * len(op.results)
+
+    def join(self, a: Any, b: Any) -> Any:
+        """Least upper bound; the default collapses disagreement to TOP."""
+        if a is BOTTOM:
+            return b
+        if b is BOTTOM:
+            return a
+        return a if a == b else TOP
+
+    def format(self, state: Any) -> str:
+        """How ``--analyze`` renders one state."""
+        return repr(state)
+
+
+class DataflowResult:
+    """The fixpoint of one analysis over one root operation."""
+
+    __slots__ = ("analysis", "root", "states", "steps")
+
+    def __init__(self, analysis: SparseForwardAnalysis, root: Operation,
+                 states: dict[SSAValue, Any], steps: int):
+        self.analysis = analysis
+        self.root = root
+        #: Value -> state; values absent from the map are :data:`BOTTOM`
+        #: (never reached — e.g. results of unreachable transfer input).
+        self.states = states
+        #: Transfer-function evaluations the fixpoint took.
+        self.steps = steps
+
+    def state_of(self, value: SSAValue) -> Any:
+        return self.states.get(value, BOTTOM)
+
+
+def run_sparse_forward(analysis: SparseForwardAnalysis,
+                       root: Operation) -> DataflowResult:
+    """Run ``analysis`` to a fixpoint over every value under ``root``."""
+    states: dict[SSAValue, Any] = {}
+    ops = [op for op in root.walk() if op.results]
+    in_tree = {id(op) for op in ops}
+    for op in root.walk():
+        for region in op.regions:
+            for block in region.blocks:
+                for arg in block.args:
+                    states[arg] = analysis.boundary(arg)
+        # Operands defined outside the analyzed tree are boundary
+        # values too: they will never be computed here, and leaving
+        # them BOTTOM would pin their users at "not yet known".
+        for operand in op.operands:
+            if operand not in states and id(operand.owner) not in in_tree:
+                states[operand] = analysis.boundary(operand)
+    worklist: deque[Operation] = deque(ops)
+    queued = {id(op) for op in ops}
+    steps = 0
+    while worklist:
+        op = worklist.popleft()
+        queued.discard(id(op))
+        operand_states = [states.get(v, BOTTOM) for v in op.operands]
+        steps += 1
+        new_states = analysis.transfer(op, operand_states)
+        for result, new in zip(op.results, new_states):
+            old = states.get(result, BOTTOM)
+            if old is BOTTOM:
+                merged = new
+            elif new is BOTTOM:
+                merged = old
+            else:
+                merged = analysis.join(old, new)
+            if merged is BOTTOM or (old is not BOTTOM and merged == old):
+                continue
+            states[result] = merged
+            for user in result.users():
+                if user.results and id(user) in in_tree \
+                        and id(user) not in queued:
+                    queued.add(id(user))
+                    worklist.append(user)
+    if OBS.metrics.enabled:
+        OBS.metrics.counter("analysis.dataflow.transfer_steps").inc(steps)
+    return DataflowResult(analysis, root, states, steps)
+
+
+def render_dataflow_report(result: DataflowResult) -> str:
+    """A stable text report of one fixpoint, for ``--analyze``.
+
+    One line per result-producing operation (pre-order index), listing
+    each result's state; :data:`TOP` states print as ``?`` so the
+    interesting facts stand out.
+    """
+    lines = [f"=== {result.analysis.name} ==="]
+    for index, op in enumerate(result.root.walk()):
+        if not op.results:
+            continue
+        rendered = []
+        for res in op.results:
+            state = result.state_of(res)
+            if state is TOP:
+                rendered.append("?")
+            elif state is BOTTOM:
+                rendered.append("unreachable")
+            else:
+                rendered.append(result.analysis.format(state))
+        lines.append(f"#{index} {op.name}: " + ", ".join(rendered))
+    lines.append(f"({result.steps} transfer step(s))")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Per-region liveness: which values are live across block boundaries.
+
+A value is *live-in* at a block if some path from the block's entry
+reaches a use of the value before any (re)definition; *live-out* if it
+is live-in at any successor.  Uses inside nested regions count as uses
+of the enclosing operation (an op with regions keeps its operands live
+for as long as it runs), and definitions are SSA — a value is defined
+exactly once — so the classic backward dataflow simplifies to::
+
+    live_out(B) = union of live_in(S) for S in successors(B)
+    live_in(B)  = gen(B) | (live_out(B) - defined(B))
+
+Results are intended to be cached under the
+:class:`~repro.analysis.dataflow.manager.AnalysisManager`, mirroring
+:class:`~repro.ir.dominance.DominanceInfo`: construct once per region,
+invalidate on mutation.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import Block
+from repro.ir.region import Region
+from repro.ir.value import SSAValue
+
+
+class Liveness:
+    """Block-boundary liveness for one region, computed at construction."""
+
+    def __init__(self, region: Region):
+        self.region = region
+        self._live_in: dict[int, frozenset[SSAValue]] = {}
+        self._live_out: dict[int, frozenset[SSAValue]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        blocks = self.region.blocks
+        gen: dict[int, set[SSAValue]] = {}
+        defined: dict[int, set[SSAValue]] = {}
+        for block in blocks:
+            block_gen: set[SSAValue] = set()
+            block_def: set[SSAValue] = set(block.args)
+            for op in block.ops:
+                # op.walk() visits nested ops too: their operands are
+                # uses attributable to this block, except when the
+                # operand is itself defined inside the subtree (nested
+                # results and nested block args never escape).
+                internal: set[SSAValue] = set()
+                for nested in op.walk():
+                    if nested is not op:
+                        internal.update(nested.results)
+                    for nested_region in nested.regions:
+                        for nested_block in nested_region.blocks:
+                            internal.update(nested_block.args)
+                for nested in op.walk():
+                    for operand in nested.operands:
+                        if operand not in internal and operand not in block_def:
+                            block_gen.add(operand)
+                block_def.update(op.results)
+            gen[id(block)] = block_gen
+            defined[id(block)] = block_def
+            self._live_in[id(block)] = frozenset()
+            self._live_out[id(block)] = frozenset()
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(blocks):
+                out: set[SSAValue] = set()
+                last = block.last_op
+                if last is not None:
+                    for successor in last.successors:
+                        out |= self._live_in[id(successor)]
+                new_in = frozenset(gen[id(block)] | (out - defined[id(block)]))
+                new_out = frozenset(out)
+                if new_in != self._live_in[id(block)] \
+                        or new_out != self._live_out[id(block)]:
+                    self._live_in[id(block)] = new_in
+                    self._live_out[id(block)] = new_out
+                    changed = True
+
+    def live_in(self, block: Block) -> frozenset[SSAValue]:
+        """Values live on entry to ``block`` (block args excluded)."""
+        return self._live_in.get(id(block), frozenset())
+
+    def live_out(self, block: Block) -> frozenset[SSAValue]:
+        """Values live on exit from ``block``."""
+        return self._live_out.get(id(block), frozenset())
+
+    def is_live_in(self, value: SSAValue, block: Block) -> bool:
+        return value in self._live_in.get(id(block), frozenset())
+
+    def is_live_out(self, value: SSAValue, block: Block) -> bool:
+        return value in self._live_out.get(id(block), frozenset())
+
+    def __repr__(self) -> str:
+        return f"<Liveness of {len(self.region.blocks)} block(s)>"

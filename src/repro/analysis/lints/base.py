@@ -54,6 +54,16 @@ LINT_CODES: dict[str, str] = {
         "a rewrite pattern registered without an op_name: it defeats "
         "root indexing and is offered to every operation"
     ),
+    "unsound-rewrite-replacement": (
+        "a rewrite whose replacement op provably cannot verify: a "
+        "replacement constraint is disjoint from what the match "
+        "guarantees, or jointly unsatisfiable"
+    ),
+    "possibly-unsound-rewrite": (
+        "a rewrite whose replacement constraints are not implied by the "
+        "match constraints: some matched instances would produce "
+        "invalid IR"
+    ),
     "segment-attribute-required": (
         "several variadic segments: instances need a segment-sizes "
         "attribute"

@@ -103,6 +103,120 @@ def lint_pattern(
             template.result_names, op_def.results
         ):
             producers[value_name] = (template.op_name, result.constraint)
+    findings.extend(_lint_rewrite_soundness(context, decl, engine, producers))
+    if decl.suppressions:
+        suppressed = set(decl.suppressions)
+        findings = [f for f in findings if f.code not in suppressed]
+    return findings
+
+
+def _lint_rewrite_soundness(
+    context: Context,
+    decl: PatternDecl,
+    engine: SatEngine,
+    producers: dict[str, tuple[str, object]],
+) -> list[LintFinding]:
+    """SAT-backed soundness of the rewrite section.
+
+    The match section guarantees each bound value satisfies its
+    producer's result constraint; each replacement op then demands its
+    own operand constraints of those values.  Three verdicts:
+
+    * provably *disjoint* demand (or an unsatisfiable replacement
+      signature) — no matched instance can produce verifiable IR:
+      ``unsound-rewrite-replacement`` (error);
+    * demand provably *not implied* (``subsumes`` is FALSE) — some
+      matched instances would produce invalid IR:
+      ``possibly-unsound-rewrite`` (warning);
+    * implied or undecidable — silent, so sound patterns (including the
+      whole existing corpus) stay clean.
+
+    The same logic covers the values substituted for the root's
+    results: downstream uses held a value satisfying the matched
+    producer's constraint and now receive the replacement's.
+    """
+    findings: list[LintFinding] = []
+    #: Constraints the *match* established for the root's results, to
+    #: compare against what the rewrite rebinds them to.
+    root_constraints = {
+        name: producers[name]
+        for name in decl.root.result_names
+        if name in producers
+    }
+    available = dict(producers)
+    for template in decl.rewrite_ops:
+        binding = context.get_op_def(template.op_name)
+        op_def = getattr(binding, "op_def", None)
+        if op_def is None or any(o.is_variadic for o in op_def.operands):
+            continue
+        if len(template.operand_names) != len(op_def.operands):
+            continue  # arity problem already reported
+        signature = [
+            a.constraint for a in (*op_def.operands, *op_def.results)
+        ]
+        if engine.sequence_satisfiable(signature) is Verdict.UNSAT:
+            findings.append(LintFinding(
+                "unsound-rewrite-replacement", "error", decl.name,
+                f"replacement op {template.op_name} has an unsatisfiable "
+                "signature: the rewrite can never produce a verifiable op",
+            ))
+            continue
+        for value_name, operand in zip(
+            template.operand_names, op_def.operands
+        ):
+            produced = available.get(value_name)
+            if produced is None:
+                continue
+            producer_name, producer_constraint = produced
+            if engine.disjoint(
+                operand.constraint, producer_constraint
+            ) is Ternary.TRUE:
+                findings.append(LintFinding(
+                    "unsound-rewrite-replacement", "error", decl.name,
+                    f"%{value_name} matched from {producer_name} can never "
+                    f"satisfy the {operand.name!r} operand of replacement "
+                    f"op {template.op_name}: the constraints are disjoint",
+                ))
+            elif engine.subsumes(
+                operand.constraint, producer_constraint
+            ) is Ternary.FALSE:
+                findings.append(LintFinding(
+                    "possibly-unsound-rewrite", "warning", decl.name,
+                    f"the {operand.name!r} operand constraint of "
+                    f"replacement op {template.op_name} is not implied by "
+                    f"what the match guarantees for %{value_name} (from "
+                    f"{producer_name}): some matched instances would "
+                    "produce invalid IR",
+                ))
+        for value_name, result in zip(
+            template.result_names, op_def.results
+        ):
+            available[value_name] = (template.op_name, result.constraint)
+            matched = root_constraints.get(value_name)
+            if matched is None:
+                continue
+            producer_name, matched_constraint = matched
+            if engine.disjoint(
+                result.constraint, matched_constraint
+            ) is Ternary.TRUE:
+                findings.append(LintFinding(
+                    "unsound-rewrite-replacement", "error", decl.name,
+                    f"%{value_name} replaces a result of {producer_name} "
+                    f"but the {result.name!r} result of {template.op_name} "
+                    "can never satisfy the matched constraint: downstream "
+                    "uses would hold a value of a disjoint type",
+                ))
+            elif engine.subsumes(
+                matched_constraint, result.constraint
+            ) is Ternary.FALSE:
+                findings.append(LintFinding(
+                    "possibly-unsound-rewrite", "warning", decl.name,
+                    f"%{value_name} replaces a result of {producer_name} "
+                    f"with the {result.name!r} result of "
+                    f"{template.op_name}, whose constraint is not implied "
+                    "by the matched one: downstream uses may see an "
+                    "unexpected type",
+                ))
     return findings
 
 

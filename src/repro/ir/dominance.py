@@ -33,6 +33,17 @@ class DominanceInfo:
 
     def _compute(self) -> None:
         blocks = self.region.blocks
+        if len(blocks) > 1:
+            # A block with no operations has no terminator, so control
+            # can never leave it — in a multi-block region that is a
+            # malformed CFG, not an unreachable block.
+            for i, block in enumerate(blocks):
+                if block.last_op is None:
+                    raise VerifyError(
+                        f"block #{i} in a multi-block region is empty and "
+                        f"has no terminator",
+                        obj=block,
+                    )
         entry = blocks[0]
         order = self._reverse_postorder(entry)
         index = {block: i for i, block in enumerate(order)}
@@ -126,6 +137,51 @@ class DominanceInfo:
     def is_reachable(self, block: Block) -> bool:
         return block is self.region.entry_block or self._idom.get(block) is not None
 
+    def dominates(self, a: "Block | Operation", b: "Block | Operation") -> bool:
+        """Whether ``a`` dominates ``b`` (reflexive).
+
+        Accepts blocks of this region or operations nested anywhere
+        under it; an operation is located by its ancestor block in this
+        region.  Same-block operations compare by position; an op not
+        under this region dominates (and is dominated by) nothing.
+        """
+        if isinstance(a, Block) and isinstance(b, Block):
+            return self.dominates_block(a, b)
+        if a is b:
+            return True
+        point_a = self._locate(a)
+        point_b = self._locate(b)
+        if point_a is None or point_b is None:
+            return False
+        block_a, index_a = point_a
+        block_b, index_b = point_b
+        if block_a is block_b:
+            return index_a <= index_b
+        return self.dominates_block(block_a, block_b)
+
+    def _locate(self, obj: "Block | Operation") -> tuple[Block, int] | None:
+        """The (block of this region, op index) containing ``obj``."""
+        if isinstance(obj, Block):
+            # A block's "point" is its entry: it dominates everything in
+            # it, and is dominated by no single op of its own.
+            block: Block | None = obj
+            index = -1
+        else:
+            current: Operation | None = obj
+            block = current.parent
+            while block is not None and block.parent is not self.region:
+                owner = block.parent.parent if block.parent is not None else None
+                if owner is None:
+                    return None
+                current = owner
+                block = current.parent
+            if block is None or current is None:
+                return None
+            index = block.index_of(current)
+        if block.parent is not self.region:
+            return None
+        return block, index
+
 
 def _defining_point(value: SSAValue) -> tuple[Block | None, int]:
     """The (block, index) after which a value is available.
@@ -151,8 +207,15 @@ def _enclosing_chain(op: Operation) -> Iterator[tuple[Block, int]]:
 
 
 def value_dominates_use(value: SSAValue, user: Operation,
-                        cache: dict[int, DominanceInfo] | None = None) -> bool:
-    """Whether ``value`` is available at ``user`` under SSA dominance."""
+                        cache: dict[int, DominanceInfo] | None = None,
+                        manager: object | None = None) -> bool:
+    """Whether ``value`` is available at ``user`` under SSA dominance.
+
+    Repeated queries share dominator trees through either a plain
+    ``cache`` dict or an :class:`~repro.analysis.dataflow.manager.
+    AnalysisManager` (which survives across calls and is invalidated on
+    mutation); ``manager`` wins when both are given.
+    """
     def_block, def_index = _defining_point(value)
     if def_block is None:
         return False
@@ -161,7 +224,9 @@ def value_dominates_use(value: SSAValue, user: Operation,
             return def_index < use_index
         if def_block.parent is use_block.parent and def_block.parent is not None:
             region = def_block.parent
-            if cache is not None:
+            if manager is not None:
+                info = manager.dominance(region)
+            elif cache is not None:
                 info = cache.get(id(region))
                 if info is None:
                     info = cache[id(region)] = DominanceInfo(region)
@@ -171,15 +236,18 @@ def value_dominates_use(value: SSAValue, user: Operation,
     return False
 
 
-def verify_dominance(root: Operation) -> None:
+def verify_dominance(root: Operation, manager: object | None = None) -> None:
     """Check that every use in ``root``'s tree is dominated by its def.
 
-    Raises :class:`VerifyError` naming the offending operand.
+    Raises :class:`VerifyError` naming the offending operand.  Passing
+    an :class:`~repro.analysis.dataflow.manager.AnalysisManager` reuses
+    (and populates) its cached per-region dominator trees instead of
+    rebuilding them for this one traversal.
     """
-    cache: dict[int, DominanceInfo] = {}
+    cache: dict[int, DominanceInfo] | None = None if manager is not None else {}
     for op in root.walk():
         for i, operand in enumerate(op.operands):
-            if not value_dominates_use(operand, op, cache):
+            if not value_dominates_use(operand, op, cache, manager):
                 raise VerifyError(
                     f"operand #{i} of {op.name} is not dominated by its "
                     f"definition",

@@ -88,6 +88,18 @@ INSTRUMENT_CATALOG: dict[str, str] = {
     "original constraints",
     "analysis.sat.sampler_fallbacks": "UNKNOWN verdicts handed to the "
     "random sampler",
+    "analysis.dataflow.computes": "analysis results computed by the "
+    "AnalysisManager (cache misses)",
+    "analysis.dataflow.cache_hits": "analysis results served from the "
+    "AnalysisManager cache",
+    "analysis.dataflow.invalidations": "cached analysis results dropped "
+    "by invalidation hooks",
+    "analysis.dataflow.transfer_steps": "transfer-function evaluations "
+    "of the sparse forward engine",
+    "rewriting.validate.checks": "post-application validations run "
+    "under --validate-rewrites",
+    "rewriting.validate.failures": "rewrite applications that broke an "
+    "SSA invariant (each aborts the pipeline)",
     "obs.remarks.emitted": "optimization remarks recorded (all kinds)",
     "obs.remarks.applied": "rewrite patterns applied (one remark each)",
     "obs.remarks.missed": "rewrite patterns that matched an op name "

@@ -79,6 +79,9 @@ class PatternDecl:
     name: str
     match_ops: list[OpTemplate] = field(default_factory=list)
     rewrite_ops: list[OpTemplate] = field(default_factory=list)
+    #: Lint codes silenced for this pattern (``Suppress "code"`` lines,
+    #: same semantics as the IRDL dialect syntax).
+    suppressions: list[str] = field(default_factory=list)
     #: The span of the pattern's name in its pattern file.
     span: Span | None = None
 
@@ -159,6 +162,12 @@ class PatternParser:
         name_token = self.expect(TokenKind.BARE_IDENT, "pattern name")
         decl = PatternDecl(name_token.text, span=name_token.span)
         self.expect(TokenKind.LBRACE, "'{'")
+        while (self.peek().kind is TokenKind.BARE_IDENT
+               and self.peek().text == "Suppress"):
+            self.next()
+            decl.suppressions.append(
+                self.expect(TokenKind.STRING, "lint code string").value
+            )
         self.expect_keyword("Match")
         decl.match_ops = self._parse_op_block()
         self.expect_keyword("Rewrite")
@@ -279,6 +288,7 @@ class DeclarativePattern(RewritePattern):
         self.context = context
         self.decl = decl
         self.op_name = decl.root.op_name
+        self.suppressions = tuple(decl.suppressions)
         # Declared match prefix: the compiled matcher table inlines the
         # root's arity checks (the first tests ``_match`` would run) and
         # only calls into the interpretive DAG match past them.

@@ -82,16 +82,27 @@ class GreedyPatternDriver:
         context: Context,
         patterns: Sequence[RewritePattern],
         max_iterations: int = 64,
+        validate_rewrites: bool = False,
     ):
         self.context = context
         self.patterns = sorted(patterns, key=lambda p: -p.benefit)
         self.max_iterations = max_iterations
+        #: ``--validate-rewrites``: re-check dominance, def-use
+        #: integrity, and the verifier around every application.
+        self.validate_rewrites = validate_rewrites
+        #: Optional :class:`~repro.analysis.dataflow.manager.
+        #: AnalysisManager`; when set, the driver invalidates the scopes
+        #: each rewrite touched (so unrelated cached analyses survive)
+        #: and validation reuses its cached dominator trees.
+        self.analyses = None
         #: The ``origin`` field of emitted remarks; the owning pass
         #: (e.g. the Canonicalizer) overwrites it with its own name.
         self.remark_origin = "greedy-driver"
         self.rewrites_applied = 0
         self.match_attempts = 0
         self.rounds = 0
+        self.validations = 0
+        self.validation_failures = 0
         #: Ops pushed onto the incremental worklist after rewrites
         #: (0 under the reference driver, which re-walks instead).
         self.worklist_pushes = 0
@@ -137,6 +148,109 @@ class GreedyPatternDriver:
                     "root-indexed and is offered to every operation"
                 ),
             )
+
+    # -- post-application hooks ----------------------------------------
+
+    def _after_fire(self, root: Operation, rewriter: PatternRewriter,
+                    fired_op: Operation, new_ops: Sequence[Operation],
+                    erased_parents: Sequence[Operation],
+                    label: str, op_name: str) -> None:
+        """Invalidate cached analyses and (optionally) validate one fire."""
+        if self.analyses is not None:
+            for changed in (fired_op, *new_ops, *erased_parents):
+                self.analyses.invalidate_scope(changed)
+        if self.validate_rewrites:
+            self._validate_fire(root, rewriter, fired_op, new_ops,
+                                label, op_name)
+
+    def _validation_scope(self, root: Operation, fired_op: Operation,
+                          new_ops: Sequence[Operation]) -> Operation:
+        """The op whose subtree one rewrite could have corrupted.
+
+        The enclosing op of the first surviving participant (an inserted
+        op, or the matched root when it was updated in place) — its
+        subtree contains every block the rewrite edited.  Falls back to
+        ``root`` when everything the rewrite touched was erased.
+        """
+        for candidate in (*new_ops, fired_op):
+            if _is_stale(candidate, root):
+                continue
+            enclosing = candidate.parent_op
+            return enclosing if enclosing is not None else candidate
+        return root
+
+    def _validate_fire(self, root: Operation, rewriter: PatternRewriter,
+                       fired_op: Operation, new_ops: Sequence[Operation],
+                       label: str, op_name: str) -> None:
+        """``--validate-rewrites``: re-check SSA invariants after a fire.
+
+        Checks, on the touched subtree: def-use integrity (no operand
+        defined by an erased op), SSA dominance, and the registered
+        verifiers.  A violation becomes a ``verify-failure`` remark and
+        a :class:`VerifyError` naming the offending pattern.
+        """
+        from repro.ir.exceptions import VerifyError
+
+        scope = self._validation_scope(root, fired_op, new_ops)
+        self.validations += 1
+        metrics = OBS.metrics
+        if metrics.enabled:
+            metrics.counter("rewriting.validate.checks").inc()
+        try:
+            self._check_def_use(scope, root)
+            from repro.ir.dominance import verify_dominance
+
+            verify_dominance(scope, self.analyses)
+            scope.verify()
+        except VerifyError as error:
+            self.validation_failures += 1
+            if metrics.enabled:
+                metrics.counter("rewriting.validate.failures").inc()
+            remarks = OBS.remarks
+            if remarks.enabled:
+                remarks.emit(
+                    "verify-failure",
+                    origin=self.remark_origin,
+                    name=label,
+                    op=op_name,
+                    location=rewriter.root_location,
+                    message=f"rewrite validation failed: {error}",
+                )
+            raise VerifyError(
+                f"rewrite pattern '{label}' applied to {op_name} broke IR "
+                f"invariants: {error}",
+                obj=getattr(error, "obj", None) or scope,
+            ) from error
+
+    def _check_def_use(self, scope: Operation, root: Operation) -> None:
+        """Every operand under ``scope`` must have a live definition."""
+        from repro.ir.exceptions import VerifyError
+        from repro.ir.value import OpResult, Use
+
+        for op in scope.walk():
+            for i, operand in enumerate(op.operands):
+                if isinstance(operand, OpResult):
+                    definer = operand.op
+                    if definer.parent is None or _is_stale(definer, root):
+                        raise VerifyError(
+                            f"operand #{i} of {op.name} is a result of "
+                            f"erased op {definer.name}",
+                            obj=op,
+                        )
+                else:  # block argument
+                    block = operand.owner
+                    if block.parent is None:
+                        raise VerifyError(
+                            f"operand #{i} of {op.name} is an argument of "
+                            f"a detached block",
+                            obj=op,
+                        )
+                if Use(op, i) not in operand.uses:
+                    raise VerifyError(
+                        f"use-list of operand #{i} of {op.name} lost its "
+                        f"back-reference",
+                        obj=op,
+                    )
 
     def run(self, root: Operation) -> bool:
         """Apply patterns under ``root``; returns True if anything changed."""
@@ -216,6 +330,7 @@ class GreedyPatternDriver:
                     if bucket is None:
                         continue
                 rewriter.root_location = op.location
+                op_name = op.name
                 index = bucket.match(op, rewriter, remark_engine, origin)
                 if index < 0:
                     attempts += bucket.size
@@ -226,14 +341,16 @@ class GreedyPatternDriver:
                 any_change = True
                 # Seed the next generation with everything this rewrite
                 # could have affected (and, recursively, what they use).
-                for new_op in touched[n_touched:]:
+                new_ops = touched[n_touched:]
+                new_parents = parents[n_parents:]
+                for new_op in new_ops:
                     push(new_op)
                     for nested in new_op.walk(include_self=False):
                         push(nested)
                 for value in replaced[n_replaced:]:
                     for user in value.users():
                         push(user)
-                for parent in parents[n_parents:]:
+                for parent in new_parents:
                     push(parent)
                 for definer in defs[n_defs:]:
                     push(definer)
@@ -241,6 +358,10 @@ class GreedyPatternDriver:
                 n_replaced = len(replaced)
                 n_parents = len(parents)
                 n_defs = len(defs)
+                if self.analyses is not None or self.validate_rewrites:
+                    self._after_fire(root, rewriter, op, new_ops,
+                                     new_parents, bucket.slots[index].label,
+                                     op_name)
                 if not _is_stale(op, root):
                     # In-place update: the op (and its users) may now
                     # match a pattern that previously missed.
@@ -276,6 +397,8 @@ class GreedyPatternDriver:
                     continue
                 attempts += 1
                 slot.stats.attempts += 1
+                n_touched = len(rewriter.touched)
+                n_parents = len(rewriter.erased_parents)
                 if rewrite_pattern.match_and_rewrite(op, rewriter):
                     self.rewrites_applied += 1
                     slot.stats.applications += 1
@@ -286,6 +409,13 @@ class GreedyPatternDriver:
                             name=slot.label,
                             op=op_name,
                             location=op_location,
+                        )
+                    if self.analyses is not None or self.validate_rewrites:
+                        self._after_fire(
+                            root, rewriter, op,
+                            rewriter.touched[n_touched:],
+                            rewriter.erased_parents[n_parents:],
+                            slot.label, op_name,
                         )
                     break
                 if emit_remarks and rewrite_pattern.op_name is not None:
@@ -306,6 +436,10 @@ class GreedyPatternDriver:
             ("pattern-rewrites", self.rewrites_applied),
             ("rounds-to-fixpoint", self.rounds),
         ]
+        if self.validations:
+            rows.append(("rewrite-validations", self.validations))
+            rows.append(("rewrite-validation-failures",
+                         self.validation_failures))
         for label in sorted(self.pattern_stats):
             stats = self.pattern_stats[label]
             rows.append((f"{label}.match-attempts", stats.attempts))
@@ -318,7 +452,9 @@ def apply_patterns_greedily(
     root: Operation,
     patterns: Iterable[RewritePattern],
     max_iterations: int = 64,
+    validate_rewrites: bool = False,
 ) -> bool:
     """Convenience entry point: run patterns under ``root`` to fixpoint."""
-    driver = GreedyPatternDriver(context, list(patterns), max_iterations)
+    driver = GreedyPatternDriver(context, list(patterns), max_iterations,
+                                 validate_rewrites=validate_rewrites)
     return driver.run(root)

@@ -47,6 +47,13 @@ class Pass:
 
     name = "pass"
 
+    #: The shared :class:`~repro.analysis.dataflow.manager.
+    #: AnalysisManager`, set by the :class:`PassManager` before each
+    #: :meth:`run`; ``None`` when the pass runs standalone.  Passes that
+    #: need dominance/liveness should query it so repeated runs over an
+    #: unchanged tree reuse cached results.
+    analyses = None
+
     def run(self, root: Operation) -> bool:
         """Transform ``root``; return True when anything changed."""
         raise NotImplementedError
@@ -139,7 +146,10 @@ class CommonSubexpressionElimination(Pass):
     def _run_on_region(self, region) -> bool:
         from repro.ir.dominance import DominanceInfo
 
-        info = DominanceInfo(region)
+        if self.analyses is not None:
+            info = self.analyses.dominance(region)
+        else:
+            info = DominanceInfo(region)
         seen: dict[tuple, list[Operation]] = {}
         changed = False
         # Visit blocks so dominators come first: order by dominator-tree
@@ -189,17 +199,19 @@ class Canonicalizer(Pass):
     name = "canonicalize"
 
     def __init__(self, context: Context, patterns: Sequence[RewritePattern],
-                 max_iterations: int = 64):
+                 max_iterations: int = 64, validate_rewrites: bool = False):
         self.context = context
         self.patterns = list(patterns)
         self.max_iterations = max_iterations
         #: The persistent driver; its statistics accumulate across runs
         #: and back this pass's :meth:`statistics`.
         self.driver = GreedyPatternDriver(context, self.patterns,
-                                          max_iterations)
+                                          max_iterations,
+                                          validate_rewrites=validate_rewrites)
         self.driver.remark_origin = self.name
 
     def run(self, root: Operation) -> bool:
+        self.driver.analyses = self.analyses
         return self.driver.run(root)
 
     def statistics(self) -> list[tuple[str, int]]:
@@ -215,7 +227,7 @@ class VerifyPass(Pass):
         from repro.ir.dominance import verify_dominance
 
         root.verify()
-        verify_dominance(root)
+        verify_dominance(root, self.analyses)
         return False
 
 
@@ -232,9 +244,14 @@ class PassManager:
     """
 
     def __init__(self, passes: Iterable[Pass] = (),
-                 verify_each: bool = False):
+                 verify_each: bool = False, analyses=None):
+        from repro.analysis.dataflow.manager import AnalysisManager
+
         self.passes: list[Pass] = list(passes)
         self.verify_each = verify_each
+        #: The shared analysis cache, handed to every pass via its
+        #: ``analyses`` attribute and invalidated after changing passes.
+        self.analyses = analyses if analyses is not None else AnalysisManager()
         #: (pass name, changed) log of the last run.
         self.history: list[tuple[str, bool]] = []
         #: Timed per-pass records of the last run (incl. ``verify`` rows).
@@ -248,11 +265,18 @@ class PassManager:
         self.history = []
         self.records = []
         verifier = VerifyPass()
+        verifier.analyses = self.analyses
         changed_any = False
         for pipeline_pass in self.passes:
+            pipeline_pass.analyses = self.analyses
             changed = self._run_timed(pipeline_pass, root)
             self.history.append((pipeline_pass.name, changed))
             changed_any |= changed
+            if changed:
+                # Coarse pass-boundary invalidation: a pass that edited
+                # the tree may have staled any cached analysis it did
+                # not itself invalidate incrementally.
+                self.analyses.invalidate_all()
             if self.verify_each:
                 self._run_timed(verifier, root)
         return changed_any

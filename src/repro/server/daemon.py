@@ -562,6 +562,7 @@ class DialectServer:
         manager = session.run_patterns(
             module, patterns, passes,
             verify_each=bool(request.get("verify_each", False)),
+            validate_rewrites=bool(request.get("validate", False)),
         )
         if request.get("verify", True):
             session.verify(module)

@@ -158,13 +158,17 @@ class Session:
 
     def build_pipeline(self, patterns: Sequence["RewritePattern"] = (),
                        passes: Sequence[str] | None = None,
-                       verify_each: bool = False) -> "PassManager":
+                       verify_each: bool = False,
+                       validate_rewrites: bool = False) -> "PassManager":
         """Compose a named pass pipeline (the server's ``rewrite``).
 
         ``passes`` names a sequence from ``canonicalize`` (the supplied
         pattern set applied greedily), ``dce``, ``cse``, and ``verify``;
         the default, matching the CLI's ``--patterns`` flow, is
-        ``["canonicalize", "dce"]``.
+        ``["canonicalize", "dce"]``.  ``validate_rewrites`` makes the
+        greedy driver re-check dominance, def-use integrity, and the
+        verifier around every pattern application (the CLI's
+        ``--validate-rewrites``).
         """
         from repro.rewriting import (
             Canonicalizer,
@@ -179,7 +183,8 @@ class Session:
         manager = PassManager(verify_each=verify_each)
         for name in passes:
             if name == "canonicalize":
-                manager.add(Canonicalizer(self.ctx, list(patterns)))
+                manager.add(Canonicalizer(self.ctx, list(patterns),
+                                          validate_rewrites=validate_rewrites))
             elif name == "dce":
                 manager.add(DeadCodeElimination())
             elif name == "cse":
@@ -194,9 +199,11 @@ class Session:
     def run_patterns(self, module: "Operation",
                      patterns: Sequence["RewritePattern"],
                      passes: Sequence[str] | None = None,
-                     verify_each: bool = False) -> "PassManager":
+                     verify_each: bool = False,
+                     validate_rewrites: bool = False) -> "PassManager":
         """Run the pattern pipeline; returns the manager for its records."""
-        manager = self.build_pipeline(patterns, passes, verify_each)
+        manager = self.build_pipeline(patterns, passes, verify_each,
+                                      validate_rewrites)
         manager.run(module)
         return manager
 

@@ -140,6 +140,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "dead pure ops are cleaned up afterwards",
     )
     parser.add_argument(
+        "--validate-rewrites",
+        action="store_true",
+        help="re-check SSA dominance, def-use integrity, and the "
+        "registered verifiers on the touched region after every "
+        "--patterns application; a violation aborts with a diagnostic "
+        "naming the offending pattern (exit code 1)",
+    )
+    parser.add_argument(
+        "--analyze",
+        action="append",
+        default=[],
+        metavar="NAME",
+        choices=("constant-prop", "int-range"),
+        help="run a sparse forward dataflow analysis over the input "
+        "module and print its per-value report (repeatable; "
+        "constant-prop or int-range). Runs after --patterns, so the "
+        "report reflects the rewritten module",
+    )
+    parser.add_argument(
         "--emit-cfg",
         action="store_true",
         help="emit Graphviz DOT for the CFG of each region-bearing "
@@ -880,13 +899,38 @@ def _run_pipeline(args: argparse.Namespace, observation: _Observation) -> int:
                 except DiagnosticError as err:
                     print(err, file=sys.stderr)
                     return 1
-        manager = session.run_patterns(
-            module, all_patterns, verify_each=args.verify_each
-        )
+        try:
+            manager = session.run_patterns(
+                module, all_patterns, verify_each=args.verify_each,
+                validate_rewrites=args.validate_rewrites,
+            )
+        except VerifyError as err:
+            # --validate-rewrites (or --verify-each) caught a rewrite
+            # breaking an SSA invariant mid-pipeline.
+            print(f"error: {err}", file=sys.stderr)
+            return 1
         observation.adopt_pass_records(manager)
         if not args.no_verify:
             with observation.phase("verify-output"):
-                session.verify(module)
+                try:
+                    session.verify(module)
+                except VerifyError as err:
+                    print(f"error: verification failed after rewriting: "
+                          f"{err}", file=sys.stderr)
+                    return 1
+
+    if args.analyze:
+        from repro.analysis.dataflow import (
+            ANALYSES,
+            render_dataflow_report,
+            run_sparse_forward,
+        )
+
+        for analysis_name in args.analyze:
+            with observation.phase(f"analyze-{analysis_name}"):
+                result = run_sparse_forward(ANALYSES[analysis_name](), module)
+            print(render_dataflow_report(result))
+        return 0
 
     if args.emit_cfg:
         from repro.analysis.dot import cfg_to_dot

@@ -1,0 +1,528 @@
+"""The dataflow framework: manager, lattice engine, analyses, liveness.
+
+The differential test at the bottom is the soundness pin the package
+docstring promises: sparse constant propagation must agree with the
+fold-pattern fixpoint on every module — whatever the analysis proves
+constant, greedy folding reduces to exactly that constant, and whatever
+it leaves unknown stays unfolded.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.dataflow import (
+    ANALYSES,
+    BOTTOM,
+    TOP,
+    AnalysisManager,
+    Const,
+    ConstantPropagation,
+    IntegerRangeAnalysis,
+    Liveness,
+    Range,
+    render_dataflow_report,
+    run_sparse_forward,
+)
+from repro.builtin import FloatAttr, IntegerAttr, StringAttr, f32, i1, i8, i32
+from repro.ir import Block, Operation, Region
+from repro.ir.dominance import DominanceInfo
+from repro.rewriting import apply_patterns_greedily, pattern
+
+
+def make_module(ctx, ops):
+    return ctx.create_operation("builtin.module", regions=[Region([Block(ops=ops)])])
+
+
+def constant(ctx, value, ty=i32):
+    return ctx.create_operation(
+        "arith.constant", result_types=[ty],
+        attributes={"value": IntegerAttr(value, ty)},
+    )
+
+
+def fconstant(ctx, value):
+    return ctx.create_operation(
+        "arith.constant", result_types=[f32],
+        attributes={"value": FloatAttr(value, f32)},
+    )
+
+
+def binop(ctx, name, lhs, rhs, ty=i32):
+    return ctx.create_operation(
+        name, operands=[lhs.results[0], rhs.results[0]], result_types=[ty],
+    )
+
+
+def cmpi(ctx, predicate, lhs, rhs):
+    return ctx.create_operation(
+        "arith.cmpi", operands=[lhs.results[0], rhs.results[0]],
+        result_types=[i1], attributes={"predicate": StringAttr(predicate)},
+    )
+
+
+def const_prop(root):
+    return run_sparse_forward(ConstantPropagation(), root)
+
+
+def int_range(root):
+    return run_sparse_forward(IntegerRangeAnalysis(), root)
+
+
+class TestAnalysisManager:
+    def test_caches_by_identity(self):
+        manager = AnalysisManager()
+        region_a = Region([Block()])
+        region_b = Region([Block()])
+        info_a = manager.dominance(region_a)
+        assert manager.dominance(region_a) is info_a
+        assert manager.dominance(region_b) is not info_a
+        assert len(manager) == 2
+
+    def test_cached_does_not_compute(self):
+        manager = AnalysisManager()
+        region = Region([Block()])
+        assert manager.cached(DominanceInfo, region) is None
+        assert len(manager) == 0
+        info = manager.dominance(region)
+        assert manager.cached(DominanceInfo, region) is info
+
+    def test_invalidate_one_key(self):
+        manager = AnalysisManager()
+        region = Region([Block()])
+        manager.dominance(region)
+        manager.liveness(region)
+        assert manager.invalidate(region) == 2
+        assert manager.cached(DominanceInfo, region) is None
+        assert len(manager) == 0
+        # A second invalidation is a no-op.
+        assert manager.invalidate(region) == 0
+
+    def test_invalidate_scope_spares_siblings(self):
+        # Two sibling regions under one op: mutating inside the first
+        # must drop its analyses (and the ancestors'), not the second's.
+        region_a = Region([Block()])
+        region_b = Region([Block()])
+        inner = Operation("t.inner")
+        region_a.blocks[0].add_op(inner)
+        Operation("t.root", regions=[region_a, region_b])
+        manager = AnalysisManager()
+        manager.dominance(region_a)
+        manager.dominance(region_b)
+        dropped = manager.invalidate_scope(inner)
+        assert dropped == 1
+        assert manager.cached(DominanceInfo, region_a) is None
+        assert manager.cached(DominanceInfo, region_b) is not None
+
+    def test_invalidate_all(self):
+        manager = AnalysisManager()
+        manager.dominance(Region([Block()]))
+        manager.liveness(Region([Block()]))
+        assert manager.invalidate_all() == 2
+        assert len(manager) == 0
+
+    def test_generic_get_with_plain_callable(self, ctx):
+        manager = AnalysisManager()
+        module = make_module(ctx, [constant(ctx, 7)])
+        result = manager.get(const_prop, module)
+        assert manager.get(const_prop, module) is result
+        assert result.state_of(module.regions[0].blocks[0].ops[0].results[0]) \
+            == Const(IntegerAttr(7, i32))
+
+    def test_accessor_types(self):
+        manager = AnalysisManager()
+        region = Region([Block()])
+        assert isinstance(manager.dominance(region), DominanceInfo)
+        assert isinstance(manager.liveness(region), Liveness)
+
+
+class TestSparseEngine:
+    def test_use_listed_before_def_still_refines(self, ctx):
+        # SSA only promises defs *dominate* uses; block-list order may
+        # put a use textually first.  The worklist must revisit the
+        # user after the producer publishes — a single forward pass
+        # (or a TOP-seeded lattice) would wrongly conclude "unknown".
+        use_block, def_block = Block(), Block()
+        value = constant(ctx, 2)
+        def_block.add_op(value)
+        def_block.add_op(Operation("t.ret"))
+        add = ctx.create_operation(
+            "arith.addi", operands=[value.results[0], value.results[0]],
+            result_types=[i32],
+        )
+        use_block.add_op(add)
+        use_block.add_op(Operation("t.ret"))
+        root = Operation("t.root", regions=[Region([use_block, def_block])])
+        result = const_prop(root)
+        assert result.state_of(add.results[0]) == Const(IntegerAttr(4, i32))
+
+    def test_block_args_are_boundary_values(self, ctx):
+        block = Block([i32, i32])
+        add = ctx.create_operation(
+            "arith.addi", operands=[block.args[0], block.args[1]],
+            result_types=[i32],
+        )
+        block.add_op(add)
+        root = Operation("t.root", regions=[Region([block])])
+        result = const_prop(root)
+        assert result.state_of(block.args[0]) is TOP
+        # TOP operands make a TOP (not BOTTOM/"unreachable") result.
+        assert result.state_of(add.results[0]) is TOP
+
+    def test_out_of_tree_operands_are_boundary_values(self, ctx):
+        # Analyzing a nested op only: its operands' producers are
+        # outside the analyzed tree and must be seeded, not left BOTTOM.
+        value = constant(ctx, 3)
+        add = ctx.create_operation(
+            "arith.addi", operands=[value.results[0], value.results[0]],
+            result_types=[i32],
+        )
+        make_module(ctx, [value, add])
+        result = const_prop(add)
+        assert result.state_of(add.results[0]) is TOP
+
+    def test_unvisited_value_reads_bottom(self, ctx):
+        module = make_module(ctx, [constant(ctx, 1)])
+        other = constant(ctx, 2)
+        result = const_prop(module)
+        assert result.state_of(other.results[0]) is BOTTOM
+
+    def test_report_rendering(self, ctx):
+        value = constant(ctx, 2)
+        opaque = Operation("t.opaque", result_types=[i32])
+        module = make_module(ctx, [value, opaque])
+        report = render_dataflow_report(const_prop(module))
+        assert report.splitlines()[0] == "=== constant-prop ==="
+        assert "arith.constant: 2 : i32" in report
+        assert "t.opaque: ?" in report
+        assert "transfer step(s)" in report
+
+    def test_registry_names(self):
+        assert set(ANALYSES) == {"constant-prop", "int-range"}
+        for name, factory in ANALYSES.items():
+            assert factory().name == name
+
+
+class TestConstantPropagation:
+    @pytest.mark.parametrize(
+        "name,lhs,rhs,expected",
+        [
+            ("arith.addi", 2, 3, 5),
+            ("arith.subi", 2, 5, -3),
+            ("arith.muli", 4, 6, 24),
+            ("arith.divsi", 7, 2, 3),
+            ("arith.divsi", -7, 2, -3),  # truncation toward zero, not floor
+            ("arith.andi", 0b1100, 0b1010, 0b1000),
+            ("arith.ori", 0b1100, 0b1010, 0b1110),
+            ("arith.xori", 0b1100, 0b1010, 0b0110),
+        ],
+    )
+    def test_integer_folds(self, ctx, name, lhs, rhs, expected):
+        a, b = constant(ctx, lhs), constant(ctx, rhs)
+        op = binop(ctx, name, a, b)
+        module = make_module(ctx, [a, b, op])
+        assert const_prop(module).state_of(op.results[0]) \
+            == Const(IntegerAttr(expected, i32))
+
+    def test_division_by_zero_is_top(self, ctx):
+        a, b = constant(ctx, 7), constant(ctx, 0)
+        op = binop(ctx, "arith.divsi", a, b)
+        module = make_module(ctx, [a, b, op])
+        assert const_prop(module).state_of(op.results[0]) is TOP
+
+    def test_overflowing_fold_is_top(self, ctx):
+        a, b = constant(ctx, 100, i8), constant(ctx, 100, i8)
+        op = binop(ctx, "arith.muli", a, b, i8)
+        module = make_module(ctx, [a, b, op])
+        assert const_prop(module).state_of(op.results[0]) is TOP
+
+    def test_float_folds(self, ctx):
+        a, b = fconstant(ctx, 1.5), fconstant(ctx, 0.5)
+        op = binop(ctx, "arith.mulf", a, b, f32)
+        module = make_module(ctx, [a, b, op])
+        assert const_prop(module).state_of(op.results[0]) \
+            == Const(FloatAttr(0.75, f32))
+
+    def test_float_division_by_zero_is_top(self, ctx):
+        a, b = fconstant(ctx, 1.0), fconstant(ctx, 0.0)
+        op = binop(ctx, "arith.divf", a, b, f32)
+        module = make_module(ctx, [a, b, op])
+        assert const_prop(module).state_of(op.results[0]) is TOP
+
+    @pytest.mark.parametrize(
+        "predicate,lhs,rhs,expected",
+        [
+            ("slt", -1, 1, 1),
+            ("sge", -1, 1, 0),
+            ("eq", 4, 4, 1),
+            # Unsigned compares reinterpret the bit pattern: -1 on i32
+            # is 2**32 - 1, far above 1.
+            ("ult", -1, 1, 0),
+            ("ugt", -1, 1, 1),
+        ],
+    )
+    def test_cmpi(self, ctx, predicate, lhs, rhs, expected):
+        a, b = constant(ctx, lhs), constant(ctx, rhs)
+        op = cmpi(ctx, predicate, a, b)
+        module = make_module(ctx, [a, b, op])
+        assert const_prop(module).state_of(op.results[0]) \
+            == Const(IntegerAttr(expected, i1))
+
+    def test_unknown_producer_poisons_users(self, ctx):
+        a = constant(ctx, 1)
+        opaque = Operation("t.opaque", result_types=[i32])
+        op = binop(ctx, "arith.addi", a, opaque)
+        module = make_module(ctx, [a, opaque, op])
+        assert const_prop(module).state_of(op.results[0]) is TOP
+
+
+class TestIntegerRangeAnalysis:
+    def test_points_combine_by_interval_arithmetic(self, ctx):
+        a, b = constant(ctx, 2), constant(ctx, 3)
+        add = binop(ctx, "arith.addi", a, b)
+        module = make_module(ctx, [a, b, add])
+        result = int_range(module)
+        assert result.state_of(a.results[0]) == Range(2, 2)
+        assert result.state_of(add.results[0]) == Range(5, 5)
+
+    def test_transfer_uses_interval_corners(self, ctx):
+        op = binop(ctx, "arith.muli", constant(ctx, 0), constant(ctx, 0))
+        analysis = IntegerRangeAnalysis()
+        (state,) = analysis.transfer(op, [Range(-2, 3), Range(-5, 7)])
+        assert state == Range(-15, 21)
+        (state,) = analysis.transfer(op, [Range(1, 4), Range(2, 5)])
+        assert state == Range(2, 20)
+
+    def test_sub_flips_bounds(self, ctx):
+        op = binop(ctx, "arith.subi", constant(ctx, 0), constant(ctx, 0))
+        (state,) = IntegerRangeAnalysis().transfer(op, [Range(0, 4), Range(1, 3)])
+        assert state == Range(-3, 3)
+
+    def test_possible_overflow_is_top(self, ctx):
+        a, b = constant(ctx, 100, i8), constant(ctx, 3, i8)
+        op = binop(ctx, "arith.muli", a, b, i8)
+        module = make_module(ctx, [a, b, op])
+        assert int_range(module).state_of(op.results[0]) is TOP
+
+    def test_cmpi_decided_and_undecided(self, ctx):
+        op = cmpi(ctx, "slt", constant(ctx, 0), constant(ctx, 0))
+        analysis = IntegerRangeAnalysis()
+        (state,) = analysis.transfer(op, [Range(0, 5), Range(10, 20)])
+        assert state == Range(1, 1)
+        (state,) = analysis.transfer(op, [Range(0, 15), Range(10, 20)])
+        assert state == Range(0, 1)
+        op_ne = cmpi(ctx, "ne", constant(ctx, 0), constant(ctx, 0))
+        (state,) = analysis.transfer(op_ne, [Range(3, 3), Range(3, 3)])
+        assert state == Range(0, 0)
+
+    def test_join_is_interval_hull(self):
+        analysis = IntegerRangeAnalysis()
+        assert analysis.join(Range(0, 1), Range(5, 7)) == Range(0, 7)
+        assert analysis.join(BOTTOM, Range(1, 2)) == Range(1, 2)
+        assert analysis.join(TOP, Range(1, 2)) is TOP
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            Range(3, 2)
+
+    def test_report_formats_points_bare(self, ctx):
+        a, b = constant(ctx, 2), constant(ctx, 3)
+        add = binop(ctx, "arith.addi", a, b)
+        module = make_module(ctx, [a, b, add])
+        report = render_dataflow_report(int_range(module))
+        assert "arith.addi: 5" in report
+
+
+class TestLiveness:
+    def test_value_live_across_block_boundary(self):
+        entry, tail = Block(), Block()
+        value = Operation("t.def", result_types=[i32])
+        entry.add_op(value)
+        entry.add_op(Operation("t.br", successors=[tail]))
+        tail.add_op(Operation("t.use", operands=[value.results[0]]))
+        region = Region([entry, tail])
+        liveness = Liveness(region)
+        assert liveness.is_live_out(value.results[0], entry)
+        assert liveness.is_live_in(value.results[0], tail)
+        assert not liveness.is_live_in(value.results[0], entry)
+
+    def test_block_arg_defined_not_live_in(self):
+        block = Block([i32])
+        block.add_op(Operation("t.use", operands=[block.args[0]]))
+        liveness = Liveness(Region([block]))
+        assert not liveness.is_live_in(block.args[0], block)
+
+    def test_nested_region_use_counts_for_enclosing_block(self):
+        entry, tail = Block(), Block()
+        value = Operation("t.def", result_types=[i32])
+        entry.add_op(value)
+        entry.add_op(Operation("t.br", successors=[tail]))
+        inner = Block()
+        inner.add_op(Operation("t.use", operands=[value.results[0]]))
+        tail.add_op(Operation("t.holder", regions=[Region([inner])]))
+        liveness = Liveness(Region([entry, tail]))
+        assert liveness.is_live_in(value.results[0], tail)
+
+    def test_values_internal_to_nested_subtree_do_not_leak(self):
+        # A use of a value defined inside the same nested subtree is
+        # not a use the enclosing block needs live-in.
+        inner = Block()
+        nested_def = Operation("t.def", result_types=[i32])
+        inner.add_op(nested_def)
+        inner.add_op(Operation("t.use", operands=[nested_def.results[0]]))
+        block = Block()
+        block.add_op(Operation("t.holder", regions=[Region([inner])]))
+        liveness = Liveness(Region([block]))
+        assert liveness.live_in(block) == frozenset()
+
+    def test_loop_keeps_value_live_around_back_edge(self):
+        entry, body, exit_block = Block(), Block(), Block()
+        value = Operation("t.def", result_types=[i32])
+        cond = Operation("t.cond", result_types=[i1])
+        entry.add_op(value)
+        entry.add_op(Operation("t.br", successors=[body]))
+        body.add_op(cond)
+        body.add_op(Operation("t.use", operands=[value.results[0]]))
+        body.add_op(Operation("t.condbr", operands=[cond.results[0]],
+                              successors=[body, exit_block]))
+        exit_block.add_op(Operation("t.ret"))
+        liveness = Liveness(Region([entry, body, exit_block]))
+        assert liveness.is_live_in(value.results[0], body)
+        assert liveness.is_live_out(value.results[0], body)
+        assert not liveness.is_live_in(value.results[0], exit_block)
+
+
+class TestDominatesAPI:
+    def test_ops_in_same_block(self):
+        block = Block()
+        first = Operation("t.a", result_types=[i32])
+        second = Operation("t.b")
+        block.add_op(first)
+        block.add_op(second)
+        info = DominanceInfo(Region([block]))
+        assert info.dominates(first, second)
+        assert not info.dominates(second, first)
+        assert info.dominates(first, first)
+
+    def test_blocks_and_mixed_operands(self):
+        entry, tail = Block(), Block()
+        op_entry = Operation("t.a")
+        entry.add_op(op_entry)
+        entry.add_op(Operation("t.br", successors=[tail]))
+        op_tail = Operation("t.b")
+        tail.add_op(op_tail)
+        info = DominanceInfo(Region([entry, tail]))
+        assert info.dominates(entry, tail)
+        assert info.dominates(op_entry, op_tail)
+        assert not info.dominates(op_tail, op_entry)
+        # A block dominates the ops it contains.
+        assert info.dominates(entry, op_entry)
+
+    def test_nested_op_located_through_ancestors(self):
+        block = Block()
+        first = Operation("t.a")
+        block.add_op(first)
+        inner = Block()
+        nested = Operation("t.nested")
+        inner.add_op(nested)
+        holder = Operation("t.holder", regions=[Region([inner])])
+        block.add_op(holder)
+        info = DominanceInfo(Region([block]))
+        assert info.dominates(first, nested)
+        assert not info.dominates(nested, first)
+
+    def test_foreign_op_never_dominates(self):
+        block = Block()
+        block.add_op(Operation("t.a"))
+        info = DominanceInfo(Region([block]))
+        outsider = Operation("t.elsewhere")
+        assert not info.dominates(outsider, block.ops[0])
+        assert not info.dominates(block.ops[0], outsider)
+
+
+# ---------------------------------------------------------------------------
+# Differential: constant propagation vs. the fold-pattern fixpoint
+# ---------------------------------------------------------------------------
+
+_FOLD_SEMANTICS = {
+    "arith.addi": lambda a, b: a + b,
+    "arith.subi": lambda a, b: a - b,
+    "arith.muli": lambda a, b: a * b,
+}
+
+
+def _fold_binop(op, rewriter):
+    lhs, rhs = (operand.owner for operand in op.operands)
+    for producer in (lhs, rhs):
+        if not (isinstance(producer, Operation)
+                and producer.name == "arith.constant"):
+            return False
+    folded_value = _FOLD_SEMANTICS[op.name](
+        lhs.attributes["value"].value, rhs.attributes["value"].value)
+    attr = IntegerAttr(folded_value, op.results[0].type)
+    folded = rewriter.create(
+        "arith.constant", result_types=[op.results[0].type],
+        attributes={"value": attr}, before=op,
+    )
+    rewriter.replace_op(op, folded)
+    return True
+
+
+fold_addi = pattern(op_name="arith.addi")(_fold_binop)
+fold_subi = pattern(op_name="arith.subi")(_fold_binop)
+fold_muli = pattern(op_name="arith.muli")(_fold_binop)
+
+
+@pattern(op_name="arith.constant")
+def drop_dead_constants(op, rewriter):
+    if any(result.has_uses for result in op.results):
+        return False
+    rewriter.erase_op(op)
+    return True
+
+
+def _random_module(ctx, rng):
+    """A random straight-line arith module; returns (module, final op).
+
+    Values stay small (constants in [0, 9], at most 6 combining ops) so
+    no i32 fold can overflow — overflow behavior has its own unit test
+    and would otherwise make fold/analysis agreement depend on visit
+    order.
+    """
+    ops = [constant(ctx, rng.randrange(10)) for _ in range(3)]
+    if rng.random() < 0.5:
+        ops.append(Operation("t.opaque", result_types=[i32]))
+    values = [op for op in ops]
+    for _ in range(rng.randrange(2, 7)):
+        name = rng.choice(sorted(_FOLD_SEMANTICS))
+        lhs, rhs = rng.choice(values), rng.choice(values)
+        combined = binop(ctx, name, lhs, rhs)
+        ops.append(combined)
+        values.append(combined)
+    final = values[-1]
+    ops.append(ctx.create_operation("func.return", operands=[final.results[0]]))
+    return make_module(ctx, ops), final
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_constant_prop_agrees_with_fold_fixpoint(ctx, seed):
+    rng = random.Random(seed)
+    module, final = _random_module(ctx, rng)
+    predicted = const_prop(module).state_of(final.results[0])
+    apply_patterns_greedily(
+        ctx, module, [fold_addi, fold_subi, fold_muli, drop_dead_constants])
+    module.verify()
+    returned = module.regions[0].blocks[0].last_op.operands[0]
+    producer = returned.owner
+    if isinstance(predicted, Const):
+        # Whatever the analysis proves constant, folding must reduce to
+        # that exact constant.
+        assert isinstance(producer, Operation)
+        assert producer.name == "arith.constant"
+        assert producer.attributes["value"] == predicted.attr
+    else:
+        # And whatever it leaves unknown must involve the opaque value,
+        # which no fold can touch.
+        assert predicted is TOP
+        assert not (isinstance(producer, Operation)
+                    and producer.name == "arith.constant")

@@ -431,6 +431,7 @@ class TestReportingSurface:
             "dead-constraint-var", "overlapping-op-defs",
             "ambiguous-format", "dead-rewrite-pattern",
             "possibly-unsatisfiable", "unindexed-rewrite-pattern",
+            "unsound-rewrite-replacement", "possibly-unsound-rewrite",
         ):
             assert code in LINT_CODES
 
@@ -479,3 +480,124 @@ class TestReportingSurface:
         )
         assert "unsatisfiable-constraint" in codes(findings)
         assert "missing-summary" in codes(findings)
+
+
+class TestRewriteSoundness:
+    """SAT-backed soundness of the rewrite section (ISSUE 10)."""
+
+    def test_result_rebinding_disjoint_is_error(self):
+        # The root's result was a float; the rewrite hands downstream
+        # uses a complex number instead.
+        findings = lint_patterns(cmath_context(), """
+        Pattern widen_norm {
+          Match { %r = cmath.norm(%c) }
+          Rewrite { %r = cmath.mul(%c, %c) }
+        }
+        """)
+        found = [f for f in findings
+                 if f.code == "unsound-rewrite-replacement"]
+        assert found
+        assert all(f.severity == "error" for f in found)
+        assert any("disjoint" in f.message for f in found)
+
+    def test_operand_demand_disjoint_is_error(self):
+        # %n is a float (norm's result); cmath.mul demands complex
+        # operands — no matched instance can verify after the rewrite.
+        findings = lint_patterns(cmath_context(), """
+        Pattern remul {
+          Match {
+            %n = cmath.norm(%c)
+            %r = arith.mulf(%n, %n)
+          }
+          Rewrite {
+            %m = cmath.mul(%n, %n)
+            %r = cmath.norm(%m)
+          }
+        }
+        """)
+        found = [f for f in findings
+                 if f.code == "unsound-rewrite-replacement"]
+        assert found
+        assert any("operand" in f.message for f in found)
+
+    def test_partial_coverage_is_warning(self):
+        # t.wide may produce f64; t.narrow only accepts f32 — *some*
+        # matched instances would produce invalid IR, but not all, so
+        # the verdict is a warning, not an error.
+        ctx = default_context()
+        register_irdl(ctx, """
+        Dialect t {
+          Operation wide {
+            Results (r: AnyOf<!f32, !f64>)
+            Summary "either float"
+          }
+          Operation any_use {
+            Operands (x: AnyOf<!f32, !f64>)
+            Results (r: !f32)
+            Summary "loose consumer"
+          }
+          Operation narrow {
+            Operands (x: !f32)
+            Results (r: !f32)
+            Summary "f32 only"
+          }
+        }
+        """)
+        findings = lint_patterns(ctx, """
+        Pattern maybe_bad {
+          Match {
+            %w = t.wide()
+            %r = t.any_use(%w)
+          }
+          Rewrite { %r = t.narrow(%w) }
+        }
+        """)
+        found = [f for f in findings if f.code == "possibly-unsound-rewrite"]
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+        assert "not implied" in found[0].message
+
+    def test_sound_corpus_pattern_is_clean(self):
+        # The shipped conorm pattern: zero soundness findings (the
+        # acceptance bar is no false positives on the corpus).
+        findings = lint_patterns(cmath_context(), """
+        Pattern norm_of_product {
+          Match {
+            %na = cmath.norm(%a)
+            %nb = cmath.norm(%b)
+            %r = arith.mulf(%na, %nb)
+          }
+          Rewrite {
+            %m = cmath.mul(%a, %b)
+            %r = cmath.norm(%m)
+          }
+        }
+        """)
+        assert "unsound-rewrite-replacement" not in codes(findings)
+        assert "possibly-unsound-rewrite" not in codes(findings)
+
+    def test_pattern_level_suppress_filters(self):
+        findings = lint_patterns(cmath_context(), """
+        Pattern widen_norm {
+          Suppress "unsound-rewrite-replacement"
+          Match { %r = cmath.norm(%c) }
+          Rewrite { %r = cmath.mul(%c, %c) }
+        }
+        """)
+        assert "unsound-rewrite-replacement" not in codes(findings)
+
+    def test_pattern_suppressions_parse_and_expose(self):
+        from repro.rewriting import parse_patterns
+
+        ctx = cmath_context()
+        (compiled,) = parse_patterns(ctx, """
+        Pattern p {
+          Suppress "possibly-unsound-rewrite"
+          Suppress "unsound-rewrite-replacement"
+          Match { %r = cmath.norm(%c) }
+          Rewrite { %r = cmath.norm(%c) }
+        }
+        """)
+        assert compiled.suppressions == (
+            "possibly-unsound-rewrite", "unsound-rewrite-replacement",
+        )

@@ -58,9 +58,24 @@ class TestDominatorTree:
     def test_unreachable_block(self):
         region = Region([Block(), Block()])
         entry, island = region.blocks
+        entry.add_op(Operation("t.ret"))
+        island.add_op(Operation("t.ret"))
         info = DominanceInfo(region)
         assert info.is_reachable(entry)
         assert not info.is_reachable(island)
+
+    def test_empty_block_in_multi_block_region_is_an_error(self):
+        # An op-less block has no terminator: in a multi-block region
+        # that is a malformed CFG, not an unreachable block.
+        region = Region([Block(), Block()])
+        region.blocks[0].add_op(Operation("t.ret"))
+        with pytest.raises(VerifyError, match="no terminator"):
+            DominanceInfo(region)
+
+    def test_single_empty_block_region_is_fine(self):
+        # Single-block regions (e.g. an empty module body) stay legal.
+        info = DominanceInfo(Region([Block()]))
+        assert info.is_reachable(info.region.blocks[0])
 
     def test_loop_back_edge(self):
         region = Region([Block(), Block(), Block()])
@@ -70,6 +85,7 @@ class TestDominatorTree:
         body.add_op(cond)
         body.add_op(Operation("t.condbr", operands=[cond.results[0]],
                               successors=[body, exit_block]))
+        exit_block.add_op(Operation("t.ret"))
         info = DominanceInfo(region)
         assert info.dominates_block(entry, exit_block)
         assert info.dominates_block(body, exit_block)

@@ -736,3 +736,129 @@ class TestStdin:
         err = capsys.readouterr().err
         assert "already consumed by --irdl" in err
         assert "the IR input" in err
+
+
+ARITH_IR = """
+"builtin.module"() ({
+  %a = "arith.constant"() {value = 2 : i32} : () -> i32
+  %b = "arith.constant"() {value = 3 : i32} : () -> i32
+  %s = "arith.addi"(%a, %b) : (i32, i32) -> i32
+  %p = "arith.muli"(%s, %b) : (i32, i32) -> i32
+}) : () -> ()
+"""
+
+WIDEN_NORM = """
+Pattern widen_norm {
+  Match { %r = cmath.norm(%c) }
+  Rewrite { %r = cmath.mul(%c, %c) }
+}
+"""
+
+
+class TestAnalyzeFlag:
+    def test_constant_prop_report(self, tmp_path, capsys):
+        exit_code = main([
+            "--analyze", "constant-prop", write_ir(tmp_path, ARITH_IR),
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "=== constant-prop ===" in out
+        assert "arith.addi: 5 : i32" in out
+        assert "arith.muli: 15 : i32" in out
+
+    def test_multiple_analyses(self, tmp_path, capsys):
+        exit_code = main([
+            "--analyze", "constant-prop", "--analyze", "int-range",
+            write_ir(tmp_path, ARITH_IR),
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "=== constant-prop ===" in out
+        assert "=== int-range ===" in out
+        assert "arith.muli: 15\n" in out
+
+    def test_analyze_composes_with_patterns(self, tmp_path, cmath_irdl,
+                                            capsys):
+        # Analyses run on the *rewritten* module.
+        pattern_file = tmp_path / "conorm.pattern"
+        pattern_file.write_text(PATTERN)
+        exit_code = main([
+            "--irdl", cmath_irdl, "--patterns", str(pattern_file),
+            "--analyze", "constant-prop", write_ir(tmp_path, CONORM),
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "=== constant-prop ===" in out
+        assert "cmath.mul" in out
+
+
+class TestValidateRewritesFlag:
+    def test_sound_pattern_passes(self, tmp_path, cmath_irdl, capsys):
+        pattern_file = tmp_path / "conorm.pattern"
+        pattern_file.write_text(PATTERN)
+        exit_code = main([
+            "--irdl", cmath_irdl, "--patterns", str(pattern_file),
+            "--validate-rewrites", write_ir(tmp_path, CONORM),
+        ])
+        assert exit_code == 0
+        assert "cmath.mul" in capsys.readouterr().out
+
+    def test_unsound_pattern_aborts(self, tmp_path, cmath_irdl, capsys):
+        pattern_file = tmp_path / "widen.pattern"
+        pattern_file.write_text(WIDEN_NORM)
+        exit_code = main([
+            "--irdl", cmath_irdl, "--patterns", str(pattern_file),
+            "--validate-rewrites", write_ir(tmp_path, GOOD_IR),
+        ])
+        assert exit_code == 1
+        err = capsys.readouterr().err
+        assert "widen_norm" in err
+        assert "broke IR invariants" in err
+
+    def test_unsound_pattern_unnoticed_without_flag(self, tmp_path,
+                                                    cmath_irdl, capsys):
+        # Without validation the verify step after printing still
+        # catches this particular mutant — but only at the very end,
+        # with no pattern attribution.
+        pattern_file = tmp_path / "widen.pattern"
+        pattern_file.write_text(WIDEN_NORM)
+        exit_code = main([
+            "--irdl", cmath_irdl, "--patterns", str(pattern_file),
+            write_ir(tmp_path, GOOD_IR),
+        ])
+        assert exit_code == 1
+        assert "widen_norm" not in capsys.readouterr().err
+
+    def test_validation_stats_reported(self, tmp_path, cmath_irdl, capsys):
+        pattern_file = tmp_path / "conorm.pattern"
+        pattern_file.write_text(PATTERN)
+        exit_code = main([
+            "--irdl", cmath_irdl, "--patterns", str(pattern_file),
+            "--validate-rewrites", "--pass-statistics",
+            write_ir(tmp_path, CONORM),
+        ])
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "rewrite-validations" in err
+
+
+class TestSoundnessLintCli:
+    def test_unsound_pattern_file_exits_two(self, tmp_path, cmath_irdl,
+                                            capsys):
+        pattern_file = tmp_path / "widen.pattern"
+        pattern_file.write_text(WIDEN_NORM)
+        exit_code = main([
+            "--lint", cmath_irdl, "--patterns", str(pattern_file),
+        ])
+        assert exit_code == 2
+        assert "error[unsound-rewrite-replacement]" \
+            in capsys.readouterr().out
+
+    def test_shipped_pattern_file_is_clean(self, cmath_irdl, capsys):
+        shipped = os.path.join(
+            os.path.dirname(__file__), "..", "..", "examples", "patterns",
+            "conorm.pattern",
+        )
+        exit_code = main(["--lint", cmath_irdl, "--patterns", shipped])
+        assert exit_code == 0
+        assert "no findings" in capsys.readouterr().out
